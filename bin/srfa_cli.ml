@@ -1,0 +1,379 @@
+(* Command-line driver for the scalar-replacement register-allocation
+   flow: run allocations, print design reports, dump DFGs, emit code. *)
+
+open Cmdliner
+
+let kernel_conv =
+  let parse s =
+    match Srfa_kernels.Kernels.find s with
+    | Some nest -> Ok nest
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown kernel %S (try: %s)" s
+             (String.concat ", " Srfa_kernels.Kernels.names)))
+  in
+  let print ppf nest = Format.fprintf ppf "%s" nest.Srfa_ir.Nest.name in
+  Arg.conv (parse, print)
+
+let algorithm_conv =
+  let parse s =
+    match Srfa_core.Allocator.of_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print ppf a = Format.fprintf ppf "%s" (Srfa_core.Allocator.name a) in
+  Arg.conv (parse, print)
+
+let budget_arg =
+  let doc = "Register budget available to the allocator." in
+  Arg.(value & opt int 64 & info [ "b"; "budget" ] ~docv:"N" ~doc)
+
+let kernel_pos =
+  Arg.(
+    required
+    & pos 0 (some kernel_conv) None
+    & info [] ~docv:"KERNEL" ~doc:"Kernel name (see $(b,kernels) command).")
+
+let algorithm_arg =
+  let doc = "Allocation algorithm: fr-ra, pr-ra, cpa-ra, cpa-ra+ or ks-ra." in
+  Arg.(
+    value
+    & opt algorithm_conv Srfa_core.Allocator.Cpa_ra
+    & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc)
+
+let config_of_budget budget =
+  { Srfa_core.Flow.default_config with Srfa_core.Flow.budget }
+
+(* kernels *)
+let kernels_cmd =
+  let run () =
+    let show (name, nest) =
+      Format.printf "%-8s %d-deep, %d iterations@." name
+        (Srfa_ir.Nest.depth nest)
+        (Srfa_ir.Nest.iterations nest)
+    in
+    List.iter show
+      (("example", Srfa_kernels.Kernels.example ()) :: Srfa_kernels.Kernels.all ())
+  in
+  Cmd.v (Cmd.info "kernels" ~doc:"List available kernels.")
+    Term.(const run $ const ())
+
+(* show: pretty-print a kernel and its reuse analysis *)
+let show_cmd =
+  let run nest =
+    Format.printf "%a@." Srfa_ir.Nest.pp nest;
+    let analysis = Srfa_core.Flow.analyze nest in
+    Array.iter
+      (fun info -> Format.printf "%a@." Srfa_reuse.Analysis.pp_info info)
+      analysis.Srfa_reuse.Analysis.infos
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a kernel and its data-reuse analysis.")
+    Term.(const run $ kernel_pos)
+
+(* alloc: run one allocator and print the design report *)
+let alloc_cmd =
+  let run nest algorithm budget =
+    let config = config_of_budget budget in
+    let analysis = Srfa_core.Flow.analyze nest in
+    let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
+    Format.printf "%a@.@." Srfa_reuse.Allocation.pp alloc;
+    let report =
+      Srfa_estimate.Report.build ~sim_config:config.Srfa_core.Flow.sim
+        ~clock_params:config.Srfa_core.Flow.clock_params
+        ~version:(Srfa_core.Allocator.version_label algorithm)
+        alloc
+    in
+    Format.printf "%a@." Srfa_estimate.Report.pp report
+  in
+  Cmd.v
+    (Cmd.info "alloc" ~doc:"Allocate registers for a kernel and report.")
+    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg)
+
+(* compare: all algorithms side by side *)
+let print_comparison nest budget =
+    let config = config_of_budget budget in
+    let reports =
+      Srfa_core.Flow.evaluate_all ~config
+        ~algorithms:Srfa_core.Allocator.all nest
+    in
+    let base = List.hd reports in
+    let table =
+      Srfa_util.Texttable.create
+        ~headers:
+          [
+            ("version", Srfa_util.Texttable.Left);
+            ("algorithm", Srfa_util.Texttable.Left);
+            ("regs", Srfa_util.Texttable.Right);
+            ("cycles", Srfa_util.Texttable.Right);
+            ("mem cycles", Srfa_util.Texttable.Right);
+            ("clock ns", Srfa_util.Texttable.Right);
+            ("time us", Srfa_util.Texttable.Right);
+            ("speedup", Srfa_util.Texttable.Right);
+            ("slices", Srfa_util.Texttable.Right);
+            ("rams", Srfa_util.Texttable.Right);
+          ]
+    in
+    let row (r : Srfa_estimate.Report.t) =
+      Srfa_util.Texttable.add_row table
+        [
+          r.Srfa_estimate.Report.version;
+          r.Srfa_estimate.Report.algorithm;
+          string_of_int r.Srfa_estimate.Report.total_registers;
+          string_of_int r.Srfa_estimate.Report.cycles;
+          string_of_int r.Srfa_estimate.Report.memory_cycles;
+          Printf.sprintf "%.1f" r.Srfa_estimate.Report.clock_ns;
+          Printf.sprintf "%.1f" r.Srfa_estimate.Report.exec_time_us;
+          Printf.sprintf "%.2f" (Srfa_estimate.Report.speedup ~base r);
+          string_of_int r.Srfa_estimate.Report.slices;
+          string_of_int r.Srfa_estimate.Report.rams;
+        ]
+    in
+    List.iter row reports;
+    Srfa_util.Texttable.print table
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all allocation algorithms on a kernel.")
+    Term.(const print_comparison $ kernel_pos $ budget_arg)
+
+(* compile: parse a kernel source file and evaluate it *)
+let compile_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Kernel source file (see kernels_src/).")
+  in
+  let run file budget =
+    match Srfa_frontend.Parser.parse_file file with
+    | exception Srfa_frontend.Parser.Error msg ->
+      Format.eprintf "%s: %s@." file msg;
+      exit 1
+    | exception Srfa_frontend.Lexer.Error msg ->
+      Format.eprintf "%s: %s@." file msg;
+      exit 1
+    | exception Invalid_argument msg ->
+      Format.eprintf "%s: %s@." file msg;
+      exit 1
+    | nest ->
+      Format.printf "%a@.@." Srfa_ir.Nest.pp nest;
+      let analysis = Srfa_core.Flow.analyze nest in
+      Array.iter
+        (fun info -> Format.printf "%a@." Srfa_reuse.Analysis.pp_info info)
+        analysis.Srfa_reuse.Analysis.infos;
+      Format.printf "@.";
+      print_comparison nest budget
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Parse a kernel source file, analyse it and compare all              allocation algorithms on it.")
+    Term.(const run $ file_arg $ budget_arg)
+
+(* dfg: DOT dump *)
+let dfg_cmd =
+  let run nest algorithm budget =
+    let config = config_of_budget budget in
+    let analysis = Srfa_core.Flow.analyze nest in
+    let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
+    let dfg = Srfa_dfg.Graph.build analysis in
+    let charged g =
+      let gid = g.Srfa_reuse.Group.id in
+      let info = Srfa_reuse.Analysis.info analysis gid in
+      let e = Srfa_reuse.Allocation.entry alloc gid in
+      (not info.Srfa_reuse.Analysis.has_reuse)
+      || e.Srfa_reuse.Allocation.beta < info.Srfa_reuse.Analysis.nu
+    in
+    let cg =
+      Srfa_dfg.Critical.make dfg ~latency:Srfa_hw.Latency.default ~charged
+    in
+    print_string (Srfa_dfg.Dot.render ~highlight:cg dfg ~charged)
+  in
+  Cmd.v
+    (Cmd.info "dfg"
+       ~doc:"Dump the kernel's data-flow graph (with its critical graph \
+             under the chosen allocation) as Graphviz DOT.")
+    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg)
+
+(* cuts: show CG cuts *)
+let cuts_cmd =
+  let run nest =
+    let analysis = Srfa_core.Flow.analyze nest in
+    let dfg = Srfa_dfg.Graph.build analysis in
+    let charged _ = true in
+    let cg =
+      Srfa_dfg.Critical.make dfg ~latency:Srfa_hw.Latency.default ~charged
+    in
+    Format.printf "critical path latency: %d@." (Srfa_dfg.Critical.length cg);
+    let show cut =
+      Format.printf "cut: {%s}@."
+        (String.concat ", " (List.map Srfa_reuse.Group.name cut))
+    in
+    List.iter show (Srfa_dfg.Cut.enumerate cg)
+  in
+  Cmd.v
+    (Cmd.info "cuts" ~doc:"Enumerate the cuts of a kernel's critical graph.")
+    Term.(const run $ kernel_pos)
+
+(* codegen: emit transformed C or VHDL *)
+let codegen_cmd =
+  let lang_arg =
+    let doc = "Output language: c or vhdl." in
+    Arg.(value & opt (enum [ ("c", `C); ("vhdl", `Vhdl) ]) `C
+         & info [ "l"; "lang" ] ~docv:"LANG" ~doc)
+  in
+  let run nest algorithm budget lang =
+    let config = config_of_budget budget in
+    let analysis = Srfa_core.Flow.analyze nest in
+    let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
+    let plan = Srfa_codegen.Plan.build alloc in
+    match lang with
+    | `C -> print_string (Srfa_codegen.C_source.emit plan)
+    | `Vhdl -> print_string (Srfa_codegen.Vhdl.emit plan)
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Emit the scalar-replaced kernel as C or behavioral VHDL.")
+    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg $ lang_arg)
+
+(* sweep: budgets *)
+let sweep_cmd =
+  let budgets_arg =
+    let doc = "Comma-separated register budgets." in
+    Arg.(
+      value
+      & opt (list int) [ 8; 16; 32; 64; 128; 256 ]
+      & info [ "budgets" ] ~docv:"N,N,..." ~doc)
+  in
+  let run nest budgets =
+    let analysis = Srfa_core.Flow.analyze nest in
+    let minimum = Srfa_core.Ordering.feasibility_minimum analysis in
+    Format.printf "# budget cycles(v1) cycles(v2) cycles(v3) cycles(ks)@.";
+    let line budget =
+      if budget >= minimum then begin
+        let cycles alg =
+          let config = config_of_budget budget in
+          let alloc = Srfa_core.Flow.allocation ~config alg analysis in
+          (Srfa_sched.Simulator.run ~config:config.Srfa_core.Flow.sim alloc)
+            .Srfa_sched.Simulator.total_cycles
+        in
+        Format.printf "%6d %10d %10d %10d %10d@." budget
+          (cycles Srfa_core.Allocator.Fr_ra)
+          (cycles Srfa_core.Allocator.Pr_ra)
+          (cycles Srfa_core.Allocator.Cpa_ra)
+          (cycles Srfa_core.Allocator.Knapsack)
+      end
+    in
+    List.iter line budgets
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep register budgets and report cycle counts per algorithm.")
+    Term.(const run $ kernel_pos $ budgets_arg)
+
+(* export: write generated artifacts to a directory *)
+let export_cmd =
+  let dir_arg =
+    let doc = "Directory to write into (created if missing)." in
+    Arg.(value & opt string "srfa-out" & info [ "o"; "output" ] ~docv:"DIR" ~doc)
+  in
+  let run nest algorithm budget dir =
+    let config = config_of_budget budget in
+    let analysis = Srfa_core.Flow.analyze nest in
+    let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
+    let plan = Srfa_codegen.Plan.build alloc in
+    let name = Srfa_codegen.Vhdl.entity_name plan in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let write file text =
+      let path = Filename.concat dir file in
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Format.printf "wrote %s@." path
+    in
+    write (name ^ ".c") (Srfa_codegen.C_source.emit plan);
+    write (name ^ ".vhd") (Srfa_codegen.Vhdl.emit plan);
+    write (name ^ "_tb.vhd") (Srfa_codegen.Vhdl.emit_testbench plan);
+    let report =
+      Srfa_estimate.Report.build ~sim_config:config.Srfa_core.Flow.sim
+        ~clock_params:config.Srfa_core.Flow.clock_params
+        ~version:(Srfa_core.Allocator.version_label algorithm)
+        alloc
+    in
+    write (name ^ "_report.txt")
+      (Format.asprintf "%a@.@.%a@." Srfa_reuse.Allocation.pp alloc
+         Srfa_estimate.Report.pp report)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write the generated C, VHDL, testbench and design report for              a kernel to a directory.")
+    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg $ dir_arg)
+
+(* profile: per-iteration cycle-cost histogram *)
+let profile_cmd =
+  let run nest algorithm budget =
+    let config = config_of_budget budget in
+    let analysis = Srfa_core.Flow.analyze nest in
+    let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
+    let hist =
+      Srfa_sched.Simulator.profile ~config:config.Srfa_core.Flow.sim alloc
+    in
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+    Format.printf "%8s %10s %8s@." "cycles" "iterations" "share";
+    List.iter
+      (fun (cost, count) ->
+        Format.printf "%8d %10d %7.1f%%@." cost count
+          (100.0 *. float_of_int count /. float_of_int total))
+      hist
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Histogram of per-iteration cycle costs under an allocation.")
+    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg)
+
+(* orders: loop-interchange exploration *)
+let orders_cmd =
+  let run nest algorithm budget =
+    match Srfa_ir.Permute.illegality nest with
+    | Some why -> Format.printf "not fully permutable: %s@." why
+    | None ->
+      let config = config_of_budget budget in
+      let candidates = Srfa_core.Order_explorer.explore ~config algorithm nest in
+      Format.printf "%-14s %10s %12s@." "loop order" "cycles" "mem cycles";
+      List.iter
+        (fun (c : Srfa_core.Order_explorer.candidate) ->
+          Format.printf "%-14s %10d %12d@."
+            (String.concat " " c.Srfa_core.Order_explorer.loop_vars)
+            c.Srfa_core.Order_explorer.cycles
+            c.Srfa_core.Order_explorer.memory_cycles)
+        candidates
+  in
+  Cmd.v
+    (Cmd.info "orders"
+       ~doc:"Explore loop interchanges of a kernel under an allocator.")
+    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg)
+
+let main_cmd =
+  let doc =
+    "Register allocation in the presence of scalar replacement for \
+     fine-grain configurable architectures (DATE 2005 reproduction)."
+  in
+  Cmd.group
+    (Cmd.info "srfa" ~version:"1.0.0" ~doc)
+    [
+      kernels_cmd;
+      show_cmd;
+      compile_cmd;
+      alloc_cmd;
+      compare_cmd;
+      dfg_cmd;
+      cuts_cmd;
+      codegen_cmd;
+      sweep_cmd;
+      orders_cmd;
+      profile_cmd;
+      export_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

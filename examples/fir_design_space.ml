@@ -1,0 +1,73 @@
+(* Design-space exploration of the FIR filter: how does each allocation
+   algorithm trade registers for cycles and wall-clock time as the budget
+   grows? This is the workload class the paper's introduction motivates.
+
+   Run with: dune exec examples/fir_design_space.exe *)
+
+let budgets = [ 4; 8; 16; 24; 32; 48; 64; 96; 128 ]
+
+let explore ~taps ~samples =
+  Format.printf "@.## FIR, %d taps over %d samples@.@." taps samples;
+  let nest = Srfa_kernels.Kernels.fir ~taps ~samples () in
+  let analysis = Srfa_core.Flow.analyze nest in
+  let minimum = Srfa_core.Ordering.feasibility_minimum analysis in
+  let full = Srfa_reuse.Analysis.total_registers_full analysis in
+  Format.printf "feasibility minimum %d registers; full replacement %d@.@."
+    minimum full;
+  let table =
+    Srfa_util.Texttable.create
+      ~headers:
+        [
+          ("budget", Srfa_util.Texttable.Right);
+          ("v1 time us", Srfa_util.Texttable.Right);
+          ("v2 time us", Srfa_util.Texttable.Right);
+          ("v3 time us", Srfa_util.Texttable.Right);
+          ("v3 regs", Srfa_util.Texttable.Right);
+          ("v3 vs v1", Srfa_util.Texttable.Right);
+        ]
+  in
+  let explore_budget budget =
+    if budget >= minimum then begin
+      let config =
+        { Srfa_core.Flow.default_config with Srfa_core.Flow.budget }
+      in
+      let time alg =
+        Srfa_core.Flow.evaluate ~config alg nest
+      in
+      let v1 = time Srfa_core.Allocator.Fr_ra in
+      let v2 = time Srfa_core.Allocator.Pr_ra in
+      let v3 = time Srfa_core.Allocator.Cpa_ra in
+      Srfa_util.Texttable.add_row table
+        [
+          string_of_int budget;
+          Printf.sprintf "%.1f" v1.Srfa_estimate.Report.exec_time_us;
+          Printf.sprintf "%.1f" v2.Srfa_estimate.Report.exec_time_us;
+          Printf.sprintf "%.1f" v3.Srfa_estimate.Report.exec_time_us;
+          string_of_int v3.Srfa_estimate.Report.total_registers;
+          Printf.sprintf "%.2fx" (Srfa_estimate.Report.speedup ~base:v1 v3);
+        ]
+    end
+  in
+  List.iter explore_budget budgets;
+  Srfa_util.Texttable.print table
+
+let () =
+  explore ~taps:32 ~samples:1024;
+  explore ~taps:64 ~samples:1024;
+  (* A decimating variant: partial reuse on the input window is much less
+     profitable because consecutive outputs share fewer samples. *)
+  Format.printf
+    "@.## Decimating FIR (64 taps, decimation 4): the case where PR-RA's \
+     extra registers buy nothing@.@.";
+  let nest = Srfa_kernels.Kernels.dec_fir () in
+  let reports = Srfa_core.Flow.evaluate_all nest in
+  let base = List.hd reports in
+  List.iter
+    (fun r ->
+      Format.printf
+        "  %s (%s): %d registers, %d cycles, %.1f us (speedup %.2fx)@."
+        r.Srfa_estimate.Report.version r.Srfa_estimate.Report.algorithm
+        r.Srfa_estimate.Report.total_registers r.Srfa_estimate.Report.cycles
+        r.Srfa_estimate.Report.exec_time_us
+        (Srfa_estimate.Report.speedup ~base r))
+    reports

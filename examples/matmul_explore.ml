@@ -1,0 +1,83 @@
+(* Matrix multiply under the four allocators, plus two ablations:
+   - the exact knapsack shows that maximising eliminated accesses is not
+     the same as minimising cycles (the paper's central argument);
+   - the single-bank memory model shows how much of every allocator's gain
+     rides on the paper's distinct-RAM concurrency assumption.
+
+   Run with: dune exec examples/matmul_explore.exe *)
+
+let evaluate ~ram_policy ~budget nest alg =
+  let sim =
+    { Srfa_sched.Simulator.default_config with
+      Srfa_sched.Simulator.ram_policy }
+  in
+  let config =
+    { Srfa_core.Flow.default_config with Srfa_core.Flow.budget; sim }
+  in
+  Srfa_core.Flow.evaluate ~config alg nest
+
+let () =
+  let nest = Srfa_kernels.Kernels.mat () in
+  let budget = 64 in
+
+  Format.printf "## MAT 32x32, budget %d@.@." budget;
+  let table =
+    Srfa_util.Texttable.create
+      ~headers:
+        [
+          ("algorithm", Srfa_util.Texttable.Left);
+          ("regs", Srfa_util.Texttable.Right);
+          ("ram accesses", Srfa_util.Texttable.Right);
+          ("cycles", Srfa_util.Texttable.Right);
+          ("cycles (1 bank)", Srfa_util.Texttable.Right);
+          ("concurrency gain", Srfa_util.Texttable.Right);
+        ]
+  in
+  let row alg =
+    let r =
+      evaluate ~ram_policy:Srfa_sched.Simulator.Private_banks ~budget nest alg
+    in
+    let r1 =
+      evaluate ~ram_policy:Srfa_sched.Simulator.Single_bank ~budget nest alg
+    in
+    Srfa_util.Texttable.add_row table
+      [
+        r.Srfa_estimate.Report.algorithm;
+        string_of_int r.Srfa_estimate.Report.total_registers;
+        string_of_int r.Srfa_estimate.Report.ram_accesses;
+        string_of_int r.Srfa_estimate.Report.cycles;
+        string_of_int r1.Srfa_estimate.Report.cycles;
+        Printf.sprintf "%.2fx"
+          (float_of_int r1.Srfa_estimate.Report.cycles
+          /. float_of_int r.Srfa_estimate.Report.cycles);
+      ]
+  in
+  List.iter row Srfa_core.Allocator.all;
+  Srfa_util.Texttable.print table;
+
+  (* The knapsack-vs-CPA contrast: same or more accesses eliminated can
+     still mean more cycles when the leftovers sit on the critical path. *)
+  Format.printf
+    "@.ks-ra eliminates at least as many RAM accesses as any greedy \
+     allocator, yet cpa-ra can finish in fewer cycles: eliminated accesses \
+     off the critical path do not shorten the schedule.@.";
+
+  (* Size sensitivity: bigger matrices widen the reuse windows, pushing
+     full replacement of b out of reach and growing the gap between the
+     access-count objective and the cycle objective. *)
+  Format.printf "@.## size sweep (cpa-ra vs fr-ra cycles)@.@.";
+  List.iter
+    (fun size ->
+      let nest = Srfa_kernels.Kernels.mat ~size () in
+      let v1 =
+        evaluate ~ram_policy:Srfa_sched.Simulator.Private_banks ~budget nest
+          Srfa_core.Allocator.Fr_ra
+      in
+      let v3 =
+        evaluate ~ram_policy:Srfa_sched.Simulator.Private_banks ~budget nest
+          Srfa_core.Allocator.Cpa_ra
+      in
+      Format.printf "  %3dx%-3d  v1 %9d cycles   v3 %9d cycles  (%.1f%%)@."
+        size size v1.Srfa_estimate.Report.cycles v3.Srfa_estimate.Report.cycles
+        (Srfa_estimate.Report.cycle_reduction_pct ~base:v1 v3))
+    [ 8; 16; 24; 32; 48 ]

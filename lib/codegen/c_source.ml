@@ -1,0 +1,278 @@
+open Srfa_ir
+open Srfa_reuse
+
+(* Rendering helpers. Rank expressions and index expressions are emitted as
+   plain C integer arithmetic over the loop variables; variables listed in
+   [zero] are substituted by 0 (used in prologue loops where the
+   non-appearing inner levels are pinned). *)
+
+let affine_to_c ?(zero = []) ix =
+  let terms =
+    List.filter (fun (v, _) -> not (List.mem v zero)) (Affine.coeffs ix)
+  in
+  let buf = Buffer.create 32 in
+  let emit_term first (v, c) =
+    if c >= 0 && not first then Buffer.add_string buf " + ";
+    if c < 0 then Buffer.add_string buf (if first then "-" else " - ");
+    let c = abs c in
+    if c = 1 then Buffer.add_string buf v
+    else Buffer.add_string buf (Printf.sprintf "%d*%s" c v);
+    false
+  in
+  let first = List.fold_left emit_term true terms in
+  let k = Affine.constant ix in
+  if first then Buffer.add_string buf (string_of_int k)
+  else if k > 0 then Buffer.add_string buf (Printf.sprintf " + %d" k)
+  else if k < 0 then Buffer.add_string buf (Printf.sprintf " - %d" (-k));
+  Buffer.contents buf
+
+let rank_to_c ~vars ?(zero = []) coeffs =
+  let acc = ref (Affine.const 0) in
+  Array.iteri
+    (fun l c ->
+      if c <> 0 && not (List.mem vars.(l) zero) then
+        acc := Affine.add !acc (Affine.var ~coeff:c vars.(l)))
+    coeffs;
+  affine_to_c !acc
+
+let ref_to_c ?zero (r : Expr.ref_) =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf r.Expr.decl.Decl.name;
+  List.iter
+    (fun ix -> Buffer.add_string buf (Printf.sprintf "[%s]" (affine_to_c ?zero ix)))
+    r.Expr.index;
+  Buffer.contents buf
+
+let win_name (g : Group.t) = Printf.sprintf "win_%s_%d" (Group.decl g).Decl.name g.Group.id
+
+type group_plan = {
+  info : Analysis.info;
+  group : Group.t;
+  access : Plan.access;
+  needs_prologue : bool;
+  needs_writeback : bool;
+}
+
+let group_plans plan =
+  let alloc = plan.Plan.allocation in
+  let analysis = alloc.Allocation.analysis in
+  let build gid =
+    let info = Analysis.info analysis gid in
+    {
+      info;
+      group = info.Analysis.group;
+      access = Plan.access plan gid;
+      needs_prologue = Plan.needs_prologue plan gid;
+      needs_writeback = Plan.needs_writeback plan gid;
+    }
+  in
+  List.map build (List.init (Analysis.num_groups analysis) Fun.id)
+
+let emit plan =
+  let alloc = plan.Plan.allocation in
+  let analysis = alloc.Allocation.analysis in
+  let nest = analysis.Analysis.nest in
+  let vars = Array.of_list (Nest.loop_vars nest) in
+  let counts = Array.of_list (Nest.trip_counts nest) in
+  let depth = Array.length vars in
+  let plans = group_plans plan in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let pad n = String.make (2 * n) ' ' in
+  out "/* kernel %s: scalar-replaced by %s under a budget of %d registers.\n"
+    nest.Nest.name alloc.Allocation.algorithm alloc.Allocation.budget;
+  out "   Generated; window registers follow the paper's peeling scheme. */\n\n";
+  let emit_decl (d : Decl.t) =
+    let dims = String.concat "" (List.map (Printf.sprintf "[%d]") d.Decl.dims) in
+    out "int %s%s; /* %s, %d bits */\n" d.Decl.name dims
+      (match d.Decl.storage with
+      | Decl.Input -> "input"
+      | Decl.Output -> "output"
+      | Decl.Local -> "local")
+      d.Decl.bits
+  in
+  List.iter emit_decl nest.Nest.arrays;
+  out "\nvoid %s(void)\n{\n" (String.map (function '-' -> '_' | c -> c) nest.Nest.name);
+  (* Window register declarations. *)
+  let emit_window gp =
+    match gp.access with
+    | Plan.Window_full { beta; _ } | Plan.Window_partial { beta; _ } ->
+      out "%sint %s[%d]; /* window of %s (slot rank < %d) */\n" (pad 1)
+        (win_name gp.group) beta
+        (Group.name gp.group) beta
+    | Plan.Ram_always | Plan.Window_opaque _ -> ()
+  in
+  List.iter emit_window plans;
+  (* One prologue/epilogue loop nest over the window's appearing levels. *)
+  let window_edge ~load level gp =
+    match gp.access with
+    | Plan.Ram_always | Plan.Window_opaque _ -> ()
+    | Plan.Window_full { beta; rank_coeffs }
+    | Plan.Window_partial { beta; rank_coeffs } ->
+      if gp.info.Analysis.window_level = level
+         && (if load then gp.needs_prologue else gp.needs_writeback)
+      then begin
+        let appearing =
+          List.filter
+            (fun l -> rank_coeffs.(l) <> 0)
+            (List.init depth Fun.id)
+        in
+        let zero =
+          List.filter_map
+            (fun l ->
+              if l >= level && rank_coeffs.(l) = 0 then Some vars.(l) else None)
+            (List.init depth Fun.id)
+        in
+        let d = ref level in
+        out "%s/* %s %s window */\n" (pad (level + 1))
+          (if load then "load" else "write back")
+          (Group.name gp.group);
+        List.iter
+          (fun l ->
+            out "%sfor (int %s = 0; %s < %d; %s++)\n" (pad (!d + 1)) vars.(l)
+              vars.(l) counts.(l) vars.(l);
+            incr d)
+          appearing;
+        let rank = rank_to_c ~vars rank_coeffs in
+        let guard =
+          match gp.access with
+          | Plan.Window_partial _ -> Printf.sprintf "if (%s < %d) " rank beta
+          | Plan.Window_full _ | Plan.Ram_always | Plan.Window_opaque _ -> ""
+        in
+        let mem = ref_to_c ~zero gp.group.Group.ref_ in
+        if load then
+          out "%s%s%s[%s] = %s;\n" (pad (!d + 1)) guard (win_name gp.group) rank mem
+        else
+          out "%s%s%s = %s[%s];\n" (pad (!d + 1)) guard mem (win_name gp.group) rank
+      end
+  in
+  (* Body statements with register/RAM steering. *)
+  let access_text gp =
+    match gp.access with
+    | Plan.Ram_always | Plan.Window_opaque _ -> ref_to_c gp.group.Group.ref_
+    | Plan.Window_full { rank_coeffs; _ } ->
+      Printf.sprintf "%s[%s]" (win_name gp.group) (rank_to_c ~vars rank_coeffs)
+    | Plan.Window_partial { beta; rank_coeffs } ->
+      let rank = rank_to_c ~vars rank_coeffs in
+      Printf.sprintf "(%s < %d ? %s[%s] : %s)" rank beta (win_name gp.group)
+        rank (ref_to_c gp.group.Group.ref_)
+  in
+  let plan_of r =
+    List.find (fun gp -> Expr.ref_equal gp.group.Group.ref_ r) plans
+  in
+  let rec expr_text (e : Expr.t) =
+    match e with
+    | Expr.Const c -> string_of_int c
+    | Expr.Load r -> access_text (plan_of r)
+    | Expr.Unary (op, a) ->
+      let s = expr_text a in
+      (match op with
+      | Op.Neg -> Printf.sprintf "(-%s)" s
+      | Op.Abs -> Printf.sprintf "abs(%s)" s
+      | Op.Bnot -> Printf.sprintf "(1 - %s)" s)
+    | Expr.Binary (op, a, b) ->
+      let sa = expr_text a and sb = expr_text b in
+      let infix sym = Printf.sprintf "(%s %s %s)" sa sym sb in
+      (match op with
+      | Op.Add -> infix "+"
+      | Op.Sub -> infix "-"
+      | Op.Mul -> infix "*"
+      | Op.Div -> infix "/"
+      | Op.Band -> infix "&"
+      | Op.Bor -> infix "|"
+      | Op.Bxor -> infix "^"
+      | Op.Eq -> Printf.sprintf "(%s == %s ? 1 : 0)" sa sb
+      | Op.Lt -> Printf.sprintf "(%s < %s ? 1 : 0)" sa sb
+      | Op.Min -> Printf.sprintf "(%s < %s ? %s : %s)" sa sb sa sb
+      | Op.Max -> Printf.sprintf "(%s > %s ? %s : %s)" sa sb sa sb)
+  in
+  let emit_store gp value =
+    match gp.access with
+    | Plan.Ram_always | Plan.Window_opaque _ ->
+      out "%s%s = %s;\n" (pad (depth + 1)) (ref_to_c gp.group.Group.ref_) value
+    | Plan.Window_full { rank_coeffs; _ } ->
+      out "%s%s[%s] = %s;\n" (pad (depth + 1)) (win_name gp.group)
+        (rank_to_c ~vars rank_coeffs) value
+    | Plan.Window_partial { beta; rank_coeffs } ->
+      let rank = rank_to_c ~vars rank_coeffs in
+      out "%sif (%s < %d) %s[%s] = %s; else %s = %s;\n" (pad (depth + 1)) rank
+        beta (win_name gp.group) rank value
+        (ref_to_c gp.group.Group.ref_)
+        value
+  in
+  (* The nest itself: open loops; at each level emit the prologues whose
+     window starts there. *)
+  for level = 0 to depth - 1 do
+    out "%sfor (int %s = 0; %s < %d; %s++) {\n" (pad (level + 1)) vars.(level)
+      vars.(level) counts.(level) vars.(level);
+    (* Windows of loop [level+1] reload at each of its iterations. *)
+    List.iter (window_edge ~load:true (level + 1)) plans
+  done;
+  let emit_stmt (Expr.Assign (target, e)) =
+    let value = expr_text e in
+    emit_store (plan_of target) value
+  in
+  List.iter emit_stmt nest.Nest.body;
+  for level = depth - 1 downto 0 do
+    List.iter (window_edge ~load:false (level + 1)) plans;
+    out "%s}\n" (pad (level + 1))
+  done;
+  out "}\n";
+  Buffer.contents buf
+
+(* The deterministic input pattern shared with the OCaml test oracle
+   (Helpers.init): fold (acc * 31 + coord + 7) from 3, mod 251, minus 125. *)
+let emit_standalone plan =
+  let alloc = plan.Plan.allocation in
+  let analysis = alloc.Allocation.analysis in
+  let nest = analysis.Analysis.nest in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "#include <stdio.h>\n#include <stdlib.h>\n\n";
+  Buffer.add_string buf (emit plan);
+  out "\nint main(void)\n{\n";
+  let fn_name = String.map (function '-' -> '_' | c -> c) nest.Nest.name in
+  let loop_over (d : Decl.t) body =
+    let vars = List.mapi (fun k _ -> Printf.sprintf "i%d" k) d.Decl.dims in
+    List.iteri
+      (fun k extent ->
+        out "%sfor (int i%d = 0; i%d < %d; i%d++)\n"
+          (String.make (2 * (k + 1)) ' ')
+          k k extent k)
+      d.Decl.dims;
+    body vars (String.make (2 * (List.length d.Decl.dims + 1)) ' ')
+  in
+  let init_array (d : Decl.t) =
+    match d.Decl.storage with
+    | Decl.Input ->
+      out "  /* init %s */\n" d.Decl.name;
+      if d.Decl.dims = [] then out "  %s = 3 %% 251 - 125;\n" d.Decl.name
+      else
+        loop_over d (fun vars pad ->
+            let acc =
+              List.fold_left
+                (fun acc v -> Printf.sprintf "(%s * 31 + %s + 7)" acc v)
+                "3" vars
+            in
+            out "%s%s%s = %s %% 251 - 125;\n" pad d.Decl.name
+              (String.concat ""
+                 (List.map (Printf.sprintf "[%s]") vars))
+              acc)
+    | Decl.Output | Decl.Local -> ()
+  in
+  List.iter init_array nest.Nest.arrays;
+  out "\n  %s();\n\n" fn_name;
+  let print_array (d : Decl.t) =
+    match d.Decl.storage with
+    | Decl.Output ->
+      out "  /* dump %s */\n" d.Decl.name;
+      if d.Decl.dims = [] then out "  printf(\"%%d\\n\", %s);\n" d.Decl.name
+      else
+        loop_over d (fun vars pad ->
+            out "%sprintf(\"%%d\\n\", %s%s);\n" pad d.Decl.name
+              (String.concat "" (List.map (Printf.sprintf "[%s]") vars)))
+    | Decl.Input | Decl.Local -> ()
+  in
+  List.iter print_array nest.Nest.arrays;
+  out "  return 0;\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Scalar-replaced C rendering of a kernel.
+
+    Emits the transformed source the paper produced by hand before HLS:
+    window register declarations, peeled prologue loads at each window
+    entry, a steady-state body that reads registers when the slot-rank
+    condition holds, and writeback epilogues for written windows. The
+    output is legal C (modulo the array parameters being globals) and is
+    primarily documentation: the semantics oracle for the transform is
+    {!Exec_check}. *)
+
+open Srfa_ir
+open Srfa_reuse
+
+val emit : Plan.t -> string
+
+val emit_standalone : Plan.t -> string
+(** A complete compilable program: the transformed kernel plus a [main]
+    that fills every input array with a deterministic pattern (the same
+    one the test suite's interpreter oracle uses), runs the kernel, and
+    prints each output array element in row-major order, one per line.
+    The differential test compiles this with the system C compiler and
+    compares the process output against {!Srfa_ir.Interp}. *)
+
+(** {2 Shared helpers}
+
+    The VHDL backend mirrors this emitter's structure and reuses its
+    per-group plan records and affine rendering. *)
+
+type group_plan = {
+  info : Analysis.info;
+  group : Group.t;
+  access : Plan.access;
+  needs_prologue : bool;
+  needs_writeback : bool;
+}
+
+val group_plans : Plan.t -> group_plan list
+(** One record per group, in group-id order. *)
+
+val affine_to_c : ?zero:string list -> Affine.t -> string
+(** Renders an affine expression as integer arithmetic; variables in
+    [zero] are substituted by 0. *)

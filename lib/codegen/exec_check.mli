@@ -1,0 +1,17 @@
+(** Executable semantics of the scalar-replaced program.
+
+    Runs the plan the way the generated code would — window registers,
+    peeled prologue loads at window entries, rank-steered accesses in the
+    steady state, writebacks at window exits — against a concrete store.
+    This is the transform's correctness oracle: for every allocation the
+    result must equal the untransformed {!Srfa_ir.Interp} run. *)
+
+open Srfa_ir
+
+val run : Plan.t -> init:(string -> int array -> int) -> Interp.store
+(** Fresh store, [Input] arrays initialised with [init], transformed
+    program executed. *)
+
+val equivalent : Plan.t -> init:(string -> int array -> int) -> bool
+(** Whether the transformed execution leaves every [Output] array equal to
+    the reference interpreter's result. *)

@@ -1,0 +1,298 @@
+open Srfa_ir
+open Srfa_reuse
+
+(* The paper's intermediate artifact is *behavioral* VHDL (transformed C
+   hand-translated before Monet HLS). The emitter mirrors C_source: loops
+   become sequential for-loops in one process, arrays become variables a
+   synthesis tool maps to RAM blocks, window registers become variables it
+   maps to discrete registers. *)
+
+let entity_name plan =
+  let nest =
+    plan.Plan.allocation.Allocation.analysis.Analysis.nest
+  in
+  String.map (function '-' -> '_' | c -> c) nest.Nest.name
+
+let vhdl_affine ?(zero = []) ix =
+  C_source.affine_to_c ~zero ix
+
+let emit plan =
+  let alloc = plan.Plan.allocation in
+  let analysis = alloc.Allocation.analysis in
+  let nest = analysis.Analysis.nest in
+  let vars = Array.of_list (Nest.loop_vars nest) in
+  let counts = Array.of_list (Nest.trip_counts nest) in
+  let depth = Array.length vars in
+  let name = entity_name plan in
+  let buf = Buffer.create 8192 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let pad n = String.make (2 * n) ' ' in
+  let plans = C_source.group_plans plan in
+  let plan_of r =
+    List.find
+      (fun (gp : C_source.group_plan) ->
+        Expr.ref_equal gp.C_source.group.Group.ref_ r)
+      plans
+  in
+  let win (g : Group.t) =
+    Printf.sprintf "win_%s_%d" (Group.decl g).Decl.name g.Group.id
+  in
+  (* Arrays are flattened to one dimension; the linearised index expression
+     is shared with the analysis. *)
+  let mem_index ?zero (r : Expr.ref_) =
+    let dims = Array.of_list r.Expr.decl.Decl.dims in
+    let stride = Array.make (Array.length dims) 1 in
+    for d = Array.length dims - 2 downto 0 do
+      stride.(d) <- stride.(d + 1) * dims.(d + 1)
+    done;
+    let acc = ref (Affine.const 0) in
+    List.iteri
+      (fun d ix -> acc := Affine.add !acc (Affine.scale stride.(d) ix))
+      r.Expr.index;
+    vhdl_affine ?zero !acc
+  in
+  let mem_ref ?zero (r : Expr.ref_) =
+    Printf.sprintf "mem_%s(%s)" r.Expr.decl.Decl.name (mem_index ?zero r)
+  in
+  let rank_text (gp : C_source.group_plan) =
+    match gp.C_source.access with
+    | Plan.Window_full { rank_coeffs; _ } | Plan.Window_partial { rank_coeffs; _ }
+      ->
+      let acc = ref (Affine.const 0) in
+      Array.iteri
+        (fun l c -> if c <> 0 then acc := Affine.add !acc (Affine.var ~coeff:c vars.(l)))
+        rank_coeffs;
+      vhdl_affine !acc
+    | Plan.Ram_always | Plan.Window_opaque _ -> "0"
+  in
+  out "-- Kernel %s, scalar replaced by %s under a budget of %d registers.\n"
+    nest.Nest.name alloc.Allocation.algorithm alloc.Allocation.budget;
+  out "-- Behavioral VHDL in the style of the paper's pre-HLS artifact:\n";
+  out "-- arrays map to RAM blocks, window variables map to registers.\n";
+  out "library ieee;\nuse ieee.std_logic_1164.all;\n\n";
+  out "entity %s is\n  port (\n    clk   : in  std_logic;\n" name;
+  out "    start : in  std_logic;\n    done  : out std_logic\n  );\nend entity %s;\n\n"
+    name;
+  out "architecture behavioral of %s is\n" name;
+  let emit_array_type (d : Decl.t) =
+    out "  type %s_t is array (0 to %d) of integer; -- %d-bit elements\n"
+      d.Decl.name
+      (Decl.elements d - 1)
+      d.Decl.bits
+  in
+  List.iter emit_array_type nest.Nest.arrays;
+  let emit_win_decl (gp : C_source.group_plan) =
+    match gp.C_source.access with
+    | Plan.Window_full { beta; _ } | Plan.Window_partial { beta; _ } ->
+      out "  type %s_t is array (0 to %d) of integer;\n" (win gp.C_source.group)
+        (beta - 1)
+    | Plan.Ram_always | Plan.Window_opaque _ -> ()
+  in
+  List.iter emit_win_decl plans;
+  out "\n";
+  out "  function b2i(c : boolean) return integer is\n";
+  out "  begin if c then return 1; else return 0; end if; end;\n";
+  out "  function pick(c : boolean; a : integer; b : integer) return integer is\n";
+  out "  begin if c then return a; else return b; end if; end;\n";
+  out "  function imin(a : integer; b : integer) return integer is\n";
+  out "  begin if a < b then return a; else return b; end if; end;\n";
+  out "  function imax(a : integer; b : integer) return integer is\n";
+  out "  begin if a > b then return a; else return b; end if; end;\n";
+  out "  function band(a : integer; b : integer) return integer is\n";
+  out "  begin return b2i(a /= 0 and b /= 0); end;\n";
+  out "  function bor(a : integer; b : integer) return integer is\n";
+  out "  begin return b2i(a /= 0 or b /= 0); end;\n";
+  out "  function bxor(a : integer; b : integer) return integer is\n";
+  out "  begin return b2i((a /= 0) /= (b /= 0)); end;\n";
+  out "begin\n\n  main : process\n";
+  let emit_mem_var (d : Decl.t) =
+    out "    variable mem_%s : %s_t; -- map to %s\n" d.Decl.name d.Decl.name
+      (match d.Decl.storage with
+      | Decl.Input | Decl.Output -> "RAM block(s)"
+      | Decl.Local -> "RAM or wires")
+  in
+  List.iter emit_mem_var nest.Nest.arrays;
+  let emit_win_var (gp : C_source.group_plan) =
+    match gp.C_source.access with
+    | Plan.Window_full { beta; _ } | Plan.Window_partial { beta; _ } ->
+      out "    variable %s : %s_t; -- window registers (%d)\n"
+        (win gp.C_source.group)
+        (win gp.C_source.group)
+        beta
+    | Plan.Ram_always | Plan.Window_opaque _ -> ()
+  in
+  List.iter emit_win_var plans;
+  List.iter
+    (fun (Expr.Assign (target, _)) ->
+      let gp = plan_of target in
+      out "    variable v_%d : integer; -- %s\n" gp.C_source.group.Group.id
+        (Group.name gp.C_source.group))
+    nest.Nest.body;
+  out "  begin\n    done <= '0';\n";
+  out "    wait until rising_edge(clk) and start = '1';\n\n";
+  (* Expression rendering, reading windows or memory. *)
+  let access_text (gp : C_source.group_plan) =
+    match gp.C_source.access with
+    | Plan.Ram_always | Plan.Window_opaque _ ->
+      mem_ref gp.C_source.group.Group.ref_
+    | Plan.Window_full _ ->
+      Printf.sprintf "%s(%s)" (win gp.C_source.group) (rank_text gp)
+    | Plan.Window_partial { beta; _ } ->
+      (* VHDL has no conditional expression pre-2008 in this position; a
+         helper function keeps the body readable. *)
+      Printf.sprintf "pick(%s < %d, %s(%s), %s)" (rank_text gp) beta
+        (win gp.C_source.group) (rank_text gp)
+        (mem_ref gp.C_source.group.Group.ref_)
+  in
+  let rec expr_text (e : Expr.t) =
+    match e with
+    | Expr.Const c -> string_of_int c
+    | Expr.Load r -> access_text (plan_of r)
+    | Expr.Unary (op, a) ->
+      let s = expr_text a in
+      (match op with
+      | Op.Neg -> Printf.sprintf "(-%s)" s
+      | Op.Abs -> Printf.sprintf "abs(%s)" s
+      | Op.Bnot -> Printf.sprintf "(1 - %s)" s)
+    | Expr.Binary (op, a, b) ->
+      let sa = expr_text a and sb = expr_text b in
+      let infix sym = Printf.sprintf "(%s %s %s)" sa sym sb in
+      (match op with
+      | Op.Add -> infix "+"
+      | Op.Sub -> infix "-"
+      | Op.Mul -> infix "*"
+      | Op.Div -> infix "/"
+      | Op.Band -> Printf.sprintf "band(%s, %s)" sa sb
+      | Op.Bor -> Printf.sprintf "bor(%s, %s)" sa sb
+      | Op.Bxor -> Printf.sprintf "bxor(%s, %s)" sa sb
+      | Op.Eq -> Printf.sprintf "b2i(%s = %s)" sa sb
+      | Op.Lt -> Printf.sprintf "b2i(%s < %s)" sa sb
+      | Op.Min -> Printf.sprintf "imin(%s, %s)" sa sb
+      | Op.Max -> Printf.sprintf "imax(%s, %s)" sa sb)
+  in
+  (* Prologue / writeback loops at the window level, as in C_source. *)
+  let window_edge ~load level (gp : C_source.group_plan) =
+    match gp.C_source.access with
+    | Plan.Ram_always | Plan.Window_opaque _ -> ()
+    | Plan.Window_full { beta; rank_coeffs }
+    | Plan.Window_partial { beta; rank_coeffs } ->
+      if gp.C_source.info.Analysis.window_level = level
+         && (if load then gp.C_source.needs_prologue
+             else gp.C_source.needs_writeback)
+      then begin
+        let appearing =
+          List.filter (fun l -> rank_coeffs.(l) <> 0) (List.init depth Fun.id)
+        in
+        let zero =
+          List.filter_map
+            (fun l ->
+              if l >= level && rank_coeffs.(l) = 0 then Some vars.(l) else None)
+            (List.init depth Fun.id)
+        in
+        let d = ref level in
+        out "%s-- %s %s window\n" (pad (!d + 2))
+          (if load then "load" else "write back")
+          (Group.name gp.C_source.group);
+        List.iter
+          (fun l ->
+            out "%sfor %s in 0 to %d loop\n" (pad (!d + 2)) vars.(l)
+              (counts.(l) - 1);
+            incr d)
+          appearing;
+        let rank = rank_text gp in
+        let partial =
+          match gp.C_source.access with
+          | Plan.Window_partial _ -> true
+          | Plan.Window_full _ | Plan.Ram_always | Plan.Window_opaque _ ->
+            false
+        in
+        if partial then begin
+          out "%sif %s < %d then\n" (pad (!d + 2)) rank beta;
+          incr d
+        end;
+        let mem = mem_ref ~zero gp.C_source.group.Group.ref_ in
+        if load then
+          out "%s%s(%s) := %s;\n" (pad (!d + 2)) (win gp.C_source.group) rank mem
+        else
+          out "%s%s := %s(%s);\n" (pad (!d + 2)) mem (win gp.C_source.group) rank;
+        if partial then begin
+          decr d;
+          out "%send if;\n" (pad (!d + 2))
+        end;
+        List.iter
+          (fun _ ->
+            decr d;
+            out "%send loop;\n" (pad (!d + 2)))
+          appearing
+      end
+  in
+  for level = 0 to depth - 1 do
+    out "%sfor %s in 0 to %d loop\n" (pad (level + 2)) vars.(level)
+      (counts.(level) - 1);
+    List.iter (window_edge ~load:true (level + 1)) plans
+  done;
+  let stmt_index = ref 0 in
+  let emit_stmt (Expr.Assign (target, e)) =
+    incr stmt_index;
+    let gp = plan_of target in
+    let v = Printf.sprintf "v_%d" gp.C_source.group.Group.id in
+    out "%s%s := %s;\n" (pad (depth + 2)) v (expr_text e);
+    match gp.C_source.access with
+    | Plan.Ram_always | Plan.Window_opaque _ ->
+      out "%s%s := %s;\n" (pad (depth + 2)) (mem_ref target) v
+    | Plan.Window_full _ ->
+      out "%s%s(%s) := %s;\n" (pad (depth + 2)) (win gp.C_source.group)
+        (rank_text gp) v
+    | Plan.Window_partial { beta; _ } ->
+      out "%sif %s < %d then %s(%s) := %s; else %s := %s; end if;\n"
+        (pad (depth + 2)) (rank_text gp) beta (win gp.C_source.group)
+        (rank_text gp) v (mem_ref target) v
+  in
+  List.iter emit_stmt nest.Nest.body;
+  out "%swait until rising_edge(clk); -- one body iteration\n" (pad (depth + 2));
+  for level = depth - 1 downto 0 do
+    List.iter (window_edge ~load:false (level + 1)) plans;
+    out "%send loop;\n" (pad (level + 2))
+  done;
+  out "\n    done <= '1';\n    wait;\n  end process main;\n\nend architecture behavioral;\n";
+  Buffer.contents buf
+
+let emit_testbench plan =
+  let name = entity_name plan in
+  let nest =
+    plan.Plan.allocation.Srfa_reuse.Allocation.analysis.Srfa_reuse.Analysis.nest
+  in
+  let iterations = Nest.iterations nest in
+  (* Generous bound: every iteration could serialise all of its accesses. *)
+  let timeout_cycles = (iterations * 16) + 1000 in
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "-- Self-checking testbench for %s (generated).\n" name;
+  out "library ieee;\nuse ieee.std_logic_1164.all;\n\n";
+  out "entity %s_tb is\nend entity %s_tb;\n\n" name name;
+  out "architecture sim of %s_tb is\n" name;
+  out "  signal clk   : std_logic := '0';\n";
+  out "  signal start : std_logic := '0';\n";
+  out "  signal done  : std_logic;\n";
+  out "begin\n\n";
+  out "  clk <= not clk after 20 ns; -- 25 MHz\n\n";
+  out "  dut : entity work.%s\n    port map (clk => clk, start => start, done => done);\n\n"
+    name;
+  out "  stimulus : process\n  begin\n";
+  out "    wait for 100 ns;\n";
+  out "    start <= '1';\n";
+  out "    wait until rising_edge(clk);\n";
+  out "    start <= '0';\n";
+  out "    -- %d body iterations; fail if the design never finishes.\n"
+    iterations;
+  out "    for t in 0 to %d loop\n" timeout_cycles;
+  out "      exit when done = '1';\n";
+  out "      wait until rising_edge(clk);\n";
+  out "    end loop;\n";
+  out "    assert done = '1'\n";
+  out "      report \"%s did not complete within %d cycles\" severity failure;\n"
+    name timeout_cycles;
+  out "    report \"%s completed\" severity note;\n" name;
+  out "    wait;\n";
+  out "  end process stimulus;\n\nend architecture sim;\n";
+  Buffer.contents buf

@@ -1,0 +1,24 @@
+(** Behavioral VHDL backend.
+
+    Emits one entity per kernel design: loop counters as an FSM, window
+    registers as signal arrays, RAM-backed arrays as synchronous
+    single-cycle memory interfaces (one address/data port pair per array,
+    matching the paper's one-array-per-BlockRAM mapping), and the
+    rank-steered register/RAM multiplexing the allocation implies.
+
+    The paper's flow synthesised Monet-generated structural VHDL with
+    Synplify + ISE; here the emitted text stands in for that artefact —
+    it is deterministic, human-readable, and exercised by structural
+    well-formedness tests rather than a synthesis tool (none ships in this
+    environment). *)
+
+val emit : Plan.t -> string
+(** VHDL source of the design. *)
+
+val emit_testbench : Plan.t -> string
+(** A self-checking testbench: instantiates the entity, drives a 40 ns
+    clock, pulses [start], and waits for [done] with a generous timeout.
+    Paired with {!emit} this gives a simulation-ready pair of files. *)
+
+val entity_name : Plan.t -> string
+(** The VHDL-identifier form of the kernel name. *)

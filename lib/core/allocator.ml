@@ -1,0 +1,33 @@
+type algorithm = Fr_ra | Pr_ra | Cpa_ra | Cpa_plus | Knapsack
+
+let all = [ Fr_ra; Pr_ra; Cpa_ra; Cpa_plus; Knapsack ]
+
+let name = function
+  | Fr_ra -> "fr-ra"
+  | Pr_ra -> "pr-ra"
+  | Cpa_ra -> "cpa-ra"
+  | Cpa_plus -> "cpa-ra+"
+  | Knapsack -> "ks-ra"
+
+let version_label = function
+  | Fr_ra -> "v1"
+  | Pr_ra -> "v2"
+  | Cpa_ra -> "v3"
+  | Cpa_plus -> "v3+"
+  | Knapsack -> "ks"
+
+let of_name = function
+  | "fr-ra" | "fr" -> Some Fr_ra
+  | "pr-ra" | "pr" -> Some Pr_ra
+  | "cpa-ra" | "cpa" -> Some Cpa_ra
+  | "cpa-ra+" | "cpa+" -> Some Cpa_plus
+  | "ks-ra" | "ks" | "knapsack" -> Some Knapsack
+  | _ -> None
+
+let run ?latency algorithm analysis ~budget =
+  match algorithm with
+  | Fr_ra -> Fr_ra.allocate analysis ~budget
+  | Pr_ra -> Pr_ra.allocate analysis ~budget
+  | Cpa_ra -> Cpa_ra.allocate ?latency analysis ~budget
+  | Cpa_plus -> Cpa_ra.allocate ?latency ~spend_leftover:true analysis ~budget
+  | Knapsack -> Knapsack.allocate analysis ~budget

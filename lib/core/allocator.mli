@@ -1,0 +1,26 @@
+(** Uniform entry point over the allocation algorithms. *)
+
+open Srfa_reuse
+
+type algorithm =
+  | Fr_ra     (** greedy, full reuse only (paper v1) *)
+  | Pr_ra     (** greedy with partial leftover (paper v2) *)
+  | Cpa_ra    (** critical-path-aware (paper v3, the contribution) *)
+  | Cpa_plus  (** CPA-RA + benefit/cost spending of stranded registers
+                  (our extension; see {!Cpa_ra.allocate}) *)
+  | Knapsack  (** exact access-count optimum (our reference baseline) *)
+
+val all : algorithm list
+val name : algorithm -> string
+val version_label : algorithm -> string
+(** The paper's design labels: v1, v2, v3; our extensions get "v3+" and
+    "ks". *)
+
+val of_name : string -> algorithm option
+(** Accepts the {!name} strings, e.g. ["cpa-ra"]. *)
+
+val run :
+  ?latency:Srfa_hw.Latency.t -> algorithm -> Analysis.t -> budget:int ->
+  Allocation.t
+(** @raise Invalid_argument when the budget is below one register per
+    reference group. *)

@@ -1,0 +1,130 @@
+open Srfa_reuse
+module Graph = Srfa_dfg.Graph
+module Critical = Srfa_dfg.Critical
+module Cut = Srfa_dfg.Cut
+
+type trace_step = {
+  cut : Group.t list;
+  required : int;
+  granted_full : bool;
+  critical_length : int;
+}
+
+let allocate_traced ?(latency = Srfa_hw.Latency.default)
+    ?(spend_leftover = false) analysis ~budget =
+  Ordering.check_budget analysis ~budget;
+  let ngroups = Analysis.num_groups analysis in
+  let betas = Array.make ngroups 1 in
+  let remaining = ref (budget - ngroups) in
+  let dfg = Graph.build analysis in
+  let info gid = Analysis.info analysis gid in
+  (* Steady-state view: a group stops hitting RAM once its reuse window is
+     fully covered; groups without reuse always hit RAM. *)
+  let charged (g : Group.t) =
+    let i = info g.Group.id in
+    (not i.Analysis.has_reuse) || betas.(g.Group.id) < i.Analysis.nu
+  in
+  let improvable (g : Group.t) =
+    let i = info g.Group.id in
+    i.Analysis.has_reuse && betas.(g.Group.id) < i.Analysis.nu
+  in
+  let required cut =
+    let need g = (info g.Group.id).Analysis.nu - betas.(g.Group.id) in
+    List.fold_left (fun acc g -> acc + need g) 0 cut
+  in
+  let trace = ref [] in
+  let rec round () =
+    if !remaining > 0 then begin
+      let cg = Critical.make dfg ~latency ~charged in
+      let mem_len = Graph.memory_path_length dfg ~latency ~charged in
+      if mem_len > 0 then begin
+        let cuts = Cut.enumerate cg in
+        let eligible =
+          List.filter (fun cut -> List.for_all improvable cut) cuts
+        in
+        match eligible with
+        | [] -> ()
+        | _ :: _ ->
+          let best =
+            List.fold_left
+              (fun acc cut ->
+                match acc with
+                | None -> Some cut
+                | Some b -> if required cut < required b then Some cut else acc)
+              None eligible
+          in
+          let cut = Option.get best in
+          let req = required cut in
+          let len = Critical.length cg in
+          if req <= !remaining then begin
+            let fill g =
+              betas.(g.Group.id) <- (info g.Group.id).Analysis.nu
+            in
+            List.iter fill cut;
+            remaining := !remaining - req;
+            trace :=
+              { cut; required = req; granted_full = true; critical_length = len }
+              :: !trace;
+            round ()
+          end
+          else begin
+            (* Divide what is left evenly across the cut, so the covered
+               iterations improve on every critical path. Cut members cap
+               at their window size; if some of the budget could not be
+               absorbed, the paper's while-loop re-enters with it. *)
+            let share = !remaining / List.length cut in
+            let progressed = ref false in
+            if share > 0 then begin
+              let top_up g =
+                let i = info g.Group.id in
+                let gid = g.Group.id in
+                let before = betas.(gid) in
+                betas.(gid) <- min i.Analysis.nu (before + share);
+                remaining := !remaining - (betas.(gid) - before);
+                if betas.(gid) > before then progressed := true
+              in
+              List.iter top_up cut
+            end;
+            trace :=
+              { cut; required = req; granted_full = false; critical_length = len }
+              :: !trace;
+            if !progressed && !remaining > 0 then round ()
+            else if not !progressed then remaining := 0
+          end
+      end
+    end
+  in
+  round ();
+  (* CPA+: hand out anything still stranded in benefit/cost order — full
+     windows while they fit, then one partial candidate, like FR/PR do. *)
+  if spend_leftover then begin
+    let try_full (i : Analysis.info) =
+      let gid = i.Analysis.group.Group.id in
+      let need = i.Analysis.nu - betas.(gid) in
+      if i.Analysis.has_reuse && need > 0 && need <= !remaining then begin
+        betas.(gid) <- i.Analysis.nu;
+        remaining := !remaining - need
+      end
+    in
+    List.iter try_full (Ordering.sorted_infos analysis);
+    let try_partial (i : Analysis.info) =
+      let gid = i.Analysis.group.Group.id in
+      if !remaining > 0 && i.Analysis.has_reuse
+         && betas.(gid) < i.Analysis.nu
+      then begin
+        let extra = min !remaining (i.Analysis.nu - betas.(gid)) in
+        betas.(gid) <- betas.(gid) + extra;
+        remaining := !remaining - extra
+      end
+    in
+    List.iter try_partial (Ordering.sorted_infos analysis)
+  end;
+  let entries =
+    Array.map (fun beta -> { Allocation.beta; pinned = true }) betas
+  in
+  let algorithm = if spend_leftover then "cpa-ra+" else "cpa-ra" in
+  let alloc = Allocation.make ~analysis ~budget ~algorithm entries in
+  (alloc, List.rev !trace)
+
+let allocate ?latency ?spend_leftover analysis ~budget =
+  fst (allocate_traced ?latency ?spend_leftover analysis ~budget)

@@ -1,0 +1,38 @@
+(** Critical-Path-Aware Register Allocation (paper Fig. 4) — the paper's
+    contribution.
+
+    Starting from one pinned register per group, the algorithm repeatedly:
+    extracts the Critical Graph of the body's DFG under the current
+    allocation, enumerates its cuts, and fully allocates the improvable cut
+    with the smallest additional register requirement. When the cheapest
+    cut no longer fits, the remaining registers are divided evenly between
+    that cut's references (partial reuse on a whole cut, so every critical
+    path still improves on the covered iterations), and the algorithm
+    stops. Cuts containing a reference without temporal reuse cannot be
+    improved and are skipped. *)
+
+open Srfa_reuse
+
+type trace_step = {
+  cut : Group.t list;        (** the cut selected this round *)
+  required : int;            (** extra registers for full coverage *)
+  granted_full : bool;       (** false for the final even split *)
+  critical_length : int;     (** CP latency before the assignment *)
+}
+
+val allocate :
+  ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool -> Analysis.t ->
+  budget:int -> Allocation.t
+(** @raise Invalid_argument when [budget < feasibility_minimum].
+
+    [spend_leftover] (default [false], the paper's algorithm) switches on
+    the CPA+ extension: once no critical-graph cut can be improved, the
+    stranded registers are handed out in benefit/cost order like FR-RA /
+    PR-RA would. Coverage is monotone in registers under the cycle model,
+    so CPA+ never executes more cycles than CPA-RA. *)
+
+val allocate_traced :
+  ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool -> Analysis.t ->
+  budget:int -> Allocation.t * trace_step list
+(** Like {!allocate}, also returning the per-round decisions (used by the
+    examples and the DOT dumper to narrate the algorithm). *)

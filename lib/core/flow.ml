@@ -1,0 +1,36 @@
+open Srfa_reuse
+
+type config = {
+  budget : int;
+  sim : Srfa_sched.Simulator.config;
+  clock_params : Srfa_estimate.Clock.params;
+}
+
+let default_config =
+  {
+    budget = 64;
+    sim = Srfa_sched.Simulator.default_config;
+    clock_params = Srfa_estimate.Clock.default_params;
+  }
+
+let analyze nest = Analysis.analyze nest
+
+let allocation ?(config = default_config) algorithm analysis =
+  Allocator.run ~latency:config.sim.Srfa_sched.Simulator.latency algorithm
+    analysis ~budget:config.budget
+
+let evaluate_analysis config algorithm analysis =
+  let alloc = allocation ~config algorithm analysis in
+  Srfa_estimate.Report.build ~sim_config:config.sim
+    ~clock_params:config.clock_params
+    ~version:(Allocator.version_label algorithm)
+    alloc
+
+let evaluate ?(config = default_config) algorithm nest =
+  evaluate_analysis config algorithm (analyze nest)
+
+let evaluate_all ?(config = default_config)
+    ?(algorithms = [ Allocator.Fr_ra; Allocator.Pr_ra; Allocator.Cpa_ra ])
+    nest =
+  let analysis = analyze nest in
+  List.map (fun alg -> evaluate_analysis config alg analysis) algorithms

@@ -1,0 +1,32 @@
+(** End-to-end evaluation flow: kernel -> analysis -> allocation ->
+    simulation -> design report. This mirrors the paper's experimental
+    pipeline (C kernel -> scalar replacement -> HLS -> P&R -> simulate),
+    with the substitutions documented in DESIGN.md §2. *)
+
+open Srfa_ir
+open Srfa_reuse
+
+type config = {
+  budget : int;                              (** register budget (paper: 64) *)
+  sim : Srfa_sched.Simulator.config;
+  clock_params : Srfa_estimate.Clock.params;
+}
+
+val default_config : config
+(** Budget 64, default simulator and clock parameters. *)
+
+val evaluate :
+  ?config:config -> Allocator.algorithm -> Nest.t -> Srfa_estimate.Report.t
+(** Analyse, allocate, simulate and estimate one design. *)
+
+val evaluate_all :
+  ?config:config -> ?algorithms:Allocator.algorithm list -> Nest.t ->
+  Srfa_estimate.Report.t list
+(** One report per algorithm (default: the paper's v1, v2, v3), sharing a
+    single analysis of the nest. *)
+
+val analyze : Nest.t -> Analysis.t
+(** Re-exported for callers that drive the stages separately. *)
+
+val allocation :
+  ?config:config -> Allocator.algorithm -> Analysis.t -> Allocation.t

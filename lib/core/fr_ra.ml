@@ -1,0 +1,19 @@
+open Srfa_reuse
+
+let allocate analysis ~budget =
+  Ordering.check_budget analysis ~budget;
+  let ngroups = Analysis.num_groups analysis in
+  let entries =
+    Array.make ngroups { Allocation.beta = 1; pinned = false }
+  in
+  let remaining = ref (budget - ngroups) in
+  let try_assign (i : Analysis.info) =
+    let need = i.Analysis.nu - 1 in
+    if i.Analysis.has_reuse && need <= !remaining then begin
+      entries.(i.Analysis.group.Group.id) <-
+        { Allocation.beta = i.Analysis.nu; pinned = true };
+      remaining := !remaining - need
+    end
+  in
+  List.iter try_assign (Ordering.sorted_infos analysis);
+  Allocation.make ~analysis ~budget ~algorithm:"fr-ra" entries

@@ -1,0 +1,12 @@
+(** Full Reuse Register Allocation (paper Fig. 3, variant 1).
+
+    Every reference group receives one feasibility register; the remaining
+    budget is handed out in benefit/cost order, each candidate either
+    receiving the full [nu] registers of its reuse window or nothing.
+    Groups without temporal reuse are not candidates. Leftover registers
+    stay unused (that is PR-RA's improvement). *)
+
+open Srfa_reuse
+
+val allocate : Analysis.t -> budget:int -> Allocation.t
+(** @raise Invalid_argument when [budget < feasibility_minimum]. *)

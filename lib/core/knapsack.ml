@@ -1,0 +1,44 @@
+open Srfa_reuse
+
+let allocate analysis ~budget =
+  Ordering.check_budget analysis ~budget;
+  let ngroups = Analysis.num_groups analysis in
+  let capacity = budget - ngroups in
+  let items =
+    Array.to_list analysis.Analysis.infos
+    |> List.filter (fun (i : Analysis.info) ->
+           i.Analysis.has_reuse && i.Analysis.saved_full > 0
+           && i.Analysis.nu - 1 <= capacity)
+  in
+  let n = List.length items in
+  let items = Array.of_list items in
+  (* 0/1 knapsack over the extra registers; [best.(k).(c)] is the maximum
+     saved accesses using items k.. with c registers left. *)
+  let best = Array.make_matrix (n + 1) (capacity + 1) 0 in
+  let take = Array.make_matrix (n + 1) (capacity + 1) false in
+  for k = n - 1 downto 0 do
+    let i = items.(k) in
+    let w = i.Analysis.nu - 1 and v = i.Analysis.saved_full in
+    for c = 0 to capacity do
+      let skip = best.(k + 1).(c) in
+      let pick = if w <= c then v + best.(k + 1).(c - w) else -1 in
+      if pick > skip then begin
+        best.(k).(c) <- pick;
+        take.(k).(c) <- true
+      end
+      else best.(k).(c) <- skip
+    done
+  done;
+  let entries =
+    Array.make ngroups { Allocation.beta = 1; pinned = false }
+  in
+  let c = ref capacity in
+  for k = 0 to n - 1 do
+    if take.(k).(!c) then begin
+      let i = items.(k) in
+      entries.(i.Analysis.group.Group.id) <-
+        { Allocation.beta = i.Analysis.nu; pinned = true };
+      c := !c - (i.Analysis.nu - 1)
+    end
+  done;
+  Allocation.make ~analysis ~budget ~algorithm:"ks-ra" entries

@@ -1,0 +1,15 @@
+(** Exact solution of the paper's knapsack formulation (§3).
+
+    Objects are reference groups; an object's size is the [nu - 1] extra
+    registers full replacement needs beyond its feasibility register; its
+    value is the memory accesses eliminated. The dynamic program maximises
+    eliminated accesses under the register budget. This is not in the
+    paper's evaluation — it is the natural optimal baseline for the
+    access-count objective, and the ablation benches use it to show that
+    maximising eliminated accesses is not the same as minimising execution
+    cycles (the paper's central argument for CPA-RA). *)
+
+open Srfa_reuse
+
+val allocate : Analysis.t -> budget:int -> Allocation.t
+(** @raise Invalid_argument when [budget < feasibility_minimum]. *)

@@ -1,0 +1,49 @@
+open Srfa_ir
+open Srfa_reuse
+
+type candidate = {
+  order : int list;
+  loop_vars : string list;
+  nest : Nest.t;
+  allocation : Allocation.t;
+  cycles : int;
+  memory_cycles : int;
+}
+
+let explore ?(config = Flow.default_config) algorithm nest =
+  (match Permute.illegality nest with
+  | Some why -> invalid_arg ("Order_explorer.explore: " ^ why)
+  | None -> ());
+  let evaluate order =
+    let nest = Permute.interchange nest ~order in
+    let analysis = Analysis.analyze nest in
+    let allocation = Flow.allocation ~config algorithm analysis in
+    let sim =
+      Srfa_sched.Simulator.run ~config:config.Flow.sim allocation
+    in
+    {
+      order;
+      loop_vars = Nest.loop_vars nest;
+      nest;
+      allocation;
+      cycles = sim.Srfa_sched.Simulator.total_cycles;
+      memory_cycles = sim.Srfa_sched.Simulator.memory_cycles;
+    }
+  in
+  let identity = List.init (Nest.depth nest) Fun.id in
+  let candidates = List.map evaluate (Permute.all_orders nest) in
+  List.sort
+    (fun a b ->
+      let c = Int.compare a.cycles b.cycles in
+      if c <> 0 then c
+      else
+        let ida = a.order = identity and idb = b.order = identity in
+        if ida && not idb then -1
+        else if idb && not ida then 1
+        else compare a.order b.order)
+    candidates
+
+let best ?config algorithm nest =
+  match explore ?config algorithm nest with
+  | [] -> assert false (* all_orders always yields the identity *)
+  | c :: _ -> c

@@ -1,0 +1,28 @@
+(** Loop-order exploration (our extension).
+
+    The reuse windows that drive every allocation depend on the loop
+    order: IMI with the frame loop outermost needs 4096 registers per
+    image, with it innermost a single register each. This explorer
+    evaluates every legal interchange of a fully permutable nest under a
+    chosen allocator and returns the orders ranked by simulated cycles. *)
+
+open Srfa_ir
+
+type candidate = {
+  order : int list;          (** permutation applied (old levels, new order) *)
+  loop_vars : string list;   (** resulting order, outermost first *)
+  nest : Nest.t;
+  allocation : Srfa_reuse.Allocation.t;
+  cycles : int;
+  memory_cycles : int;
+}
+
+val explore :
+  ?config:Flow.config -> Allocator.algorithm -> Nest.t -> candidate list
+(** Candidates sorted by ascending cycle count (ties: identity order
+    first, then lexicographic). The identity order is always included.
+    @raise Invalid_argument if the nest is not fully permutable (check
+    {!Srfa_ir.Permute.fully_permutable} first). *)
+
+val best : ?config:Flow.config -> Allocator.algorithm -> Nest.t -> candidate
+(** Head of {!explore}. *)

@@ -1,0 +1,20 @@
+open Srfa_reuse
+
+let sorted_infos analysis =
+  let infos = Array.to_list analysis.Analysis.infos in
+  let key (i : Analysis.info) =
+    let writes = if Group.is_write i.Analysis.group then 1 else 0 in
+    (-.i.Analysis.benefit_cost, writes, i.Analysis.group.Group.id)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) infos
+
+let feasibility_minimum analysis = Analysis.num_groups analysis
+
+let check_budget analysis ~budget =
+  let minimum = feasibility_minimum analysis in
+  if budget < minimum then
+    invalid_arg
+      (Printf.sprintf
+         "allocator: budget %d below feasibility minimum %d (one register \
+          per reference)"
+         budget minimum)

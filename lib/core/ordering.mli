@@ -1,0 +1,19 @@
+(** The benefit/cost ordering shared by the greedy allocators.
+
+    References are ranked by descending saved-accesses-per-register; ties
+    prefer read-only references over references that are written (removing
+    a load shortens the head of the dependence chain, removing a store only
+    its tail), then program order. *)
+
+open Srfa_reuse
+
+val sorted_infos : Analysis.t -> Analysis.info list
+(** All groups' analysis records in allocation order. *)
+
+val feasibility_minimum : Analysis.t -> int
+(** One register per reference group: the smallest budget any allocator
+    accepts. *)
+
+val check_budget : Analysis.t -> budget:int -> unit
+(** @raise Invalid_argument when the budget is below the feasibility
+    minimum. *)

@@ -1,0 +1,21 @@
+open Srfa_reuse
+
+let allocate analysis ~budget =
+  let base = Fr_ra.allocate analysis ~budget in
+  let entries =
+    Array.init (Analysis.num_groups analysis) (Allocation.entry base)
+  in
+  let leftover = ref (budget - Allocation.total_registers base) in
+  let give (i : Analysis.info) =
+    let gid = i.Analysis.group.Group.id in
+    let e = entries.(gid) in
+    if !leftover > 0 && i.Analysis.has_reuse && e.Allocation.beta < i.Analysis.nu
+    then begin
+      let extra = min !leftover (i.Analysis.nu - e.Allocation.beta) in
+      entries.(gid) <-
+        { Allocation.beta = e.Allocation.beta + extra; pinned = true };
+      leftover := 0 (* only the first partial candidate benefits *)
+    end
+  in
+  List.iter give (Ordering.sorted_infos analysis);
+  Allocation.make ~analysis ~budget ~algorithm:"pr-ra" entries

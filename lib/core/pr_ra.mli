@@ -1,0 +1,10 @@
+(** Partial Reuse Register Allocation (paper Fig. 3, variant 2).
+
+    Runs FR-RA, then gives the stranded leftover registers to the first
+    group in benefit/cost order that is not fully replaced, exploiting
+    partial data reuse for that one reference. *)
+
+open Srfa_reuse
+
+val allocate : Analysis.t -> budget:int -> Allocation.t
+(** @raise Invalid_argument when [budget < feasibility_minimum]. *)

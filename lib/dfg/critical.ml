@@ -1,0 +1,90 @@
+open Srfa_reuse
+
+type t = {
+  graph : Graph.t;
+  length : int;
+  in_cg : bool array;
+  cg_succs : int list array;
+  sources : int list;
+  sinks : int list;
+  charged : Group.t -> bool;
+}
+
+let make g ~latency ~charged =
+  let n = Graph.num_nodes g in
+  let w u = Graph.node_latency g ~latency ~charged (Graph.nodes g).(u) in
+  let order = Srfa_util.Toposort.sort ~n ~succs:(Graph.succs g) in
+  (* Inclusive longest distances from any source / to any sink. *)
+  let fwd = Array.make n 0 and bwd = Array.make n 0 in
+  let relax_fwd u =
+    let base =
+      List.fold_left (fun acc p -> max acc fwd.(p)) 0 (Graph.preds g u)
+    in
+    fwd.(u) <- base + w u
+  in
+  List.iter relax_fwd order;
+  let relax_bwd u =
+    let base =
+      List.fold_left (fun acc s -> max acc bwd.(s)) 0 (Graph.succs g u)
+    in
+    bwd.(u) <- base + w u
+  in
+  List.iter relax_bwd (List.rev order);
+  let length = Array.fold_left max 0 fwd in
+  let in_cg = Array.make n false in
+  for u = 0 to n - 1 do
+    in_cg.(u) <- fwd.(u) + bwd.(u) - w u = length
+  done;
+  (* A DFG edge is critical iff it lies on a maximum-latency path. *)
+  let cg_succs = Array.make n [] in
+  for u = 0 to n - 1 do
+    if in_cg.(u) then
+      let keep v = in_cg.(v) && fwd.(u) + bwd.(v) = length in
+      cg_succs.(u) <- List.filter keep (Graph.succs g u)
+  done;
+  let cg_has_pred = Array.make n false in
+  Array.iteri
+    (fun u vs -> if in_cg.(u) then List.iter (fun v -> cg_has_pred.(v) <- true) vs)
+    cg_succs;
+  let ids = List.init n Fun.id in
+  let sources =
+    List.filter (fun u -> in_cg.(u) && not cg_has_pred.(u)) ids
+  in
+  let sinks = List.filter (fun u -> in_cg.(u) && cg_succs.(u) = []) ids in
+  { graph = g; length; in_cg; cg_succs; sources; sinks; charged }
+
+let length t = t.length
+
+let nodes t =
+  List.filter (fun u -> t.in_cg.(u)) (List.init (Array.length t.in_cg) Fun.id)
+
+let mem t u = t.in_cg.(u)
+
+let ref_groups t =
+  let refs = ref [] in
+  let note u =
+    match Graph.group_of_node (Graph.nodes t.graph).(u) with
+    | Some g when not (List.exists (fun x -> x.Group.id = g.Group.id) !refs) ->
+      refs := g :: !refs
+    | Some _ | None -> ()
+  in
+  List.iter note (nodes t);
+  List.rev !refs
+
+let charged_ref_groups t =
+  List.filter t.charged (ref_groups t)
+
+let has_path_avoiding t ~forbidden =
+  let n = Array.length t.in_cg in
+  let seen = Array.make n false in
+  let sink u = List.mem u t.sinks in
+  let rec dfs u =
+    if seen.(u) || forbidden u then false
+    else begin
+      seen.(u) <- true;
+      if sink u then true else List.exists dfs t.cg_succs.(u)
+    end
+  in
+  List.exists (fun s -> (not (forbidden s)) && dfs s) t.sources
+
+let graph t = t.graph

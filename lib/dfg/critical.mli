@@ -1,0 +1,39 @@
+(** Critical Graph extraction (paper §3).
+
+    The Critical Graph (CG) of a DFG is the subgraph formed by all of its
+    critical (maximum-latency) paths. Improving a reference that is not on
+    the CG cannot shorten the computation, so CPA-RA only ever allocates
+    registers to CG cuts. *)
+
+open Srfa_reuse
+
+type t
+
+val make :
+  Graph.t -> latency:Srfa_hw.Latency.t -> charged:(Group.t -> bool) -> t
+(** Extracts the CG of the DFG under the given memory state. *)
+
+val length : t -> int
+(** Latency of the critical path(s). *)
+
+val nodes : t -> int list
+(** DFG node ids on some critical path. *)
+
+val ref_groups : t -> Group.t list
+(** Reference groups on the CG, by node-id order, without duplicates. *)
+
+val charged_ref_groups : t -> Group.t list
+(** The subset of {!ref_groups} that still hits RAM under the memory state
+    the CG was built with — the only nodes a cut may contain (a
+    register-resident reference contributes no memory latency, so removing
+    it cannot shorten the path). *)
+
+val mem : t -> int -> bool
+(** Whether a DFG node belongs to the CG. *)
+
+val has_path_avoiding : t -> forbidden:(int -> bool) -> bool
+(** Whether a critical source-to-sink path exists that avoids every node
+    for which [forbidden] holds. This is the primitive cut checking is
+    built on. *)
+
+val graph : t -> Graph.t

@@ -1,0 +1,41 @@
+open Srfa_reuse
+
+let node_forbidden cg groups u =
+  match Graph.group_of_node (Graph.nodes (Critical.graph cg)).(u) with
+  | Some g -> List.exists (fun x -> x.Group.id = g.Group.id) groups
+  | None -> false
+
+let is_cut cg groups =
+  not (Critical.has_path_avoiding cg ~forbidden:(node_forbidden cg groups))
+
+let enumerate ?(max_groups = 16) cg =
+  let groups = Array.of_list (Critical.charged_ref_groups cg) in
+  let n = Array.length groups in
+  if n > max_groups then
+    invalid_arg
+      (Printf.sprintf "Cut.enumerate: %d CG reference groups exceed limit %d"
+         n max_groups);
+  let subset_of_mask mask =
+    let rec go i acc =
+      if i < 0 then acc
+      else if mask land (1 lsl i) <> 0 then go (i - 1) (groups.(i) :: acc)
+      else go (i - 1) acc
+    in
+    go (n - 1) []
+  in
+  let covering = ref [] in
+  for mask = 1 to (1 lsl n) - 1 do
+    if is_cut cg (subset_of_mask mask) then covering := mask :: !covering
+  done;
+  let strictly_contains big small = big land small = small && big <> small in
+  let minimal m = not (List.exists (fun m' -> strictly_contains m m') !covering) in
+  let popcount m =
+    let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+    go m 0
+  in
+  !covering
+  |> List.filter minimal
+  |> List.sort (fun a b ->
+         let c = Int.compare (popcount a) (popcount b) in
+         if c <> 0 then c else Int.compare a b)
+  |> List.map subset_of_mask

@@ -1,0 +1,20 @@
+(** Cuts of the Critical Graph.
+
+    A cut is a minimal set of RAM-hitting reference groups whose removal
+    disconnects every critical path (paper §3); register-resident
+    references contribute no latency, so they are not cut candidates. Enumeration is exponential in the number
+    of CG reference groups — the paper makes the same worst-case remark —
+    but CGs of loop bodies are tiny in practice; a guard refuses absurd
+    inputs instead of hanging. *)
+
+open Srfa_reuse
+
+val enumerate : ?max_groups:int -> Critical.t -> Group.t list list
+(** All minimal cuts, each sorted by group id; the list is ordered by
+    ascending cut size then lexicographic ids. [max_groups] (default 16)
+    bounds the subset enumeration.
+    @raise Invalid_argument if the CG carries more reference groups. *)
+
+val is_cut : Critical.t -> Group.t list -> bool
+(** Whether removing these groups disconnects every critical path (not
+    necessarily minimal). *)

@@ -1,0 +1,29 @@
+let render ?highlight g ~charged =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph dfg {\n  rankdir=TB;\n";
+  let in_cg u =
+    match highlight with Some cg -> Critical.mem cg u | None -> false
+  in
+  let emit_node (nd : Graph.node) =
+    let name = Graph.node_name nd in
+    let shape, fill =
+      match Graph.group_of_node nd with
+      | Some gr -> ("box", if charged gr then ",style=filled,fillcolor=lightgray" else "")
+      | None -> ("ellipse", "")
+    in
+    let bold = if in_cg nd.Graph.id then ",penwidth=2.5" else "" in
+    out "  n%d [label=\"%s\",shape=%s%s%s];\n" nd.Graph.id name shape fill bold
+  in
+  Array.iter emit_node (Graph.nodes g);
+  let emit_edges (nd : Graph.node) =
+    let u = nd.Graph.id in
+    let edge v =
+      let bold = if in_cg u && in_cg v then " [penwidth=2.5]" else "" in
+      out "  n%d -> n%d%s;\n" u v bold
+    in
+    List.iter edge (Graph.succs g u)
+  in
+  Array.iter emit_edges (Graph.nodes g);
+  out "}\n";
+  Buffer.contents buf

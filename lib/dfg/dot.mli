@@ -1,0 +1,9 @@
+(** Graphviz export of data-flow graphs (Fig. 2(a)/(b) as pictures). *)
+
+open Srfa_reuse
+
+val render :
+  ?highlight:Critical.t -> Graph.t -> charged:(Group.t -> bool) -> string
+(** DOT source. Reference nodes are boxes (shaded when served from RAM),
+    operation nodes are ellipses; nodes and edges of [highlight]'s critical
+    graph are drawn bold. *)

@@ -1,0 +1,161 @@
+open Srfa_ir
+open Srfa_reuse
+
+type kind =
+  | Ref_node of Group.t
+  | Binary_node of Op.binary
+  | Unary_node of Op.unary
+  | Const_node of int
+
+type node = { id : int; kind : kind }
+
+type t = {
+  analysis : Analysis.t;
+  nodes : node array;
+  succs : int list array;
+  preds : int list array;
+}
+
+(* Construction walks the body statements in order, keeping per group the
+   node that currently defines its value within the iteration:
+   - a read of a group defined earlier in the body links from the defining
+     node (write-to-read chaining, e.g. d[i][k]);
+   - a read of an undefined group creates (or reuses) a source node;
+   - a write creates a node fed by the expression and records it as the
+     group's definition. *)
+let build analysis =
+  let nest = analysis.Analysis.nest in
+  let groups = analysis.Analysis.groups in
+  let nodes = ref [] in
+  let edges = ref [] in
+  let count = ref 0 in
+  let fresh kind =
+    let n = { id = !count; kind } in
+    incr count;
+    nodes := n :: !nodes;
+    n.id
+  in
+  let edge a b = edges := (a, b) :: !edges in
+  let defining = Hashtbl.create 8 in (* group id -> node id *)
+  let source_node = Hashtbl.create 8 in (* group id -> source node id *)
+  let read_node (r : Expr.ref_) =
+    let g = Group.find groups r in
+    match Hashtbl.find_opt defining g.Group.id with
+    | Some n -> n
+    | None -> (
+      match Hashtbl.find_opt source_node g.Group.id with
+      | Some n -> n
+      | None ->
+        let n = fresh (Ref_node g) in
+        Hashtbl.replace source_node g.Group.id n;
+        n)
+  in
+  let rec expr_node (e : Expr.t) =
+    match e with
+    | Expr.Const c -> fresh (Const_node c)
+    | Expr.Load r -> read_node r
+    | Expr.Unary (op, a) ->
+      let na = expr_node a in
+      let n = fresh (Unary_node op) in
+      edge na n;
+      n
+    | Expr.Binary (op, a, b) ->
+      let na = expr_node a and nb = expr_node b in
+      let n = fresh (Binary_node op) in
+      edge na n;
+      edge nb n;
+      n
+  in
+  let stmt (Expr.Assign (target, e)) =
+    let value = expr_node e in
+    let g = Group.find groups target in
+    let store = fresh (Ref_node g) in
+    edge value store;
+    Hashtbl.replace defining g.Group.id store
+  in
+  List.iter stmt nest.Nest.body;
+  let n = !count in
+  let nodes_arr = Array.make n { id = 0; kind = Const_node 0 } in
+  List.iter (fun nd -> nodes_arr.(nd.id) <- nd) !nodes;
+  let succs = Array.make n [] and preds = Array.make n [] in
+  let add (a, b) =
+    succs.(a) <- b :: succs.(a);
+    preds.(b) <- a :: preds.(b)
+  in
+  List.iter add !edges;
+  { analysis; nodes = nodes_arr; succs; preds }
+
+let analysis t = t.analysis
+let nodes t = t.nodes
+let succs t id = t.succs.(id)
+let preds t id = t.preds.(id)
+let num_nodes t = Array.length t.nodes
+
+let group_of_node nd =
+  match nd.kind with
+  | Ref_node g -> Some g
+  | Binary_node _ | Unary_node _ | Const_node _ -> None
+
+let ref_nodes t =
+  Array.to_list t.nodes
+  |> List.filter (fun nd ->
+         match nd.kind with
+         | Ref_node _ -> true
+         | Binary_node _ | Unary_node _ | Const_node _ -> false)
+
+let node_latency _t ~latency ~charged nd =
+  match nd.kind with
+  | Ref_node g ->
+    if charged g then latency.Srfa_hw.Latency.ram_access
+    else latency.Srfa_hw.Latency.register_access
+  | Binary_node op -> latency.Srfa_hw.Latency.binary op
+  | Unary_node op -> latency.Srfa_hw.Latency.unary op
+  | Const_node _ -> 0
+
+let longest_path t weight =
+  let n = num_nodes t in
+  if n = 0 then 0
+  else begin
+    let order = Srfa_util.Toposort.sort ~n ~succs:(fun u -> t.succs.(u)) in
+    let dist = Array.make n 0 in
+    let visit u =
+      let du = dist.(u) + weight t.nodes.(u) in
+      let relax v = if dist.(v) < du then dist.(v) <- du in
+      List.iter relax t.succs.(u)
+    in
+    List.iter visit order;
+    let best = ref 0 in
+    for u = 0 to n - 1 do
+      let total = dist.(u) + weight t.nodes.(u) in
+      if total > !best then best := total
+    done;
+    !best
+  end
+
+let path_length t ~latency ~charged =
+  longest_path t (node_latency t ~latency ~charged)
+
+let memory_path_length t ~latency ~charged =
+  let weight nd =
+    match nd.kind with
+    | Ref_node _ -> node_latency t ~latency ~charged nd
+    | Binary_node _ | Unary_node _ | Const_node _ -> 0
+  in
+  longest_path t weight
+
+let node_name nd =
+  match nd.kind with
+  | Ref_node g -> Group.name g
+  | Binary_node op -> Op.binary_name op
+  | Unary_node op -> Op.unary_name op
+  | Const_node c -> string_of_int c
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>dfg (%d nodes):@," (num_nodes t);
+  Array.iter
+    (fun nd ->
+      Format.fprintf ppf "  %d: %-12s ->" nd.id (node_name nd);
+      List.iter (Format.fprintf ppf " %d") t.succs.(nd.id);
+      Format.fprintf ppf "@,")
+    t.nodes;
+  Format.fprintf ppf "@]"

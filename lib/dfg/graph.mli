@@ -1,0 +1,58 @@
+(** Data-flow graph of a loop body.
+
+    Nodes are reference groups (memory access points), operations and
+    constants; edges follow the flow of values within one body iteration.
+    A group written and then read in the same iteration (like [d\[i\]\[k\]]
+    in Fig. 1) is a single node in the middle of the graph; a group read
+    before being written (an accumulator) contributes a source node for the
+    loop-carried value and a sink node for the new value.
+
+    Latencies are not baked into the graph: path computations take a
+    [charged] predicate saying which groups still hit RAM, so the critical
+    path can be re-evaluated as CPA-RA hands out registers. *)
+
+open Srfa_ir
+open Srfa_reuse
+
+type kind =
+  | Ref_node of Group.t
+  | Binary_node of Op.binary
+  | Unary_node of Op.unary
+  | Const_node of int
+
+type node = private { id : int; kind : kind }
+
+type t
+
+val build : Analysis.t -> t
+(** DFG of the analysed nest's body. *)
+
+val analysis : t -> Analysis.t
+val nodes : t -> node array
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+val num_nodes : t -> int
+
+val ref_nodes : t -> node list
+(** Nodes that are reference groups, in node-id order. *)
+
+val group_of_node : node -> Group.t option
+
+val node_latency :
+  t -> latency:Srfa_hw.Latency.t -> charged:(Group.t -> bool) -> node -> int
+(** Cycles this node contributes to a path: RAM latency for charged
+    reference groups, register latency for the rest, the operation table
+    for operators, 0 for constants. *)
+
+val path_length :
+  t -> latency:Srfa_hw.Latency.t -> charged:(Group.t -> bool) -> int
+(** Maximum source-to-sink path latency (the per-iteration critical path
+    length, [T_exec] of one body evaluation). *)
+
+val memory_path_length :
+  t -> latency:Srfa_hw.Latency.t -> charged:(Group.t -> bool) -> int
+(** Like {!path_length} but counting only reference-node latencies: the
+    memory portion of the critical path. *)
+
+val node_name : node -> string
+val pp : Format.formatter -> t -> unit

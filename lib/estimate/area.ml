@@ -1,0 +1,83 @@
+open Srfa_ir
+open Srfa_reuse
+
+type breakdown = {
+  datapath : int;
+  registers : int;
+  control : int;
+  address_gen : int;
+  total : int;
+}
+
+(* Slices for one operator at the given operand width; LUT-based Virtex
+   figures (no embedded multipliers on the XCV1000). *)
+let binary_slices ~bits : Op.binary -> int = function
+  | Op.Mul -> (bits * bits / 4) + 8
+  | Op.Div -> (bits * bits / 2) + 16
+  | Op.Add | Op.Sub -> (bits / 2) + 2
+  | Op.Min | Op.Max -> bits + 2
+  | Op.Eq | Op.Lt -> (bits / 2) + 1
+  | Op.Band | Op.Bor | Op.Bxor -> bits / 2
+
+let unary_slices ~bits : Op.unary -> int = function
+  | Op.Neg -> (bits / 2) + 1
+  | Op.Abs -> bits + 2
+  | Op.Bnot -> 1
+
+let rec expr_slices ~bits (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Load _ -> 0
+  | Expr.Unary (op, a) -> unary_slices ~bits op + expr_slices ~bits a
+  | Expr.Binary (op, a, b) ->
+    binary_slices ~bits op + expr_slices ~bits a + expr_slices ~bits b
+
+let estimate ~device ~ram_arrays alloc =
+  let analysis = alloc.Allocation.analysis in
+  let nest = analysis.Analysis.nest in
+  let width =
+    List.fold_left (fun acc d -> max acc d.Decl.bits) 1 nest.Nest.arrays
+  in
+  let datapath =
+    List.fold_left
+      (fun acc (Expr.Assign (_, e)) -> acc + expr_slices ~bits:width e)
+      0 nest.Nest.body
+  in
+  let registers =
+    let per_group gid acc =
+      let i = Analysis.info analysis gid in
+      let bits = (Group.decl i.Analysis.group).Decl.bits in
+      acc + (Allocation.beta alloc gid * Srfa_hw.Device.register_slices device ~bits)
+    in
+    List.fold_left (fun acc gid -> per_group gid acc) 0
+      (List.init (Analysis.num_groups analysis) Fun.id)
+  in
+  let partial_groups =
+    let is_partial gid =
+      let e = Allocation.entry alloc gid in
+      e.Allocation.pinned && not (Allocation.is_full alloc gid)
+    in
+    List.length
+      (List.filter is_partial (List.init (Analysis.num_groups analysis) Fun.id))
+  in
+  let control =
+    30
+    + (12 * Nest.depth nest)
+    + (20 * partial_groups)
+    + (4 * Analysis.num_groups analysis)
+  in
+  let address_gen = 8 * ram_arrays in
+  {
+    datapath;
+    registers;
+    control;
+    address_gen;
+    total = datapath + registers + control + address_gen;
+  }
+
+let utilization ~device b =
+  float_of_int b.total /. float_of_int device.Srfa_hw.Device.slices
+
+let pp ppf b =
+  Format.fprintf ppf
+    "slices: datapath=%d registers=%d control=%d addrgen=%d total=%d"
+    b.datapath b.registers b.control b.address_gen b.total

@@ -1,0 +1,27 @@
+(** Analytic slice-count model.
+
+    A substitute for the paper's Synplify + ISE place-and-route flow (see
+    DESIGN.md §2): coefficients approximate Virtex-era synthesis results for
+    a 16-bit datapath and were chosen so the paper's qualitative area
+    findings hold — registers dominate aggressive-replacement designs, and
+    partial-reuse control adds a visible but secondary cost. Absolute slice
+    counts carry no meaning beyond that. *)
+
+open Srfa_reuse
+
+type breakdown = {
+  datapath : int;     (** functional units *)
+  registers : int;    (** scalar-replacement and feasibility registers *)
+  control : int;      (** FSM, counters, partial-reuse steering *)
+  address_gen : int;  (** RAM address generators *)
+  total : int;
+}
+
+val estimate :
+  device:Srfa_hw.Device.t -> ram_arrays:int -> Allocation.t -> breakdown
+(** [ram_arrays] is the number of RAM-backed arrays (address generators). *)
+
+val utilization : device:Srfa_hw.Device.t -> breakdown -> float
+(** Fraction of the device's slices used (may exceed 1.0: over-mapped). *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,40 @@
+open Srfa_ir
+open Srfa_reuse
+
+type params = {
+  base_ns : float;
+  per_register : float;
+  per_partial_group : float;
+  per_full_group : float;
+  per_loop_level : float;
+}
+
+let default_params =
+  {
+    base_ns = 40.0;
+    per_register = 0.03;
+    per_partial_group = 0.9;
+    per_full_group = 0.3;
+    per_loop_level = 0.4;
+  }
+
+let period_ns ?(params = default_params) alloc =
+  let analysis = alloc.Allocation.analysis in
+  let ngroups = Analysis.num_groups analysis in
+  let partial, full =
+    let classify (p, f) gid =
+      let e = Allocation.entry alloc gid in
+      if not e.Allocation.pinned then (p, f)
+      else if Allocation.is_full alloc gid then (p, f + 1)
+      else (p + 1, f)
+    in
+    List.fold_left classify (0, 0) (List.init ngroups Fun.id)
+  in
+  params.base_ns
+  +. (params.per_register *. float_of_int (Allocation.total_registers alloc))
+  +. (params.per_partial_group *. float_of_int partial)
+  +. (params.per_full_group *. float_of_int full)
+  +. (params.per_loop_level
+     *. float_of_int (Nest.depth analysis.Analysis.nest))
+
+let frequency_mhz ?params alloc = 1000.0 /. period_ns ?params alloc

@@ -1,0 +1,32 @@
+(** Analytic clock-period model.
+
+    Substitutes for post-P&R timing (DESIGN.md §2). The paper's designs
+    show the base version clocking fastest and the register-heavy,
+    mux-heavy v2/v3 designs degrading by single-digit percentages (≈7% on
+    average for v3); the model reproduces that trend:
+
+    - every scalar-replacement register adds routing/fanout pressure;
+    - every {e partially} replaced group adds index comparators and
+      register-file muxing on the data path;
+    - deeper nests lengthen the controller's next-state logic.
+
+    Coefficients are documented here and overridable for sensitivity
+    studies. *)
+
+open Srfa_reuse
+
+type params = {
+  base_ns : float;           (** simplest design's achievable period *)
+  per_register : float;      (** ns per allocated register *)
+  per_partial_group : float; (** ns per partially replaced pinned group *)
+  per_full_group : float;    (** ns per fully replaced pinned group *)
+  per_loop_level : float;    (** ns per nest depth level *)
+}
+
+val default_params : params
+(** base 40 ns, 0.03 ns/register, 0.9 ns/partial group, 0.3 ns/full group,
+    0.4 ns/level. *)
+
+val period_ns : ?params:params -> Allocation.t -> float
+
+val frequency_mhz : ?params:params -> Allocation.t -> float

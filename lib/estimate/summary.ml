@@ -1,0 +1,56 @@
+type t = {
+  version : string;
+  kernels : int;
+  mean_cycle_reduction_pct : float;
+  mean_wall_clock_gain_pct : float;
+  mean_clock_degradation_pct : float;
+  geomean_speedup : float;
+  wins : int;
+}
+
+let arithmetic_mean = function
+  | [] -> invalid_arg "Summary.arithmetic_mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geometric_mean = function
+  | [] -> invalid_arg "Summary.geometric_mean: empty"
+  | xs ->
+    if List.exists (fun x -> x <= 0.0) xs then
+      invalid_arg "Summary.geometric_mean: non-positive value";
+    exp (arithmetic_mean (List.map log xs))
+
+let of_reports ~version per_kernel =
+  let pick reports =
+    match reports with
+    | [] -> invalid_arg "Summary.of_reports: empty kernel report list"
+    | base :: _ -> (
+      match
+        List.find_opt (fun r -> r.Report.version = version) reports
+      with
+      | Some r -> (base, r)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Summary.of_reports: no %s report for %s" version
+             base.Report.kernel))
+  in
+  let pairs = List.map pick per_kernel in
+  let cycle (base, r) = Report.cycle_reduction_pct ~base r in
+  let speedup (base, r) = Report.speedup ~base r in
+  let wall pair = 100.0 *. (1.0 -. (1.0 /. speedup pair)) in
+  let clock (base, r) = Report.clock_degradation_pct ~base r in
+  {
+    version;
+    kernels = List.length pairs;
+    mean_cycle_reduction_pct = arithmetic_mean (List.map cycle pairs);
+    mean_wall_clock_gain_pct = arithmetic_mean (List.map wall pairs);
+    mean_clock_degradation_pct = arithmetic_mean (List.map clock pairs);
+    geomean_speedup = geometric_mean (List.map speedup pairs);
+    wins = List.length (List.filter (fun p -> speedup p > 1.0) pairs);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s over %d kernels: cycles %+.1f%%, wall-clock %+.1f%%, clock \
+     %+.1f%%, geomean speedup %.2fx, wins %d"
+    t.version t.kernels t.mean_cycle_reduction_pct t.mean_wall_clock_gain_pct
+    t.mean_clock_degradation_pct t.geomean_speedup t.wins

@@ -1,0 +1,28 @@
+(** Aggregate statistics over design reports — the quantities the paper's
+    prose quotes ("an average percentage improvement of x% for versions
+    v3"). One {!t} summarises a set of kernels, each evaluated as a list
+    of reports whose head is the base version (v1). *)
+
+type t = private {
+  version : string;
+  kernels : int;
+  mean_cycle_reduction_pct : float;
+  mean_wall_clock_gain_pct : float;
+  mean_clock_degradation_pct : float;
+  geomean_speedup : float;
+  wins : int;  (** kernels where the version beats the base wall-clock *)
+}
+
+val of_reports : version:string -> Report.t list list -> t
+(** [of_reports ~version per_kernel] where each inner list is one kernel's
+    reports with the base version first.
+    @raise Invalid_argument if a kernel list is empty or lacks
+    [version]. *)
+
+val arithmetic_mean : float list -> float
+(** @raise Invalid_argument on []. *)
+
+val geometric_mean : float list -> float
+(** @raise Invalid_argument on [] or non-positive values. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,427 @@
+open Srfa_ir
+
+exception Error of string
+
+type state = {
+  tokens : Lexer.located array;
+  mutable pos : int;
+  mutable decls : (string * Decl.t) list;
+  mutable loop_vars : string list; (* outermost first *)
+}
+
+let fail (st : state) fmt =
+  let { Lexer.line; col; _ } = st.tokens.(st.pos) in
+  Format.kasprintf
+    (fun msg ->
+      raise (Error (Printf.sprintf "line %d, column %d: %s" line col msg)))
+    fmt
+
+let current st = st.tokens.(st.pos).Lexer.token
+let advance st = st.pos <- st.pos + 1
+
+let expect st token =
+  if current st = token then advance st
+  else
+    fail st "expected %s, found %s" (Lexer.describe token)
+      (Lexer.describe (current st))
+
+let ident st =
+  match current st with
+  | Lexer.Ident name ->
+    advance st;
+    name
+  | t -> fail st "expected an identifier, found %s" (Lexer.describe t)
+
+let integer st =
+  match current st with
+  | Lexer.Int v ->
+    advance st;
+    v
+  | Lexer.Minus -> (
+    advance st;
+    match current st with
+    | Lexer.Int v ->
+      advance st;
+      -v
+    | t -> fail st "expected an integer after '-', found %s" (Lexer.describe t))
+  | t -> fail st "expected an integer, found %s" (Lexer.describe t)
+
+let find_decl st name = List.assoc_opt name st.decls
+let is_loop_var st name = List.mem name st.loop_vars
+
+(* --- index expressions: affine over loop variables ---------------------- *)
+
+(* term := INT | INT '*' IDENT | IDENT | IDENT '*' INT *)
+let affine_term st =
+  match current st with
+  | Lexer.Int coeff -> (
+    advance st;
+    match current st with
+    | Lexer.Star ->
+      advance st;
+      let v = ident st in
+      if not (is_loop_var st v) then
+        fail st "%s is not an enclosing loop variable" v;
+      Affine.var ~coeff v
+    | _ -> Affine.const coeff)
+  | Lexer.Ident v -> (
+    advance st;
+    if not (is_loop_var st v) then
+      fail st
+        "%s is not an enclosing loop variable (array references cannot \
+         appear inside indices)"
+        v;
+    match current st with
+    | Lexer.Star -> (
+      advance st;
+      match current st with
+      | Lexer.Int coeff ->
+        advance st;
+        Affine.var ~coeff v
+      | t -> fail st "expected a constant coefficient, found %s" (Lexer.describe t))
+    | _ -> Affine.var v)
+  | t -> fail st "expected an index term, found %s" (Lexer.describe t)
+
+let affine_expr st =
+  let acc = ref (affine_term st) in
+  let continue = ref true in
+  while !continue do
+    match current st with
+    | Lexer.Plus ->
+      advance st;
+      acc := Affine.add !acc (affine_term st)
+    | Lexer.Minus ->
+      advance st;
+      acc := Affine.sub !acc (affine_term st)
+    | _ -> continue := false
+  done;
+  !acc
+
+let reference st name =
+  match find_decl st name with
+  | None -> fail st "undeclared array %s" name
+  | Some decl ->
+    let rec indices acc =
+      match current st with
+      | Lexer.Lbracket ->
+        advance st;
+        let ix = affine_expr st in
+        expect st Lexer.Rbracket;
+        indices (ix :: acc)
+      | _ -> List.rev acc
+    in
+    let index = indices [] in
+    if List.length index <> Decl.rank decl then
+      fail st "%s has rank %d but %d indices were given" name (Decl.rank decl)
+        (List.length index);
+    Expr.ref_ decl index
+
+(* --- value expressions --------------------------------------------------- *)
+
+(* precedence (loosest to tightest): | , ^ , & , == , < , + - , * / , primary *)
+let rec expr st = bitor st
+
+and bitor st =
+  let left = bitxor st in
+  match current st with
+  | Lexer.Pipe ->
+    advance st;
+    Expr.Binary (Op.Bor, left, bitor st)
+  | _ -> left
+
+and bitxor st =
+  let left = bitand st in
+  match current st with
+  | Lexer.Caret ->
+    advance st;
+    Expr.Binary (Op.Bxor, left, bitxor st)
+  | _ -> left
+
+and bitand st =
+  let left = equality st in
+  match current st with
+  | Lexer.Amp ->
+    advance st;
+    Expr.Binary (Op.Band, left, bitand st)
+  | _ -> left
+
+and equality st =
+  let left = comparison st in
+  match current st with
+  | Lexer.Eq ->
+    advance st;
+    Expr.Binary (Op.Eq, left, comparison st)
+  | _ -> left
+
+and comparison st =
+  let left = additive st in
+  match current st with
+  | Lexer.Lt ->
+    advance st;
+    Expr.Binary (Op.Lt, left, additive st)
+  | _ -> left
+
+and additive st =
+  let acc = ref (multiplicative st) in
+  let continue = ref true in
+  while !continue do
+    match current st with
+    | Lexer.Plus ->
+      advance st;
+      acc := Expr.Binary (Op.Add, !acc, multiplicative st)
+    | Lexer.Minus ->
+      advance st;
+      acc := Expr.Binary (Op.Sub, !acc, multiplicative st)
+    | _ -> continue := false
+  done;
+  !acc
+
+and multiplicative st =
+  let acc = ref (primary st) in
+  let continue = ref true in
+  while !continue do
+    match current st with
+    | Lexer.Star ->
+      advance st;
+      acc := Expr.Binary (Op.Mul, !acc, primary st)
+    | Lexer.Slash ->
+      advance st;
+      acc := Expr.Binary (Op.Div, !acc, primary st)
+    | _ -> continue := false
+  done;
+  !acc
+
+and primary st =
+  match current st with
+  | Lexer.Int v ->
+    advance st;
+    Expr.Const v
+  | Lexer.Minus ->
+    advance st;
+    Expr.Unary (Op.Neg, primary st)
+  | Lexer.Lparen ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.Rparen;
+    e
+  | Lexer.Ident ("min" | "max" | "abs") -> call st
+  | Lexer.Ident name ->
+    if is_loop_var st name then
+      fail st
+        "loop variable %s cannot be used as a value (store the values it \
+         would contribute in an input array)"
+        name;
+    advance st;
+    Expr.Load (reference st name)
+  | t -> fail st "expected an expression, found %s" (Lexer.describe t)
+
+and call st =
+  let name = ident st in
+  expect st Lexer.Lparen;
+  let a = expr st in
+  match name with
+  | "abs" ->
+    expect st Lexer.Rparen;
+    Expr.Unary (Op.Abs, a)
+  | "min" | "max" ->
+    expect st Lexer.Comma;
+    let b = expr st in
+    expect st Lexer.Rparen;
+    Expr.Binary ((if name = "min" then Op.Min else Op.Max), a, b)
+  | other -> fail st "unknown function %s" other
+
+(* --- declarations, loops, statements ------------------------------------ *)
+
+let declaration st =
+  let storage =
+    match current st with
+    | Lexer.Kw_input -> Decl.Input
+    | Lexer.Kw_output -> Decl.Output
+    | Lexer.Kw_local -> Decl.Local
+    | t -> fail st "expected input/output/local, found %s" (Lexer.describe t)
+  in
+  advance st;
+  let bits =
+    match current st with
+    | Lexer.Kw_int w ->
+      advance st;
+      w
+    | t -> fail st "expected a type, found %s" (Lexer.describe t)
+  in
+  let name = ident st in
+  if find_decl st name <> None then fail st "array %s declared twice" name;
+  let rec dims acc =
+    match current st with
+    | Lexer.Lbracket ->
+      advance st;
+      let d = integer st in
+      if d <= 0 then fail st "array extent must be positive, got %d" d;
+      expect st Lexer.Rbracket;
+      dims (d :: acc)
+    | _ -> List.rev acc
+  in
+  let dims = dims [] in
+  expect st Lexer.Semicolon;
+  st.decls <- (name, Decl.make ~bits ~storage name dims) :: st.decls
+
+let statement st =
+  let name = ident st in
+  let target = reference st name in
+  match current st with
+  | Lexer.Assign ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.Semicolon;
+    Expr.Assign (target, e)
+  | Lexer.Plus_assign ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.Semicolon;
+    Expr.Assign (target, Expr.Binary (Op.Add, Expr.Load target, e))
+  | t -> fail st "expected '=' or '+=', found %s" (Lexer.describe t)
+
+let rec loops st acc_loops =
+  match current st with
+  | Lexer.Kw_for ->
+    advance st;
+    expect st Lexer.Lparen;
+    let v = ident st in
+    if is_loop_var st v then fail st "loop variable %s reused" v;
+    if find_decl st v <> None then
+      fail st "loop variable %s collides with an array" v;
+    expect st Lexer.Assign;
+    let lo = integer st in
+    if lo <> 0 then fail st "loops must start at 0 (got %d)" lo;
+    expect st Lexer.Semicolon;
+    let v2 = ident st in
+    if v2 <> v then fail st "loop condition must test %s, found %s" v v2;
+    expect st Lexer.Lt;
+    let count = integer st in
+    if count <= 0 then fail st "trip count must be positive, got %d" count;
+    expect st Lexer.Semicolon;
+    let v3 = ident st in
+    if v3 <> v then fail st "loop increment must bump %s, found %s" v v3;
+    expect st Lexer.Plus_plus;
+    expect st Lexer.Rparen;
+    st.loop_vars <- st.loop_vars @ [ v ];
+    loops st (acc_loops @ [ Nest.loop v count ])
+  | Lexer.Lbrace ->
+    advance st;
+    let rec stmts acc =
+      match current st with
+      | Lexer.Rbrace ->
+        advance st;
+        List.rev acc
+      | _ -> stmts (statement st :: acc)
+    in
+    let body = stmts [] in
+    if body = [] then fail st "empty loop body";
+    (acc_loops, body)
+  | Lexer.Ident _ ->
+    (* single unbraced statement *)
+    (acc_loops, [ statement st ])
+  | t -> fail st "expected 'for', '{' or a statement, found %s" (Lexer.describe t)
+
+let parse src =
+  let st =
+    {
+      tokens = Array.of_list (Lexer.tokenize src);
+      pos = 0;
+      decls = [];
+      loop_vars = [];
+    }
+  in
+  expect st Lexer.Kw_kernel;
+  let name = ident st in
+  expect st Lexer.Lbrace;
+  let rec decls () =
+    match current st with
+    | Lexer.Kw_input | Lexer.Kw_output | Lexer.Kw_local ->
+      declaration st;
+      decls ()
+    | _ -> ()
+  in
+  decls ();
+  if current st = Lexer.Rbrace then fail st "kernel %s has no loop nest" name;
+  let loops, body = loops st [] in
+  if loops = [] then fail st "kernel %s has no loops" name;
+  expect st Lexer.Rbrace;
+  expect st Lexer.Eof;
+  let arrays = List.rev_map snd st.decls in
+  (* Only keep arrays that are actually referenced; Nest.make rejects
+     unreferenced duplicates anyway, but unreferenced declarations are
+     user noise we accept silently. *)
+  Nest.make ~name ~arrays ~loops ~body
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src
+
+(* --- printing ------------------------------------------------------------ *)
+
+let print nest =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "kernel %s {\n"
+    (String.map (function ' ' | '-' -> '_' | c -> c) nest.Nest.name);
+  let emit_decl (d : Decl.t) =
+    let storage =
+      match d.Decl.storage with
+      | Decl.Input -> "input"
+      | Decl.Output -> "output"
+      | Decl.Local -> "local"
+    in
+    let dims =
+      String.concat "" (List.map (Printf.sprintf "[%d]") d.Decl.dims)
+    in
+    out "  %-6s int%d %s%s;\n" storage d.Decl.bits d.Decl.name dims
+  in
+  List.iter emit_decl nest.Nest.arrays;
+  out "\n";
+  let depth = Nest.depth nest in
+  List.iteri
+    (fun level (l : Nest.loop) ->
+      out "%sfor (%s = 0; %s < %d; %s++)\n"
+        (String.make (2 * (level + 1)) ' ')
+        l.Nest.var l.Nest.var l.Nest.count l.Nest.var)
+    nest.Nest.loops;
+  out "%s{\n" (String.make (2 * (depth + 1)) ' ');
+  let ref_text (r : Expr.ref_) =
+    r.Expr.decl.Decl.name
+    ^ String.concat ""
+        (List.map (fun ix -> Printf.sprintf "[%s]" (Affine.to_string ix)) r.Expr.index)
+  in
+  let rec expr_text (e : Expr.t) =
+    match e with
+    | Expr.Const v -> if v < 0 then Printf.sprintf "(0 - %d)" (-v) else string_of_int v
+    | Expr.Load r -> ref_text r
+    | Expr.Unary (Op.Neg, a) -> Printf.sprintf "(0 - %s)" (expr_text a)
+    | Expr.Unary (Op.Abs, a) -> Printf.sprintf "abs(%s)" (expr_text a)
+    | Expr.Unary (Op.Bnot, a) -> Printf.sprintf "(1 - %s)" (expr_text a)
+    | Expr.Binary (op, a, b) ->
+      let sa = expr_text a and sb = expr_text b in
+      let infix sym = Printf.sprintf "(%s %s %s)" sa sym sb in
+      (match op with
+      | Op.Add -> infix "+"
+      | Op.Sub -> infix "-"
+      | Op.Mul -> infix "*"
+      | Op.Div -> infix "/"
+      | Op.Band -> infix "&"
+      | Op.Bor -> infix "|"
+      | Op.Bxor -> infix "^"
+      | Op.Eq -> infix "=="
+      | Op.Lt -> infix "<"
+      | Op.Min -> Printf.sprintf "min(%s, %s)" sa sb
+      | Op.Max -> Printf.sprintf "max(%s, %s)" sa sb)
+  in
+  List.iter
+    (fun (Expr.Assign (target, e)) ->
+      out "%s%s = %s;\n"
+        (String.make (2 * (depth + 2)) ' ')
+        (ref_text target) (expr_text e))
+    nest.Nest.body;
+  out "%s}\n}\n" (String.make (2 * (depth + 1)) ' ');
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Parser for the kernel source language.
+
+    The grammar (a C-like DSL matching how the paper presents kernels):
+
+    {v
+kernel fir {
+  input  int x[1024];
+  input  int c[32];
+  output int y[993];
+
+  for (i = 0; i < 993; i++)
+    for (j = 0; j < 32; j++)
+      y[i] += c[j] * x[i + j];
+}
+    v}
+
+    - declarations: [input|output|local intN name\[d\]...;] ([int] = 16 bits);
+    - loops: [for (v = 0; v < N; v++)], perfectly nested, one innermost body;
+    - statements: [ref = expr;] or the reduction sugar [ref += expr;];
+    - expressions: [+ - * / & | ^ == <], calls [min(a,b)], [max(a,b)],
+      [abs(a)], integer literals, references;
+    - indices: affine combinations of enclosing loop variables and
+      constants ([x\[4*i + j - 1\]]).
+
+    Loop variables are not values; scalars are zero-dimensional arrays. *)
+
+exception Error of string
+(** Syntax and scoping errors; the message includes the position. *)
+
+val parse : string -> Srfa_ir.Nest.t
+(** @raise Error on malformed input;
+    @raise Invalid_argument when the nest fails {!Srfa_ir.Nest.make}'s
+    semantic checks (e.g. out-of-bounds indices). *)
+
+val parse_file : string -> Srfa_ir.Nest.t
+(** Reads the file, then {!parse}.
+    @raise Sys_error when the file cannot be read. *)
+
+val print : Srfa_ir.Nest.t -> string
+(** Renders a nest back into parseable source. Round trips preserve the
+    analysis (groups, windows, semantics); unary operators are lowered to
+    their binary encodings. *)

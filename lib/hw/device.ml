@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  slices : int;
+  ram_blocks : int;
+  ram_block_bits : int;
+  ram_ports : int;
+  flipflops_per_slice : int;
+}
+
+let make ~name ~slices ~ram_blocks ~ram_block_bits ~ram_ports
+    ~flipflops_per_slice =
+  if slices <= 0 || ram_blocks <= 0 || ram_block_bits <= 0 || ram_ports <= 0
+     || flipflops_per_slice <= 0
+  then invalid_arg "Device.make: non-positive capacity";
+  { name; slices; ram_blocks; ram_block_bits; ram_ports; flipflops_per_slice }
+
+let xcv1000 =
+  make ~name:"XCV1000-BG560" ~slices:12288 ~ram_blocks:32 ~ram_block_bits:4096
+    ~ram_ports:2 ~flipflops_per_slice:2
+
+let xc2v6000 =
+  make ~name:"XC2V6000" ~slices:33792 ~ram_blocks:144 ~ram_block_bits:18432
+    ~ram_ports:2 ~flipflops_per_slice:2
+
+let register_slices t ~bits =
+  (bits + t.flipflops_per_slice - 1) / t.flipflops_per_slice
+
+let blocks_for t ~bits =
+  max 1 ((bits + t.ram_block_bits - 1) / t.ram_block_bits)
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d slices, %d RAMs x %d bits, %d ports)" t.name
+    t.slices t.ram_blocks t.ram_block_bits t.ram_ports

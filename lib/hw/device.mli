@@ -1,0 +1,36 @@
+(** Fine-grain configurable device descriptions.
+
+    Only the resource capacities the paper's evaluation touches: logic
+    slices (registers and operators consume them) and embedded RAM blocks
+    (arrays live there). The default device is the paper's target, a Xilinx
+    Virtex XCV1000 in a BG560 package. *)
+
+type t = private {
+  name : string;
+  slices : int;          (** total logic slices *)
+  ram_blocks : int;      (** number of embedded block RAMs *)
+  ram_block_bits : int;  (** capacity of one block in bits *)
+  ram_ports : int;       (** simultaneous accesses per block per cycle *)
+  flipflops_per_slice : int;
+}
+
+val make :
+  name:string -> slices:int -> ram_blocks:int -> ram_block_bits:int ->
+  ram_ports:int -> flipflops_per_slice:int -> t
+(** @raise Invalid_argument on non-positive capacities. *)
+
+val xcv1000 : t
+(** Xilinx Virtex XCV1000 BG560: 12288 slices, 32 BlockRAMs of 4096 bits,
+    dual-ported, 2 flip-flops per slice. *)
+
+val xc2v6000 : t
+(** Xilinx Virtex-II XC2V6000: a larger device for headroom experiments
+    (33792 slices, 144 BlockRAMs of 18 Kbit). *)
+
+val register_slices : t -> bits:int -> int
+(** Slices needed to hold one register of the given width. *)
+
+val blocks_for : t -> bits:int -> int
+(** RAM blocks needed to store [bits] bits of array data (at least 1). *)
+
+val pp : Format.formatter -> t -> unit

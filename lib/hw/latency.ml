@@ -1,0 +1,36 @@
+open Srfa_ir
+
+type t = {
+  ram_access : int;
+  register_access : int;
+  binary : Op.binary -> int;
+  unary : Op.unary -> int;
+}
+
+let default_binary : Op.binary -> int = function
+  | Op.Mul -> 1
+  | Op.Div -> 2
+  | Op.Add | Op.Sub | Op.Min | Op.Max | Op.Band | Op.Bor | Op.Bxor
+  | Op.Eq | Op.Lt ->
+    1
+
+let default_unary : Op.unary -> int = function
+  | Op.Neg | Op.Abs | Op.Bnot -> 1
+
+let default =
+  {
+    ram_access = 1;
+    register_access = 0;
+    binary = default_binary;
+    unary = default_unary;
+  }
+
+let make ?(ram_access = 1) ?(register_access = 0) ?(binary = default_binary)
+    ?(unary = default_unary) () =
+  if ram_access <= 0 then invalid_arg "Latency.make: ram_access must be > 0";
+  if register_access < 0 then
+    invalid_arg "Latency.make: negative register latency";
+  let check_op l = if l < 0 then invalid_arg "Latency.make: negative latency" in
+  List.iter (fun op -> check_op (binary op)) Op.all_binary;
+  List.iter (fun op -> check_op (unary op)) Op.all_unary;
+  { ram_access; register_access; binary; unary }

@@ -1,0 +1,26 @@
+(** Operation and memory latencies, in cycles.
+
+    The paper assumes known latencies for numeric operations and a memory
+    access latency of 0 (register) or a constant (RAM). The default table
+    models a 16-bit datapath on a Virtex-class device at the clock rates
+    these behavioral designs achieve. *)
+
+type t = private {
+  ram_access : int;       (** cycles for one RAM block access *)
+  register_access : int;  (** cycles for a register access (normally 0) *)
+  binary : Srfa_ir.Op.binary -> int;
+  unary : Srfa_ir.Op.unary -> int;
+}
+
+val default : t
+(** RAM 1, register 0; every unary and binary operator 1 except division
+    (2). At the 25 MHz clocks these designs achieve, a 16-bit multiply is
+    single-cycle on Virtex LUTs. This is the table used by the worked
+    example and Table 1. *)
+
+val make :
+  ?ram_access:int -> ?register_access:int ->
+  ?binary:(Srfa_ir.Op.binary -> int) -> ?unary:(Srfa_ir.Op.unary -> int) ->
+  unit -> t
+(** Overrides over {!default}. @raise Invalid_argument on a negative
+    latency or [ram_access = 0]. *)

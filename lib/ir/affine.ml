@@ -1,0 +1,67 @@
+module Smap = Map.Make (String)
+
+type t = { const : int; terms : int Smap.t }
+(* Invariant: [terms] never maps a variable to 0. *)
+
+let normalize terms = Smap.filter (fun _ c -> c <> 0) terms
+
+let const c = { const = c; terms = Smap.empty }
+
+let var ?(coeff = 1) v =
+  { const = 0; terms = normalize (Smap.singleton v coeff) }
+
+let add a b =
+  let merge _ x y =
+    match (x, y) with
+    | Some cx, Some cy -> if cx + cy = 0 then None else Some (cx + cy)
+    | Some c, None | None, Some c -> Some c
+    | None, None -> None
+  in
+  { const = a.const + b.const; terms = Smap.merge merge a.terms b.terms }
+
+let scale k a =
+  if k = 0 then const 0
+  else { const = k * a.const; terms = Smap.map (fun c -> k * c) a.terms }
+
+let sub a b = add a (scale (-1) b)
+let constant a = a.const
+
+let coeff a v = match Smap.find_opt v a.terms with Some c -> c | None -> 0
+let coeffs a = Smap.bindings a.terms
+let vars a = List.map fst (Smap.bindings a.terms)
+let is_const a = Smap.is_empty a.terms
+
+let eval a ~lookup =
+  Smap.fold (fun v c acc -> acc + (c * lookup v)) a.terms a.const
+
+let subst a v replacement =
+  let c = coeff a v in
+  if c = 0 then a
+  else
+    add
+      { const = a.const; terms = normalize (Smap.remove v a.terms) }
+      (scale c replacement)
+
+let equal a b = a.const = b.const && Smap.equal Int.equal a.terms b.terms
+
+let compare a b =
+  let c = Int.compare a.const b.const in
+  if c <> 0 then c else Smap.compare Int.compare a.terms b.terms
+
+let pp ppf a =
+  let pp_term first (v, c) =
+    if c >= 0 && not first then Format.fprintf ppf "+";
+    if c = 1 then Format.fprintf ppf "%s" v
+    else if c = -1 then Format.fprintf ppf "-%s" v
+    else Format.fprintf ppf "%d*%s" c v;
+    false
+  in
+  if Smap.is_empty a.terms then Format.fprintf ppf "%d" a.const
+  else begin
+    let first = List.fold_left pp_term true (Smap.bindings a.terms) in
+    ignore first;
+    if a.const > 0 then Format.fprintf ppf "+%d" a.const
+    else if a.const < 0 then Format.fprintf ppf "%d" a.const
+  end
+
+let to_string a = Format.asprintf "%a" pp a

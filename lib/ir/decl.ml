@@ -1,0 +1,30 @@
+type storage_class = Input | Output | Local
+
+type t = {
+  name : string;
+  dims : int list;
+  bits : int;
+  storage : storage_class;
+}
+
+let make ?(bits = 16) ?(storage = Input) name dims =
+  if name = "" then invalid_arg "Decl.make: empty name";
+  if bits <= 0 then invalid_arg "Decl.make: non-positive width";
+  if List.exists (fun d -> d <= 0) dims then
+    invalid_arg "Decl.make: non-positive extent";
+  { name; dims; bits; storage }
+
+let scalar ?(bits = 16) ?(storage = Local) name = make ~bits ~storage name []
+
+let elements t = List.fold_left ( * ) 1 t.dims
+let size_bits t = elements t * t.bits
+let rank t = List.length t.dims
+let equal a b = a.name = b.name
+let compare a b = String.compare a.name b.name
+
+let pp ppf t =
+  let class_name =
+    match t.storage with Input -> "in" | Output -> "out" | Local -> "local"
+  in
+  Format.fprintf ppf "%s %s:%d" class_name t.name t.bits;
+  List.iter (fun d -> Format.fprintf ppf "[%d]" d) t.dims

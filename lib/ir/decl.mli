@@ -1,0 +1,36 @@
+(** Array (and scalar) variable declarations.
+
+    A scalar is a 0-dimensional array: [dims = []]. Element width matters to
+    the area model (registers cost slices proportional to their width) and to
+    RAM-block capacity. *)
+
+type storage_class =
+  | Input   (** read-only data that lives in RAM before the loop runs *)
+  | Output  (** results that must reach RAM after the loop runs *)
+  | Local   (** intermediate values with no live-out requirement *)
+
+type t = private {
+  name : string;
+  dims : int list;  (** extents of each dimension; [] for a scalar *)
+  bits : int;       (** element width in bits *)
+  storage : storage_class;
+}
+
+val make : ?bits:int -> ?storage:storage_class -> string -> int list -> t
+(** [make name dims] declares an array. [bits] defaults to 16, [storage] to
+    [Input]. @raise Invalid_argument on a non-positive extent, a non-positive
+    width, or an empty name. *)
+
+val scalar : ?bits:int -> ?storage:storage_class -> string -> t
+(** A 0-dimensional declaration. [storage] defaults to [Local]. *)
+
+val elements : t -> int
+(** Total number of elements (1 for a scalar). *)
+
+val size_bits : t -> int
+(** [elements * bits]. *)
+
+val rank : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type store = (string, int array * Decl.t) Hashtbl.t
+
+let store_create nest =
+  let store = Hashtbl.create 16 in
+  let add (d : Decl.t) =
+    Hashtbl.replace store d.Decl.name (Array.make (Decl.elements d) 0, d)
+  in
+  List.iter add nest.Nest.arrays;
+  store
+
+let cells store name =
+  match Hashtbl.find_opt store name with
+  | Some (a, d) -> (a, d)
+  | None -> raise Not_found
+
+let store_init store name f =
+  let a, d = cells store name in
+  let dims = Array.of_list d.Decl.dims in
+  let rank = Array.length dims in
+  let coords = Array.make rank 0 in
+  let rec fill dim =
+    if dim = rank then
+      a.(Iterspace.element_linear d coords) <- f coords
+    else
+      for c = 0 to dims.(dim) - 1 do
+        coords.(dim) <- c;
+        fill (dim + 1)
+      done
+  in
+  fill 0
+
+let read store name coords =
+  let a, d = cells store name in
+  let ix = Iterspace.element_linear d coords in
+  if ix < 0 || ix >= Array.length a then
+    invalid_arg "Interp.read: coordinates out of bounds";
+  a.(ix)
+
+let write store name coords v =
+  let a, d = cells store name in
+  let ix = Iterspace.element_linear d coords in
+  if ix < 0 || ix >= Array.length a then
+    invalid_arg "Interp.write: coordinates out of bounds";
+  a.(ix) <- v
+
+let run nest store =
+  let load (r : Expr.ref_) coords =
+    let a, d = cells store r.Expr.decl.Decl.name in
+    a.(Iterspace.element_linear d coords)
+  in
+  let exec_point point =
+    let env = Iterspace.env_of_point nest point in
+    let exec_stmt (Expr.Assign (target, e)) =
+      let v = Expr.eval e ~env ~load in
+      let coords = Expr.eval_index target ~env in
+      let a, d = cells store target.Expr.decl.Decl.name in
+      a.(Iterspace.element_linear d coords) <- v
+    in
+    List.iter exec_stmt nest.Nest.body
+  in
+  Iterspace.iter nest exec_point
+
+let run_fresh nest ~init =
+  let store = store_create nest in
+  let init_array (d : Decl.t) =
+    match d.Decl.storage with
+    | Decl.Input -> store_init store d.Decl.name (init d.Decl.name)
+    | Decl.Output | Decl.Local -> ()
+  in
+  List.iter init_array nest.Nest.arrays;
+  run nest store;
+  store
+
+let equal_array s1 s2 name =
+  let a1, _ = cells s1 name and a2, _ = cells s2 name in
+  a1 = a2

@@ -1,0 +1,33 @@
+(** Reference interpreter for nests.
+
+    Executes a nest sequentially over a store of concrete array contents.
+    Used as the semantic oracle: the scalar-replacement transform in
+    [Srfa_codegen] must not change the values a kernel computes. *)
+
+type store
+
+val store_create : Nest.t -> store
+(** All arrays zero-initialised. *)
+
+val store_init : store -> string -> (int array -> int) -> unit
+(** [store_init s name f] sets every element of array [name] to [f coords].
+    @raise Not_found if the nest declares no such array. *)
+
+val read : store -> string -> int array -> int
+(** @raise Not_found on unknown array; @raise Invalid_argument on bad
+    coordinates. *)
+
+val write : store -> string -> int array -> int -> unit
+(** Direct element store (used by transformed-program executors).
+    @raise Not_found / @raise Invalid_argument as {!read}. *)
+
+val run : Nest.t -> store -> unit
+(** Executes the nest, mutating the store. *)
+
+val run_fresh :
+  Nest.t -> init:(string -> int array -> int) -> store
+(** Creates a store, initialises [Input] arrays with [init], runs, and
+    returns the final store. *)
+
+val equal_array : store -> store -> string -> bool
+(** Element-wise comparison of one array in two stores. *)

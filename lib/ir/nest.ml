@@ -1,0 +1,83 @@
+type loop = { var : string; count : int }
+
+type t = {
+  name : string;
+  arrays : Decl.t list;
+  loops : loop list;
+  body : Expr.stmt list;
+}
+
+let loop var count =
+  if var = "" then invalid_arg "Nest.loop: empty variable name";
+  if count <= 0 then invalid_arg "Nest.loop: non-positive trip count";
+  { var; count }
+
+let fail fmt = Format.kasprintf invalid_arg fmt
+
+(* Extremes of an affine expression over the iteration box: each variable
+   ranges over [0, count-1] independently, so the bound decomposes per
+   term. *)
+let affine_range loops ix =
+  let term (lo, hi) (v, c) =
+    match List.find_opt (fun l -> l.var = v) loops with
+    | None -> fail "index uses unknown loop variable %s" v
+    | Some l ->
+      let a = 0 and b = c * (l.count - 1) in
+      (lo + min a b, hi + max a b)
+  in
+  let base = Affine.constant ix in
+  List.fold_left term (base, base) (Affine.coeffs ix)
+
+let validate t =
+  if t.loops = [] then fail "nest %s: no loops" t.name;
+  if t.body = [] then fail "nest %s: empty body" t.name;
+  let vars = List.map (fun l -> l.var) t.loops in
+  if List.length (List.sort_uniq String.compare vars) <> List.length vars
+  then fail "nest %s: duplicate loop variables" t.name;
+  let names = List.map (fun d -> d.Decl.name) t.arrays in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then fail "nest %s: duplicate array declarations" t.name;
+  let check_ref (r : Expr.ref_) =
+    let declared =
+      List.exists (fun d -> Decl.equal d r.Expr.decl) t.arrays
+    in
+    if not declared then
+      fail "nest %s: reference to undeclared array %s" t.name
+        r.Expr.decl.Decl.name;
+    let check_dim extent ix =
+      let lo, hi = affine_range t.loops ix in
+      if lo < 0 || hi >= extent then
+        fail "nest %s: %s index %s ranges over [%d,%d], extent %d" t.name
+          r.Expr.decl.Decl.name (Affine.to_string ix) lo hi extent
+    in
+    List.iter2 check_dim r.Expr.decl.Decl.dims r.Expr.index
+  in
+  List.iter (fun s -> List.iter check_ref (Expr.stmt_refs s)) t.body
+
+let make ~name ~arrays ~loops ~body =
+  let t = { name; arrays; loops; body } in
+  validate t;
+  t
+
+let depth t = List.length t.loops
+let trip_counts t = List.map (fun l -> l.count) t.loops
+let iterations t = List.fold_left ( * ) 1 (trip_counts t)
+let loop_vars t = List.map (fun l -> l.var) t.loops
+let refs t = List.concat_map Expr.stmt_refs t.body
+
+let find_array t name =
+  List.find (fun d -> d.Decl.name = name) t.arrays
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>// kernel %s@," t.name;
+  List.iter (fun d -> Format.fprintf ppf "%a;@," Decl.pp d) t.arrays;
+  let emit_loop depth l =
+    Format.fprintf ppf "%sfor (%s = 0; %s < %d; %s++)@,"
+      (String.make (2 * depth) ' ')
+      l.var l.var l.count l.var
+  in
+  List.iteri emit_loop t.loops;
+  let indent = String.make (2 * depth t) ' ' in
+  let emit_stmt s = Format.fprintf ppf "%s%a@," indent Expr.pp_stmt s in
+  List.iter emit_stmt t.body;
+  Format.fprintf ppf "@]"

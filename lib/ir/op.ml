@@ -1,0 +1,37 @@
+type binary = Add | Sub | Mul | Div | Min | Max | Band | Bor | Bxor | Eq | Lt
+type unary = Neg | Abs | Bnot
+
+let eval_binary op a b =
+  match op with
+  | Add -> a + b
+  | Sub -> a - b
+  | Mul -> a * b
+  | Div -> if b = 0 then 0 else a / b
+  | Min -> min a b
+  | Max -> max a b
+  | Band -> a land b
+  | Bor -> a lor b
+  | Bxor -> a lxor b
+  | Eq -> if a = b then 1 else 0
+  | Lt -> if a < b then 1 else 0
+
+let eval_unary op a =
+  match op with Neg -> -a | Abs -> abs a | Bnot -> 1 - a
+
+let binary_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Min -> "min"
+  | Max -> "max"
+  | Band -> "and"
+  | Bor -> "or"
+  | Bxor -> "xor"
+  | Eq -> "eq"
+  | Lt -> "lt"
+
+let unary_name = function Neg -> "neg" | Abs -> "abs" | Bnot -> "not"
+
+let all_binary = [ Add; Sub; Mul; Div; Min; Max; Band; Bor; Bxor; Eq; Lt ]
+let all_unary = [ Neg; Abs; Bnot ]

@@ -1,0 +1,36 @@
+(** Arithmetic and logic operators of the loop-body language.
+
+    Latencies (in cycles) live in {!Srfa_hw.Latency}; this module only fixes
+    the operator vocabulary so the IR does not depend on the hardware
+    model. *)
+
+type binary =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | Band  (** bitwise and *)
+  | Bor   (** bitwise or *)
+  | Bxor  (** bitwise xor *)
+  | Eq    (** 1 if equal else 0 *)
+  | Lt    (** 1 if less-than else 0 *)
+
+type unary =
+  | Neg
+  | Abs
+  | Bnot  (** bitwise (1-bit) not: [1 - x] on 0/1 values *)
+
+val eval_binary : binary -> int -> int -> int
+(** Integer semantics used by the reference interpreter.
+    [Div] truncates toward zero; division by zero yields 0 (hardware
+    divider convention used by the test oracle). *)
+
+val eval_unary : unary -> int -> int
+
+val binary_name : binary -> string
+val unary_name : unary -> string
+
+val all_binary : binary list
+val all_unary : unary list

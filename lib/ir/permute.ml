@@ -1,0 +1,114 @@
+let associative_commutative : Op.binary -> bool = function
+  | Op.Add | Op.Mul | Op.Min | Op.Max | Op.Band | Op.Bor | Op.Bxor -> true
+  | Op.Sub | Op.Div | Op.Eq | Op.Lt -> false
+
+(* Is the statement a reduction [target = Load target op rest] (in either
+   operand position), with the self-read appearing exactly once? *)
+let reduction_shape (Expr.Assign (target, e)) =
+  let self_reads =
+    List.length
+      (List.filter (fun r -> Expr.ref_equal r target) (Expr.loads e))
+  in
+  match e with
+  | Expr.Binary (op, Expr.Load r, rest)
+    when Expr.ref_equal r target
+         && not (List.exists (fun r' -> Expr.ref_equal r' target) (Expr.loads rest))
+    -> self_reads = 1 && associative_commutative op
+  | Expr.Binary (op, rest, Expr.Load r)
+    when Expr.ref_equal r target
+         && not (List.exists (fun r' -> Expr.ref_equal r' target) (Expr.loads rest))
+    -> self_reads = 1 && associative_commutative op
+  | _ -> self_reads = 0
+
+let illegality nest =
+  let body = nest.Nest.body in
+  let writes_of (r : Expr.ref_) =
+    List.filter
+      (fun (Expr.Assign (t, _)) -> Expr.ref_equal t r)
+      body
+  in
+  let exception Reason of string in
+  try
+    (* 1. single writer per group; reductions well-shaped *)
+    List.iteri
+      (fun _ (Expr.Assign (target, _) as stmt) ->
+        if List.length (writes_of target) > 1 then
+          raise
+            (Reason
+               (Format.asprintf "%a is written by several statements"
+                  Expr.pp_ref target));
+        if not (reduction_shape stmt) then
+          raise
+            (Reason
+               (Format.asprintf
+                  "%a is combined with a non-associative operator or read \
+                   more than once in its own statement"
+                  Expr.pp_ref target)))
+      body;
+    (* 2. reads of written arrays: same group, at/after the write, or the
+       reduction self-read already validated above *)
+    let write_pos (r : Expr.ref_) =
+      let rec go k = function
+        | [] -> None
+        | Expr.Assign (t, _) :: rest ->
+          if Expr.ref_equal t r then Some k else go (k + 1) rest
+      in
+      go 0 body
+    in
+    List.iteri
+      (fun k (Expr.Assign (target, e)) ->
+        let check_read (r : Expr.ref_) =
+          let written_decl =
+            List.exists
+              (fun (Expr.Assign (t, _)) -> Decl.equal t.Expr.decl r.Expr.decl)
+              body
+          in
+          if written_decl then begin
+            match write_pos r with
+            | Some w when w < k || (w = k && Expr.ref_equal r target) -> ()
+            | Some _ | None ->
+              if not (Expr.ref_equal r target) then
+                raise
+                  (Reason
+                     (Format.asprintf
+                        "%a reads array %s through an index written \
+                         elsewhere (cross-iteration dependence)"
+                        Expr.pp_ref r r.Expr.decl.Decl.name))
+          end
+        in
+        List.iter check_read (Expr.loads e))
+      body;
+    None
+  with Reason why -> Some why
+
+let fully_permutable nest = illegality nest = None
+
+let interchange nest ~order =
+  let depth = Nest.depth nest in
+  if List.sort Int.compare order <> List.init depth Fun.id then
+    invalid_arg "Permute.interchange: order is not a permutation";
+  (match illegality nest with
+  | Some why -> invalid_arg ("Permute.interchange: " ^ why)
+  | None -> ());
+  let loops = Array.of_list nest.Nest.loops in
+  let reordered = List.map (fun l -> loops.(l)) order in
+  let loops =
+    List.map (fun (l : Nest.loop) -> Nest.loop l.Nest.var l.Nest.count) reordered
+  in
+  Nest.make ~name:nest.Nest.name ~arrays:nest.Nest.arrays ~loops
+    ~body:nest.Nest.body
+
+let all_orders nest =
+  let depth = Nest.depth nest in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+  in
+  let all = permutations (List.init depth Fun.id) in
+  let identity = List.init depth Fun.id in
+  identity :: List.filter (fun p -> p <> identity) all

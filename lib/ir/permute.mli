@@ -1,0 +1,32 @@
+(** Loop interchange.
+
+    Reuse windows — and therefore every allocation in this library — depend
+    on the loop order, so exploring interchanges is a natural companion to
+    the register allocator. Interchange is only applied to nests whose
+    cross-iteration data flow provably survives reordering:
+
+    - every written reference group has a single writing statement;
+    - reads of a written group either share its index functions and occur
+      at or after the write in the body (pure same-iteration forwarding,
+      e.g. Fig. 1's [d\[i\]\[k\]]), or form a reduction
+      [g = g op ...] whose combining operator is associative and
+      commutative (integer [+], [min], [max], bitwise ops).
+
+    Under these conditions the body's iteration instances are independent
+    up to reduction reordering, so {e every} permutation is legal — the
+    nest is fully permutable. *)
+
+val fully_permutable : Nest.t -> bool
+
+val illegality : Nest.t -> string option
+(** [None] when {!fully_permutable}; otherwise a human-readable reason. *)
+
+val interchange : Nest.t -> order:int list -> Nest.t
+(** [interchange nest ~order] reorders the loops; [order] lists the old
+    level indices (0-based, outermost first) in their new sequence, e.g.
+    [~order:[2; 0; 1]] makes the old innermost loop outermost.
+    @raise Invalid_argument if [order] is not a permutation of the levels
+    or the nest is not fully permutable. *)
+
+val all_orders : Nest.t -> int list list
+(** All permutations of the nest's levels, identity first (depth <= 6). *)

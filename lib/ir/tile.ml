@@ -1,0 +1,59 @@
+let tile nest ~level ~factor =
+  let loops = Array.of_list nest.Nest.loops in
+  if level < 0 || level >= Array.length loops then
+    invalid_arg "Tile.tile: level out of range";
+  let target = loops.(level) in
+  if factor < 2 then invalid_arg "Tile.tile: factor must be at least 2";
+  if target.Nest.count mod factor <> 0 then
+    invalid_arg
+      (Printf.sprintf "Tile.tile: factor %d does not divide trip count %d"
+         factor target.Nest.count);
+  let outer_var = target.Nest.var ^ "_t" in
+  let inner_var = target.Nest.var ^ "_i" in
+  let clash v =
+    Array.exists (fun (l : Nest.loop) -> l.Nest.var = v) loops
+    || List.exists (fun (d : Decl.t) -> d.Decl.name = v) nest.Nest.arrays
+  in
+  if clash outer_var || clash inner_var then
+    invalid_arg "Tile.tile: generated loop names collide";
+  (* v := factor * v_t + v_i in every index expression. *)
+  let replacement =
+    Affine.add (Affine.var ~coeff:factor outer_var) (Affine.var inner_var)
+  in
+  let subst_ref (r : Expr.ref_) =
+    Expr.ref_ r.Expr.decl
+      (List.map (fun ix -> Affine.subst ix target.Nest.var replacement) r.Expr.index)
+  in
+  let rec subst_expr (e : Expr.t) =
+    match e with
+    | Expr.Const _ -> e
+    | Expr.Load r -> Expr.Load (subst_ref r)
+    | Expr.Unary (op, a) -> Expr.Unary (op, subst_expr a)
+    | Expr.Binary (op, a, b) -> Expr.Binary (op, subst_expr a, subst_expr b)
+  in
+  let body =
+    List.map
+      (fun (Expr.Assign (t, e)) -> Expr.Assign (subst_ref t, subst_expr e))
+      nest.Nest.body
+  in
+  let new_loops =
+    Array.to_list loops
+    |> List.concat_map (fun (l : Nest.loop) ->
+           if l.Nest.var = target.Nest.var then
+             [
+               Nest.loop outer_var (target.Nest.count / factor);
+               Nest.loop inner_var factor;
+             ]
+           else [ Nest.loop l.Nest.var l.Nest.count ])
+  in
+  Nest.make ~name:nest.Nest.name ~arrays:nest.Nest.arrays ~loops:new_loops
+    ~body
+
+let tileable_factors nest ~level =
+  let loops = Array.of_list nest.Nest.loops in
+  if level < 0 || level >= Array.length loops then
+    invalid_arg "Tile.tileable_factors: level out of range";
+  let count = loops.(level).Nest.count in
+  List.filter
+    (fun f -> f >= 2 && f < count && count mod f = 0)
+    (List.init count (fun k -> k + 1))

@@ -1,0 +1,21 @@
+(** Strip-mining (tiling) of loop nests.
+
+    [tile] splits one loop of trip count [N] into an outer tile loop of
+    [N / factor] iterations and an inner intra-tile loop of [factor]
+    iterations, substituting [factor * outer + inner] for the original
+    variable in every index expression. The iteration order is exactly
+    preserved, so — unlike interchange — strip-mining alone is legal for
+    every nest; its value comes from the new loop level it exposes:
+    reuse carried by the original loop splits across the two new levels,
+    shrinking the windows the allocators must fund. Combine with
+    {!Permute.interchange} (when legal) to move tile loops outward. *)
+
+val tile : Nest.t -> level:int -> factor:int -> Nest.t
+(** [tile nest ~level ~factor] strip-mines the 0-based [level].
+    The new loops are named [<v>_t] (tile) and [<v>_i] (intra).
+    @raise Invalid_argument if the level is out of range, the factor is
+    less than 2, does not divide the trip count evenly, or the generated
+    names collide with existing variables. *)
+
+val tileable_factors : Nest.t -> level:int -> int list
+(** The divisors (>= 2, < trip count) usable as factors at a level. *)

@@ -1,0 +1,63 @@
+open Srfa_ir
+open Builder
+
+let conv2d ?(mask = 3) ?(image = 32) () =
+  let positions = Stdlib.(image - mask + 1) in
+  let im = input "im" [ image; image ]
+  and m = input "m" [ mask; mask ]
+  and out = output "out" [ positions; positions ] in
+  let r = idx "r" and c = idx "c" and u = idx "u" and v = idx "v" in
+  nest "conv2d"
+    ~loops:[ ("r", positions); ("c", positions); ("u", mask); ("v", mask) ]
+    [
+      at out [ r; c ]
+      <-- (out.%[ [ r; c ] ] + (m.%[ [ u; v ] ] * im.%[ [ r +: u; c +: v ] ]));
+    ]
+
+let moving_average ?(window = 16) ?(samples = 256) () =
+  let outputs = Stdlib.(samples - window + 1) in
+  let x = input "x" [ samples ] and y = output "y" [ outputs ] in
+  let i = idx "i" and j = idx "j" in
+  nest "moving-average"
+    ~loops:[ ("i", outputs); ("j", window) ]
+    [ at y [ i ] <-- (y.%[ [ i ] ] + (x.%[ [ i +: j ] ] / const window)) ]
+
+let corner_turn ?(size = 16) () =
+  let a = input "a" [ size; size ]
+  and b = input "b" [ size; size ]
+  and c = output "c" [ size; size ] in
+  let i = idx "i" and j = idx "j" and k = idx "k" in
+  nest "corner-turn"
+    ~loops:[ ("i", size); ("j", size); ("k", size) ]
+    [ at c [ i; j ] <-- (c.%[ [ i; j ] ] + (a.%[ [ k; i ] ] * b.%[ [ k; j ] ])) ]
+
+let gradient_pair ?(size = 24) () =
+  let im = input "im" [ size; Stdlib.(size + 1) ]
+  and gx = output "gx" [ size; size ]
+  and gy = output "gy" [ size; size ] in
+  (* gy reads a second image so the two statements share no arrays: the
+     body's DFG has two disconnected components. *)
+  let im2 = input "im2" [ Stdlib.(size + 1); size ] in
+  let r = idx "r" and c = idx "c" in
+  nest "gradient-pair"
+    ~loops:[ ("r", size); ("c", size) ]
+    [
+      at gx [ r; c ] <-- (im.%[ [ r; c +: cidx 1 ] ] - im.%[ [ r; c ] ]);
+      at gy [ r; c ] <-- (im2.%[ [ r +: cidx 1; c ] ] - im2.%[ [ r; c ] ]);
+    ]
+
+let all () =
+  [
+    ("conv2d", conv2d ());
+    ("moving-average", moving_average ());
+    ("corner-turn", corner_turn ());
+    ("gradient-pair", gradient_pair ());
+  ]
+
+let find name =
+  match String.lowercase_ascii name with
+  | "conv2d" -> Some (conv2d ())
+  | "moving-average" | "movavg" -> Some (moving_average ())
+  | "corner-turn" | "cornerturn" -> Some (corner_turn ())
+  | "gradient-pair" | "gradient" -> Some (gradient_pair ())
+  | _ -> None

@@ -1,0 +1,27 @@
+(** Kernels beyond the paper's six, exercising shapes Table 1 does not:
+    2-D stencils with two coupled dimensions, multi-statement bodies with
+    disconnected data-flow components, and transposed-operand reuse. Used
+    by the generality tests and available to the CLI. *)
+
+open Srfa_ir
+
+val conv2d : ?mask:int -> ?image:int -> unit -> Nest.t
+(** Dense 2-D convolution: [mask x mask] coefficients over an
+    [image x image] input (4-deep). Defaults 3 x 3 over 32 x 32. *)
+
+val moving_average : ?window:int -> ?samples:int -> unit -> Nest.t
+(** Boxcar filter: mean of [window] consecutive samples (2-deep).
+    Defaults: window 16 over 256 samples. *)
+
+val corner_turn : ?size:int -> unit -> Nest.t
+(** Transposed matrix product [c\[i\]\[j\] += a\[k\]\[i\] * b\[k\]\[j\]]:
+    both operands stream column-major, changing which loops carry reuse
+    compared to MAT. Default 16 x 16. *)
+
+val gradient_pair : ?size:int -> unit -> Nest.t
+(** Two independent 1-D gradients computed in one body (two statements
+    with disjoint data flow): the DFG has two components and the critical
+    graph covers only the slower one. Default 24 x 24. *)
+
+val all : unit -> (string * Nest.t) list
+val find : string -> Nest.t option

@@ -1,0 +1,109 @@
+open Srfa_ir
+open Builder
+
+let example () =
+  let a = input "a" [ 30 ]
+  and b = input "b" [ 30; 20 ]
+  and c = input "c" [ 20 ]
+  and d = output "d" [ 1; 30 ]
+  and e = output "e" [ 1; 20; 30 ] in
+  let i = idx "i" and j = idx "j" and k = idx "k" in
+  nest "example"
+    ~loops:[ ("i", 1); ("j", 20); ("k", 30) ]
+    [
+      at d [ i; k ] <-- (a.%[[ k ]] * b.%[[ k; j ]]);
+      at e [ i; j; k ] <-- (c.%[[ j ]] * d.%[[ i; k ]]);
+    ]
+
+let fir ?(taps = 32) ?(samples = 1024) () =
+  let outputs = Stdlib.(samples - taps + 1) in
+  let x = input "x" [ samples ]
+  and c = input "c" [ taps ]
+  and y = output "y" [ outputs ] in
+  let i = idx "i" and j = idx "j" in
+  nest "fir"
+    ~loops:[ ("i", outputs); ("j", taps) ]
+    [ at y [ i ] <-- (y.%[[ i ]] + (c.%[[ j ]] * x.%[[ i +: j ]])) ]
+
+let dec_fir ?(taps = 64) ?(samples = 1024) ?(decimation = 4) () =
+  let outputs = Stdlib.(((samples - taps) / decimation) + 1) in
+  let x = input "x" [ samples ]
+  and c = input "c" [ taps ]
+  and y = output "y" [ outputs ] in
+  let i = idx "i" and j = idx "j" in
+  nest "dec-fir"
+    ~loops:[ ("i", outputs); ("j", taps) ]
+    [ at y [ i ] <-- (y.%[[ i ]] + (c.%[[ j ]] * x.%[[ (decimation *: i) +: j ]])) ]
+
+let mat ?(size = 32) () =
+  let a = input "a" [ size; size ]
+  and b = input "b" [ size; size ]
+  and c = output "c" [ size; size ] in
+  let i = idx "i" and j = idx "j" and k = idx "k" in
+  nest "mat"
+    ~loops:[ ("i", size); ("j", size); ("k", size) ]
+    [ at c [ i; j ] <-- (c.%[[ i; j ]] + (a.%[[ i; k ]] * b.%[[ k; j ]])) ]
+
+let imi ?(width = 64) ?(height = 64) ?(frames = 8) () =
+  let im1 = input "im1" [ height; width ]
+  and im2 = input "im2" [ height; width ]
+  and w = input "w" [ frames ]
+  and out = output "out" [ frames; height; width ] in
+  let f = idx "f" and r = idx "r" and c = idx "c" in
+  (* Linear blend, per-frame weight from a small table:
+     out = im1 + w[f]*(im2-im1)/frames. *)
+  nest "imi"
+    ~loops:[ ("f", frames); ("r", height); ("c", width) ]
+    [
+      at out [ f; r; c ]
+      <-- (im1.%[[ r; c ]]
+          + (w.%[[ f ]] * (im2.%[[ r; c ]] - im1.%[[ r; c ]]) / const frames));
+    ]
+
+let pat ?(pattern = 64) ?(text = 1024) () =
+  let positions = Stdlib.(text - pattern + 1) in
+  let s = input "s" [ text ] ~bits:8
+  and p = input "p" [ pattern ] ~bits:8
+  and hits = output "hits" [ positions ] in
+  let i = idx "i" and q = idx "q" in
+  nest "pat"
+    ~loops:[ ("i", positions); ("q", pattern) ]
+    [ at hits [ i ] <-- (hits.%[[ i ]] + eq s.%[[ i +: q ]] p.%[[ q ]]) ]
+
+let bic ?(template = 16) ?(image = 64) () =
+  let positions = Stdlib.(image - template + 1) in
+  let im = input "im" [ image; image ] ~bits:1
+  and t = input "t" [ template; template ] ~bits:1
+  and score = output "score" [ positions; positions ] in
+  let r = idx "r" and c = idx "c" and u = idx "u" and v = idx "v" in
+  nest "bic"
+    ~loops:[ ("r", positions); ("c", positions); ("u", template); ("v", template) ]
+    [
+      at score [ r; c ]
+      <-- (score.%[[ r; c ]] + eq im.%[[ r +: u; c +: v ]] t.%[[ u; v ]]);
+    ]
+
+let all () =
+  [
+    ("fir", fir ());
+    ("dec-fir", dec_fir ());
+    ("imi", imi ());
+    ("mat", mat ());
+    ("pat", pat ());
+    ("bic", bic ());
+  ]
+
+let names =
+  [ "fir"; "dec-fir"; "imi"; "mat"; "pat"; "bic"; "example" ]
+  @ List.map fst (Extra.all ())
+
+let find name =
+  match String.lowercase_ascii name with
+  | "example" -> Some (example ())
+  | "fir" -> Some (fir ())
+  | "dec-fir" | "decfir" | "dec_fir" -> Some (dec_fir ())
+  | "mat" | "matmul" -> Some (mat ())
+  | "imi" -> Some (imi ())
+  | "pat" -> Some (pat ())
+  | "bic" -> Some (bic ())
+  | other -> Extra.find other

@@ -1,0 +1,56 @@
+(** The paper's benchmark kernels (§5) and the Fig. 1 running example.
+
+    All kernels are perfect nests with compile-time bounds, written against
+    {!Srfa_ir.Builder}. Default parameters follow the paper's prose; the
+    exact literals are unreadable in the published scan, so they are
+    recorded (and justified) in DESIGN.md §4 and kept overridable here for
+    sensitivity experiments.
+
+    Accumulations are expressed as [acc = acc + ...] on an output array
+    element whose index is invariant in the reduction loop; the reuse
+    analysis then assigns the accumulator a single register, which is
+    exactly how the paper's designs keep partial sums out of RAM. *)
+
+open Srfa_ir
+
+val example : unit -> Nest.t
+(** Fig. 1: the 3-deep nest over [d\[i\]\[k\] = a\[k\]*b\[k\]\[j\]];
+    [e\[i\]\[j\]\[k\] = c\[j\]*d\[i\]\[k\]] with the recovered bounds
+    (1, 20, 30). *)
+
+val fir : ?taps:int -> ?samples:int -> unit -> Nest.t
+(** Finite impulse response filter: [y\[i\] += c\[j\] * x\[i+j\]].
+    Defaults: 32 taps over 1024 samples. *)
+
+val dec_fir : ?taps:int -> ?samples:int -> ?decimation:int -> unit -> Nest.t
+(** Decimating FIR: [y\[i\] += c\[j\] * x\[D*i+j\]].
+    Defaults: 64 taps, 1024 samples, decimation 4. *)
+
+val mat : ?size:int -> unit -> Nest.t
+(** Square matrix-matrix multiply, default 32 x 32. *)
+
+val imi : ?width:int -> ?height:int -> ?frames:int -> unit -> Nest.t
+(** Image interpolation: [frames] intermediate images blended from two
+    greyscale [height x width] sources, frame loop outermost.
+    Defaults: 64 x 64, 8 frames. *)
+
+val pat : ?pattern:int -> ?text:int -> unit -> Nest.t
+(** Pattern matching: occurrence counts of a [pattern]-character string at
+    every position of a [text]-character string.
+    Defaults: 64-character pattern, 1024-character text. *)
+
+val bic : ?template:int -> ?image:int -> unit -> Nest.t
+(** Binary image correlation: a [template x template] mask against every
+    overlapping region of an [image x image] bitmap (4-deep nest).
+    Defaults: 16 x 16 template, 64 x 64 image. *)
+
+val all : unit -> (string * Nest.t) list
+(** The six Table 1 kernels with default parameters, in the paper's order:
+    FIR, Dec-FIR, IMI, MAT, PAT, BIC. *)
+
+val find : string -> Nest.t option
+(** Lookup by (case-insensitive) kernel name, including "example" and the
+    {!Extra} kernels. *)
+
+val names : string list
+(** All valid names for {!find}. *)

@@ -1,0 +1,56 @@
+type entry = { beta : int; pinned : bool }
+
+type t = {
+  analysis : Analysis.t;
+  entries : entry array;
+  budget : int;
+  algorithm : string;
+}
+
+let make ~analysis ~budget ~algorithm entries =
+  if Array.length entries <> Analysis.num_groups analysis then
+    invalid_arg "Allocation.make: entry/group count mismatch";
+  if Array.exists (fun e -> e.beta < 0) entries then
+    invalid_arg "Allocation.make: negative register count";
+  let total = Array.fold_left (fun acc e -> acc + e.beta) 0 entries in
+  if total > budget then
+    invalid_arg
+      (Printf.sprintf "Allocation.make (%s): %d registers exceed budget %d"
+         algorithm total budget);
+  { analysis; entries; budget; algorithm }
+
+let beta t gid = t.entries.(gid).beta
+let entry t gid = t.entries.(gid)
+
+let total_registers t =
+  Array.fold_left (fun acc e -> acc + e.beta) 0 t.entries
+
+let is_full t gid =
+  let i = Analysis.info t.analysis gid in
+  t.entries.(gid).beta >= i.Analysis.nu
+
+let fully_pinned_groups t =
+  let keep gid =
+    let e = t.entries.(gid) in
+    e.pinned && is_full t gid
+  in
+  List.filter keep (List.init (Array.length t.entries) Fun.id)
+
+let residual_ram_groups t =
+  let residual gid =
+    let i = Analysis.info t.analysis gid in
+    let e = t.entries.(gid) in
+    (not i.Analysis.has_reuse) || (not e.pinned) || e.beta < i.Analysis.nu
+  in
+  List.filter residual (List.init (Array.length t.entries) Fun.id)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>allocation (%s, budget %d):@," t.algorithm t.budget;
+  Array.iteri
+    (fun gid e ->
+      let i = Analysis.info t.analysis gid in
+      Format.fprintf ppf "  %-14s beta=%-5d nu=%-5d %s@,"
+        (Group.name i.Analysis.group) e.beta i.Analysis.nu
+        (if e.pinned then "pinned" else "plain"))
+    t.entries;
+  Format.fprintf ppf "  total = %d@]" (total_registers t)

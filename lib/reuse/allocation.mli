@@ -1,0 +1,41 @@
+(** Register allocations: the output of every allocator.
+
+    One entry per reference group. [beta] is the number of registers the
+    group received; [pinned] records whether those registers are managed as
+    reuse-window slots. The greedy baselines (FR-RA, PR-RA) pin only groups
+    they explicitly allocate — the initial feasibility register of the other
+    groups is plain datapath plumbing — whereas CPA-RA pins every group
+    (DESIGN.md §4). *)
+
+type entry = { beta : int; pinned : bool }
+
+type t = private {
+  analysis : Analysis.t;
+  entries : entry array; (** by group id *)
+  budget : int;          (** register budget the allocator ran under *)
+  algorithm : string;    (** provenance label, e.g. "cpa-ra" *)
+}
+
+val make :
+  analysis:Analysis.t -> budget:int -> algorithm:string -> entry array -> t
+(** @raise Invalid_argument if the entry count differs from the group
+    count, any [beta] is negative, or the total exceeds the budget. *)
+
+val beta : t -> int -> int
+(** Registers of a group, by id. *)
+
+val entry : t -> int -> entry
+
+val total_registers : t -> int
+
+val is_full : t -> int -> bool
+(** [beta >= nu]: the group is fully scalar-replaced. *)
+
+val fully_pinned_groups : t -> int list
+(** Ids of groups with [pinned] and [beta >= nu]. *)
+
+val residual_ram_groups : t -> int list
+(** Ids of groups that still produce RAM traffic in steady state: groups
+    without reuse, and groups not fully covered by pinned registers. *)
+
+val pp : Format.formatter -> t -> unit

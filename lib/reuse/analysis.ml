@@ -1,0 +1,264 @@
+open Srfa_ir
+
+type info = {
+  group : Group.t;
+  reuse : Kernelspace.t;
+  has_reuse : bool;
+  window_level : int;
+  nu : int;
+  accesses : int;
+  distinct : int;
+  saved_full : int;
+  benefit_cost : float;
+  lin_coeffs : int array;
+  lin_const : int;
+}
+
+type t = { nest : Nest.t; groups : Group.t array; infos : info array }
+
+(* The element index of an affine reference linearises (row-major) into a
+   single affine function of the iteration point; precomputing its
+   coefficients makes the per-iteration analyses cheap. *)
+let linearise nest (r : Expr.ref_) =
+  let vars = Array.of_list (Nest.loop_vars nest) in
+  let depth = Array.length vars in
+  let coeffs = Array.make depth 0 in
+  let const = ref 0 in
+  let dims = Array.of_list r.Expr.decl.Decl.dims in
+  let stride = Array.make (Array.length dims) 1 in
+  for d = Array.length dims - 2 downto 0 do
+    stride.(d) <- stride.(d + 1) * dims.(d + 1)
+  done;
+  let add_dim d ix =
+    const := !const + (stride.(d) * Affine.constant ix);
+    for l = 0 to depth - 1 do
+      coeffs.(l) <- coeffs.(l) + (stride.(d) * Affine.coeff ix vars.(l))
+    done
+  in
+  List.iteri add_dim r.Expr.index;
+  (coeffs, !const)
+
+let element_of coeffs const point =
+  let acc = ref const in
+  for l = 0 to Array.length coeffs - 1 do
+    acc := !acc + (coeffs.(l) * point.(l))
+  done;
+  !acc
+
+(* nu: distinct elements during one reuse window. The window is one
+   iteration of the carrying loop's body, scaled by the carry distance
+   (delta consecutive iterations for coupled indices with non-unit steps):
+   outer levels at 0, the carrying level sweeping [0, delta), inner levels
+   over their full ranges. *)
+let count_window_distinct ~counts ~level ~delta coeffs const =
+  let depth = Array.length counts in
+  let seen = Hashtbl.create 64 in
+  let point = Array.make depth 0 in
+  let lo = Array.make depth 0 in
+  let hi = Array.make depth 0 in
+  for l = 0 to depth - 1 do
+    if l < level - 1 then hi.(l) <- 0
+    else if l = level - 1 then hi.(l) <- min delta counts.(l) - 1
+    else hi.(l) <- counts.(l) - 1
+  done;
+  let rec walk l =
+    if l = depth then
+      Hashtbl.replace seen (element_of coeffs const point) ()
+    else
+      for c = lo.(l) to hi.(l) do
+        point.(l) <- c;
+        walk (l + 1)
+      done
+  in
+  walk 0;
+  Hashtbl.length seen
+
+let analyze nest =
+  let groups = Group.collect nest in
+  let loop_vars = Nest.loop_vars nest in
+  let counts = Array.of_list (Nest.trip_counts nest) in
+  let depth = Array.length counts in
+  let iterations = Nest.iterations nest in
+  let lins = Array.map (fun g -> linearise nest g.Group.ref_) groups in
+  (* One pass over the iteration space counts distinct elements per group.
+     Every group is touched each iteration (straight-line body), so
+     accesses = iterations. *)
+  let distinct_tbls =
+    Array.map (fun _ -> Hashtbl.create 256) groups
+  in
+  let visit point =
+    Array.iteri
+      (fun gi (coeffs, const) ->
+        let e = element_of coeffs const point in
+        let tbl = distinct_tbls.(gi) in
+        if not (Hashtbl.mem tbl e) then Hashtbl.replace tbl e ())
+      lins
+  in
+  Iterspace.iter nest visit;
+  let info_of gi (g : Group.t) =
+    let coeffs, const = lins.(gi) in
+    let reuse = Kernelspace.of_index ~loop_vars g.Group.ref_.Expr.index in
+    let has_reuse = Kernelspace.has_reuse reuse in
+    let window_level, delta =
+      match (Kernelspace.carry_level reuse, Kernelspace.carry_distance reuse) with
+      | Some l, Some d -> (l, d)
+      | _ -> (depth + 1, 1)
+    in
+    let nu =
+      if not has_reuse then 1
+      else count_window_distinct ~counts ~level:window_level ~delta coeffs const
+    in
+    let accesses = iterations in
+    let distinct = Hashtbl.length distinct_tbls.(gi) in
+    let saved_full = if has_reuse then accesses - distinct else 0 in
+    {
+      group = g;
+      reuse;
+      has_reuse;
+      window_level;
+      nu;
+      accesses;
+      distinct;
+      saved_full;
+      benefit_cost = float_of_int saved_full /. float_of_int nu;
+      lin_coeffs = coeffs;
+      lin_const = const;
+    }
+  in
+  { nest; groups; infos = Array.mapi info_of groups }
+
+let info t gid =
+  if gid < 0 || gid >= Array.length t.infos then
+    invalid_arg "Analysis.info: group id out of range";
+  t.infos.(gid)
+
+let element_index i point = element_of i.lin_coeffs i.lin_const point
+let num_groups t = Array.length t.infos
+
+let total_registers_full t =
+  Array.fold_left (fun acc i -> acc + i.nu) 0 t.infos
+
+(* Candidate slot-rank expression: a mixed-radix index over the in-window
+   levels the reference depends on. Verified against the true first-touch
+   order by walking one window; coupled index maps (where later iterations
+   revisit elements out of radix order) fail the check and return None. *)
+let rank_affine t (i : info) =
+  if not i.has_reuse then None
+  else begin
+    let counts = Array.of_list (Nest.trip_counts t.nest) in
+    let depth = Array.length counts in
+    let wl = i.window_level in
+    let inner = List.init (depth - wl) (fun n -> wl + n) in
+    let appearing =
+      List.filter (fun l -> i.lin_coeffs.(l) <> 0) inner
+    in
+    let coeffs = Array.make depth 0 in
+    let _ =
+      List.fold_right
+        (fun l radix ->
+          coeffs.(l) <- radix;
+          radix * counts.(l))
+        appearing 1
+    in
+    (* Validate on one window (outer coordinates pinned to 0). *)
+    let ranks = Hashtbl.create 64 in
+    let next = ref 0 in
+    let ok = ref true in
+    let point = Array.make depth 0 in
+    let rec walk l =
+      if !ok then
+        if l = depth then begin
+          let e = element_of i.lin_coeffs i.lin_const point in
+          let true_rank =
+            match Hashtbl.find_opt ranks e with
+            | Some r -> r
+            | None ->
+              let r = !next in
+              Hashtbl.replace ranks e r;
+              incr next;
+              r
+          in
+          let predicted = ref 0 in
+          for l' = 0 to depth - 1 do
+            predicted := !predicted + (coeffs.(l') * point.(l'))
+          done;
+          if !predicted <> true_rank then ok := false
+        end
+        else begin
+          let hi = if l < wl then 0 else counts.(l) - 1 in
+          let c = ref 0 in
+          while !ok && !c <= hi do
+            point.(l) <- !c;
+            walk (l + 1);
+            incr c
+          done
+        end
+    in
+    walk 0;
+    if !ok then Some coeffs else None
+  end
+
+module Tracker = struct
+  type gstate = {
+    ranks : (int, int) Hashtbl.t;
+    mutable next_rank : int;
+    mutable window : int array; (* coords of levels 1..window_level *)
+    mutable current_rank : int;
+  }
+
+  type tracker = { analysis : t; states : gstate array }
+
+  let create analysis =
+    let mk (i : info) =
+      let wl = min i.window_level (Array.length (Array.of_list (Nest.trip_counts analysis.nest))) in
+      {
+        ranks = Hashtbl.create 64;
+        next_rank = 0;
+        window = Array.make (max wl 0) (-1);
+        current_rank = max_int;
+      }
+    in
+    { analysis; states = Array.map mk analysis.infos }
+
+  let step tr point =
+    let update gi (i : info) =
+      if i.has_reuse then begin
+        let st = tr.states.(gi) in
+        let wl = Array.length st.window in
+        let changed = ref false in
+        for l = 0 to wl - 1 do
+          if st.window.(l) <> point.(l) then changed := true
+        done;
+        if !changed then begin
+          Array.blit point 0 st.window 0 wl;
+          Hashtbl.reset st.ranks;
+          st.next_rank <- 0
+        end;
+        let e = element_index i point in
+        let rank =
+          match Hashtbl.find_opt st.ranks e with
+          | Some r -> r
+          | None ->
+            let r = st.next_rank in
+            Hashtbl.replace st.ranks e r;
+            st.next_rank <- r + 1;
+            r
+        in
+        st.current_rank <- rank
+      end
+    in
+    Array.iteri update tr.analysis.infos
+
+  let slot_rank tr gid =
+    let i = tr.analysis.infos.(gid) in
+    if i.has_reuse then tr.states.(gid).current_rank else max_int
+
+  let resident tr gid ~beta ~pinned =
+    pinned && slot_rank tr gid < beta
+end
+
+let pp_info ppf i =
+  Format.fprintf ppf
+    "%s: reuse=%b level=%d nu=%d accesses=%d distinct=%d saved=%d b/c=%.2f"
+    (Group.name i.group) i.has_reuse i.window_level i.nu i.accesses
+    i.distinct i.saved_full i.benefit_cost

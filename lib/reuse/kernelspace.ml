@@ -1,0 +1,148 @@
+open Srfa_ir
+
+(* Exact rational arithmetic for the tiny Gaussian eliminations below
+   (matrices are at most rank x depth with depth <= 6). *)
+module Rat = struct
+  type t = { num : int; den : int } (* den > 0, gcd(num,den) = 1 *)
+
+  let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+  let make num den =
+    assert (den <> 0);
+    let s = if den < 0 then -1 else 1 in
+    let g = gcd num den in
+    let g = if g = 0 then 1 else g in
+    { num = s * num / g; den = s * den / g }
+
+  let zero = { num = 0; den = 1 }
+  let of_int n = { num = n; den = 1 }
+  let is_zero r = r.num = 0
+  let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+  let neg a = { a with num = -a.num }
+  let sub a b = add a (neg b)
+  let mul a b = make (a.num * b.num) (a.den * b.den)
+  let div a b = if b.num = 0 then invalid_arg "Rat.div" else make (a.num * b.den) (a.den * b.num)
+end
+
+type t = {
+  depth : int;
+  basis : int array list; (* primitive integer kernel vectors, echelon order *)
+}
+
+(* Reduced row echelon form, in place; returns the pivot column of each
+   surviving row. *)
+let rref (m : Rat.t array array) =
+  let rows = Array.length m in
+  if rows = 0 then []
+  else begin
+    let cols = Array.length m.(0) in
+    let pivots = ref [] in
+    let r = ref 0 in
+    for c = 0 to cols - 1 do
+      if !r < rows then begin
+        (* Find a row at or below !r with a non-zero entry in column c. *)
+        let piv = ref (-1) in
+        for i = !r to rows - 1 do
+          if !piv < 0 && not (Rat.is_zero m.(i).(c)) then piv := i
+        done;
+        if !piv >= 0 then begin
+          let tmp = m.(!r) in
+          m.(!r) <- m.(!piv);
+          m.(!piv) <- tmp;
+          let inv = Rat.div (Rat.of_int 1) m.(!r).(c) in
+          m.(!r) <- Array.map (fun x -> Rat.mul inv x) m.(!r);
+          for i = 0 to rows - 1 do
+            if i <> !r && not (Rat.is_zero m.(i).(c)) then begin
+              let f = m.(i).(c) in
+              for j = 0 to cols - 1 do
+                m.(i).(j) <- Rat.sub m.(i).(j) (Rat.mul f m.(!r).(j))
+              done
+            end
+          done;
+          pivots := (!r, c) :: !pivots;
+          incr r
+        end
+      end
+    done;
+    List.rev !pivots
+  end
+
+(* Scale a rational vector to a primitive integer vector whose leading
+   non-zero component is positive. *)
+let to_primitive (v : Rat.t array) =
+  let lcm a b = if a = 0 || b = 0 then max a b else a / Rat.gcd a b * b in
+  let l = Array.fold_left (fun acc (r : Rat.t) -> lcm acc r.Rat.den) 1 v in
+  let ints = Array.map (fun (r : Rat.t) -> r.Rat.num * (l / r.Rat.den)) v in
+  let g = Array.fold_left (fun acc x -> Rat.gcd acc x) 0 ints in
+  let g = if g = 0 then 1 else g in
+  let ints = Array.map (fun x -> x / g) ints in
+  let rec sign i =
+    if i >= Array.length ints then 1
+    else if ints.(i) <> 0 then compare ints.(i) 0
+    else sign (i + 1)
+  in
+  if sign 0 < 0 then Array.map (fun x -> -x) ints else ints
+
+let of_index ~loop_vars index =
+  let depth = List.length loop_vars in
+  let vars = Array.of_list loop_vars in
+  let row_of ix =
+    Array.map (fun v -> Rat.of_int (Affine.coeff ix v)) vars
+  in
+  let m = Array.of_list (List.map row_of index) in
+  let pivots = rref m in
+  let pivot_cols = List.map snd pivots in
+  let free_cols =
+    List.filter (fun c -> not (List.mem c pivot_cols)) (List.init depth Fun.id)
+  in
+  (* One kernel basis vector per free column: free var = 1, others from the
+     pivot rows. *)
+  let vector_for free =
+    let v = Array.make depth Rat.zero in
+    v.(free) <- Rat.of_int 1;
+    let set (r, c) = v.(c) <- Rat.neg m.(r).(free) in
+    List.iter set pivots;
+    v
+  in
+  let raw = List.map vector_for free_cols in
+  (* Echelonize the kernel basis itself so leading positions are canonical
+     (outermost-first ordering of levels = column order). *)
+  let basis =
+    if raw = [] then []
+    else begin
+      let b = Array.of_list raw in
+      let _ = rref b in
+      Array.to_list b
+      |> List.filter (fun v -> Array.exists (fun x -> not (Rat.is_zero x)) v)
+      |> List.map to_primitive
+      |> List.sort (fun a b ->
+             let lead v =
+               let rec go i = if v.(i) <> 0 then i else go (i + 1) in
+               go 0
+             in
+             Int.compare (lead a) (lead b))
+    end
+  in
+  { depth; basis }
+
+let has_reuse t = t.basis <> []
+
+let leading v =
+  let rec go i =
+    if i >= Array.length v then None
+    else if v.(i) <> 0 then Some (i, v.(i))
+    else go (i + 1)
+  in
+  go 0
+
+let carry_level t =
+  match t.basis with
+  | [] -> None
+  | v :: _ -> ( match leading v with Some (i, _) -> Some (i + 1) | None -> None)
+
+let carry_distance t =
+  match t.basis with
+  | [] -> None
+  | v :: _ -> ( match leading v with Some (_, c) -> Some (abs c) | None -> None)
+
+let kernel_basis t = t.basis

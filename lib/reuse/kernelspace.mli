@@ -1,0 +1,35 @@
+(** Temporal reuse detection for affine references.
+
+    A reference with index map [f : iteration -> element] exhibits temporal
+    (self or group-within-one-reference) reuse exactly when [f] is not
+    injective, i.e. the linear part of [f] has a non-trivial null space.
+    A null-space vector [t] with first non-zero component at loop level [l]
+    (1-based, outermost = 1) means iterations that differ by [t] touch the
+    same element: the reuse is {e carried} by loop [l].
+
+    Following the paper (and So & Hall), carrying is decided symbolically
+    from the index coefficients — a loop with trip count 1 still "carries"
+    the reuse its structure implies; only the {e saved-access} computation
+    looks at actual trip counts. *)
+
+type t
+
+val of_index : loop_vars:string list -> Srfa_ir.Affine.t list -> t
+(** [of_index ~loop_vars index] analyses the linear part of the index
+    functions with respect to the enclosing loops (outermost first). *)
+
+val has_reuse : t -> bool
+(** True iff the index map is non-injective over the integers. *)
+
+val carry_level : t -> int option
+(** Outermost loop level (1-based) carrying reuse; [None] when injective. *)
+
+val carry_distance : t -> int option
+(** The minimal positive step of the carrying loop between two iterations
+    touching the same element ([Some 1] for all unit-coefficient indices).
+    [None] when injective. *)
+
+val kernel_basis : t -> int array list
+(** A basis of the integer null space, each vector primitive with positive
+    leading component, in echelon order (leading positions increasing).
+    Empty when injective. *)

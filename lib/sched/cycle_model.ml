@@ -1,0 +1,154 @@
+open Srfa_reuse
+module Graph = Srfa_dfg.Graph
+
+type t = {
+  dfg : Graph.t;
+  latency : Srfa_hw.Latency.t;
+  ram_map : Srfa_hw.Ram_map.t;
+  topo : int list;
+  compute_makespan : int;
+}
+
+(* ASAP list scheduling with RAM port constraints. Charged reference nodes
+   occupy a port of their array's bank for [ram_access] cycles; everything
+   else only waits for its predecessors. *)
+let schedule_makespan dfg latency ram_map topo ~charged =
+  let n = Graph.num_nodes dfg in
+  let finish = Array.make n 0 in
+  let ports : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let ram = latency.Srfa_hw.Latency.ram_access in
+  let alloc_port bank ready =
+    let nports =
+      if bank >= -1 then Srfa_hw.Ram_map.ports_of_bank ram_map bank
+      else 2 (* virtual banks of unmapped arrays: dual-ported default *)
+    in
+    let slots =
+      match Hashtbl.find_opt ports bank with
+      | Some s -> s
+      | None ->
+        let s = ref [] in
+        Hashtbl.replace ports bank s;
+        s
+    in
+    (* Find the earliest start >= ready when fewer than [nports] accesses
+       overlap; accesses are unit-grain intervals [start, start+ram). *)
+    let overlaps start = List.filter (fun s -> abs (s - start) < ram) !slots in
+    let rec find start =
+      if List.length (overlaps start) < nports then start else find (start + 1)
+    in
+    let start = find ready in
+    slots := start :: !slots;
+    start
+  in
+  let visit u =
+    let nd = (Graph.nodes dfg).(u) in
+    let ready =
+      List.fold_left (fun acc p -> max acc finish.(p)) 0 (Graph.preds dfg u)
+    in
+    let dur = Graph.node_latency dfg ~latency ~charged nd in
+    let start =
+      match Graph.group_of_node nd with
+      | Some g when charged g ->
+        let bank =
+          let name = (Group.decl g).Srfa_ir.Decl.name in
+          if Srfa_hw.Ram_map.is_mapped ram_map name then
+            Srfa_hw.Ram_map.bank_of ram_map name
+          else -1000 - g.Group.id (* unmapped: private virtual banks *)
+        in
+        alloc_port bank ready
+      | Some _ | None -> ready
+    in
+    finish.(u) <- start + dur
+  in
+  List.iter visit topo;
+  Array.fold_left max 0 finish
+
+let create ~dfg ~latency ~ram_map =
+  let n = Graph.num_nodes dfg in
+  let topo = Srfa_util.Toposort.sort ~n ~succs:(Graph.succs dfg) in
+  let compute_makespan =
+    schedule_makespan dfg latency ram_map topo ~charged:(fun _ -> false)
+  in
+  { dfg; latency; ram_map; topo; compute_makespan }
+
+let makespan t ~charged =
+  schedule_makespan t.dfg t.latency t.ram_map t.topo ~charged
+
+let compute_makespan t = t.compute_makespan
+
+let memory_cycles t ~charged = makespan t ~charged - t.compute_makespan
+
+let bank_of_group t (g : Group.t) =
+  let name = (Group.decl g).Srfa_ir.Decl.name in
+  if Srfa_hw.Ram_map.is_mapped t.ram_map name then
+    Srfa_hw.Ram_map.bank_of t.ram_map name
+  else -1000 - g.Group.id
+
+(* Longest op-latency path between two nodes of the same group (read
+   before write): the loop-carried recurrence a pipelined schedule cannot
+   break. *)
+let recurrence_length t =
+  let n = Graph.num_nodes t.dfg in
+  let nodes = Graph.nodes t.dfg in
+  let weight u =
+    match nodes.(u).Graph.kind with
+    | Graph.Ref_node _ | Graph.Const_node _ -> 0
+    | Graph.Binary_node op -> t.latency.Srfa_hw.Latency.binary op
+    | Graph.Unary_node op -> t.latency.Srfa_hw.Latency.unary op
+  in
+  (* dist.(u).(v)-free approach: for each group with a source node and a
+     later sink node, longest path from source to sink. *)
+  let best = ref 1 in
+  let sources = Hashtbl.create 8 and sinks = Hashtbl.create 8 in
+  Array.iter
+    (fun (nd : Graph.node) ->
+      match Graph.group_of_node nd with
+      | Some g ->
+        if Graph.preds t.dfg nd.Graph.id = [] then
+          Hashtbl.replace sources g.Group.id nd.Graph.id
+        else Hashtbl.replace sinks g.Group.id nd.Graph.id
+      | None -> ())
+    nodes;
+  Hashtbl.iter
+    (fun gid src ->
+      match Hashtbl.find_opt sinks gid with
+      | None -> ()
+      | Some sink ->
+        (* longest path src -> sink over op weights *)
+        let dist = Array.make n min_int in
+        dist.(src) <- 0;
+        List.iter
+          (fun u ->
+            if dist.(u) > min_int then
+              List.iter
+                (fun v ->
+                  let d = dist.(u) + weight v in
+                  if d > dist.(v) then dist.(v) <- d)
+                (Graph.succs t.dfg u))
+          t.topo;
+        if dist.(sink) > !best then best := dist.(sink))
+    sources;
+  !best
+
+let initiation_interval t ~charged =
+  let pressure = Hashtbl.create 8 in
+  let note (nd : Graph.node) =
+    match Graph.group_of_node nd with
+    | Some g when charged g ->
+      let b = bank_of_group t g in
+      Hashtbl.replace pressure b
+        (1 + Option.value ~default:0 (Hashtbl.find_opt pressure b))
+    | Some _ | None -> ()
+  in
+  Array.iter note (Graph.nodes t.dfg);
+  let port_ii =
+    Hashtbl.fold
+      (fun b accesses acc ->
+        let ports =
+          if b >= -1 then Srfa_hw.Ram_map.ports_of_bank t.ram_map b else 2
+        in
+        let per_access = t.latency.Srfa_hw.Latency.ram_access in
+        max acc ((accesses * per_access + ports - 1) / ports))
+      pressure 0
+  in
+  max 1 (max port_ii (recurrence_length t))

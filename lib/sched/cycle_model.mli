@@ -1,0 +1,43 @@
+(** Per-iteration cycle cost of a loop body.
+
+    The body executes as one data-flow graph evaluation per iteration
+    (serial execution model of the paper's Monet-generated designs): the
+    iteration takes as long as the longest dependence chain, with RAM
+    accesses to distinct blocks overlapping freely and accesses to the same
+    block serialising on its ports. The schedule is ASAP list scheduling in
+    topological order. *)
+
+open Srfa_reuse
+
+type t
+
+val create :
+  dfg:Srfa_dfg.Graph.t ->
+  latency:Srfa_hw.Latency.t ->
+  ram_map:Srfa_hw.Ram_map.t ->
+  t
+
+val makespan : t -> charged:(Group.t -> bool) -> int
+(** Cycles one body iteration takes when exactly the [charged] groups hit
+    RAM. *)
+
+val compute_makespan : t -> int
+(** Makespan when every access is register-served: the pure compute
+    critical path. *)
+
+val memory_cycles : t -> charged:(Group.t -> bool) -> int
+(** [makespan - compute_makespan]: cycles attributable to memory. *)
+
+val initiation_interval : t -> charged:(Group.t -> bool) -> int
+(** Steady-state initiation interval if the body were fully pipelined:
+    the larger of (a) the port pressure of the busiest RAM bank —
+    charged accesses per iteration divided by the bank's ports, rounded
+    up — and (b) the longest loop-carried recurrence (the op-latency path
+    from the read of a group to the write of the same group within the
+    body, e.g. an accumulator's multiply-add chain). A lower bound of 1.
+
+    Pipelining is not the paper's execution model (Monet emits serial
+    FSMs); {!Simulator} exposes it as an ablation: with private
+    dual-ported banks pipelining erases the allocator differences
+    entirely, and with scarce ports the access-count (knapsack) objective
+    — not the critical path — becomes the right one. *)

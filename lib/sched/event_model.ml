@@ -1,0 +1,79 @@
+open Srfa_reuse
+module Graph = Srfa_dfg.Graph
+
+let makespan ~dfg ~latency ~ram_map ~charged =
+  let n = Graph.num_nodes dfg in
+  if n = 0 then 0
+  else begin
+    let topo =
+      Array.of_list (Srfa_util.Toposort.sort ~n ~succs:(Graph.succs dfg))
+    in
+    let duration u =
+      Graph.node_latency dfg ~latency ~charged (Graph.nodes dfg).(u)
+    in
+    let bank u =
+      let nd = (Graph.nodes dfg).(u) in
+      match Graph.group_of_node nd with
+      | Some g when charged g ->
+        let name = (Group.decl g).Srfa_ir.Decl.name in
+        if Srfa_hw.Ram_map.is_mapped ram_map name then
+          Some (Srfa_hw.Ram_map.bank_of ram_map name)
+        else Some (-1000 - g.Group.id)
+      | Some _ | None -> None
+    in
+    let finish = Array.make n (-1) in
+    let started = Array.make n false in
+    let deps_done u =
+      List.for_all
+        (fun p -> started.(p) && finish.(p) >= 0)
+        (Graph.preds dfg u)
+    in
+    (* busy.(bank) at a given cycle, rebuilt per cycle from in-flight
+       accesses. *)
+    let in_flight : (int * int) list ref = ref [] in
+    let clock = ref 0 in
+    let remaining = ref n in
+    while !remaining > 0 do
+      let t = !clock in
+      in_flight := List.filter (fun (_, fin) -> fin > t) !in_flight;
+      let port_load b =
+        List.length (List.filter (fun (b', _) -> b' = b) !in_flight)
+      in
+      (* Start ready nodes in topological order; a node is ready when its
+         predecessors have finished by cycle t. *)
+      Array.iter
+        (fun u ->
+          if not started.(u) then begin
+            let ready =
+              deps_done u
+              && List.for_all (fun p -> finish.(p) <= t) (Graph.preds dfg u)
+            in
+            if ready then begin
+              match bank u with
+              | None ->
+                started.(u) <- true;
+                finish.(u) <- t + duration u;
+                decr remaining
+              | Some b ->
+                (* Virtual banks of unmapped arrays are dual-ported, as in
+                   Cycle_model. *)
+                let ports =
+                  if b >= -1 then Srfa_hw.Ram_map.ports_of_bank ram_map b
+                  else 2
+                in
+                if port_load b < ports then begin
+                  started.(u) <- true;
+                  let fin = t + duration u in
+                  finish.(u) <- fin;
+                  in_flight := (b, fin) :: !in_flight;
+                  decr remaining
+                end
+            end
+          end)
+        topo;
+      incr clock;
+      if !clock > 100000 then
+        invalid_arg "Event_model.makespan: schedule failed to converge"
+    done;
+    Array.fold_left max 0 finish
+  end

@@ -1,0 +1,93 @@
+open Srfa_reuse
+
+type policy = Pinned | Lru | Direct_mapped
+
+let policy_name = function
+  | Pinned -> "pinned"
+  | Lru -> "lru"
+  | Direct_mapped -> "direct"
+
+let policy_of_name = function
+  | "pinned" -> Some Pinned
+  | "lru" -> Some Lru
+  | "direct" | "direct-mapped" -> Some Direct_mapped
+  | _ -> None
+
+(* LRU over distinct element ids with capacity [beta]: a timestamped map
+   suffices at these sizes (beta <= a few hundred). *)
+type lru = {
+  mutable clock : int;
+  stamps : (int, int) Hashtbl.t; (* element -> last-touch time *)
+  capacity : int;
+}
+
+let lru_create capacity = { clock = 0; stamps = Hashtbl.create 64; capacity }
+
+let lru_touch l e =
+  let hit = Hashtbl.mem l.stamps e in
+  l.clock <- l.clock + 1;
+  if hit then Hashtbl.replace l.stamps e l.clock
+  else begin
+    if Hashtbl.length l.stamps >= l.capacity then begin
+      (* Evict the stalest entry. *)
+      let victim = ref (-1) and oldest = ref max_int in
+      Hashtbl.iter
+        (fun e' t ->
+          if t < !oldest then begin
+            oldest := t;
+            victim := e'
+          end)
+        l.stamps;
+      if !victim >= 0 then Hashtbl.remove l.stamps !victim
+    end;
+    Hashtbl.replace l.stamps e l.clock
+  end;
+  hit
+
+type gstate =
+  | Pinned_state
+  | Lru_state of lru
+  | Direct_state of int array (* slot -> element id currently held, -1 empty *)
+
+type t = {
+  allocation : Allocation.t;
+  tracker : Analysis.Tracker.tracker;
+  states : gstate array;
+  mutable point : int array;
+}
+
+let create policy allocation =
+  let analysis = allocation.Allocation.analysis in
+  let mk gid =
+    let beta = Allocation.beta allocation gid in
+    match policy with
+    | Pinned -> Pinned_state
+    | Lru -> Lru_state (lru_create (max beta 1))
+    | Direct_mapped -> Direct_state (Array.make (max beta 1) (-1))
+  in
+  {
+    allocation;
+    tracker = Analysis.Tracker.create analysis;
+    states = Array.init (Analysis.num_groups analysis) mk;
+    point = [||];
+  }
+
+let step t point =
+  Analysis.Tracker.step t.tracker point;
+  t.point <- point
+
+let resident t gid =
+  let analysis = t.allocation.Allocation.analysis in
+  let info = Analysis.info analysis gid in
+  match t.states.(gid) with
+  | Pinned_state ->
+    let e = Allocation.entry t.allocation gid in
+    Analysis.Tracker.resident t.tracker gid ~beta:e.Allocation.beta
+      ~pinned:e.Allocation.pinned
+  | Lru_state l -> lru_touch l (Analysis.element_index info t.point)
+  | Direct_state slots ->
+    let e = Analysis.element_index info t.point in
+    let slot = e mod Array.length slots in
+    let hit = slots.(slot) = e in
+    slots.(slot) <- e;
+    hit

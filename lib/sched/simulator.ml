@@ -1,0 +1,165 @@
+open Srfa_ir
+open Srfa_reuse
+
+type ram_policy = Private_banks | Single_bank
+type execution = Serial | Pipelined
+
+type config = {
+  latency : Srfa_hw.Latency.t;
+  device : Srfa_hw.Device.t;
+  control_overhead : int;
+  ram_policy : ram_policy;
+  residency : Residency.policy;
+  execution : execution;
+}
+
+let default_config =
+  {
+    latency = Srfa_hw.Latency.default;
+    device = Srfa_hw.Device.xcv1000;
+    control_overhead = 0;
+    ram_policy = Private_banks;
+    residency = Residency.Pinned;
+    execution = Serial;
+  }
+
+type result = {
+  iterations : int;
+  total_cycles : int;
+  memory_cycles : int;
+  compute_cycles : int;
+  control_cycles : int;
+  ram_accesses : int;
+  register_hits : int;
+  group_ram_accesses : int array;
+}
+
+(* Arrays that need RAM backing: anything with steady-state traffic, plus
+   input/output arrays whose data must be staged regardless of how well the
+   registers cover the loop itself. *)
+let ram_backed_arrays alloc =
+  let analysis = alloc.Allocation.analysis in
+  let residual = Allocation.residual_ram_groups alloc in
+  let needs (d : Decl.t) =
+    match d.Decl.storage with
+    | Decl.Input | Decl.Output -> true
+    | Decl.Local ->
+      let in_residual gid =
+        Decl.equal (Group.decl (Analysis.info analysis gid).Analysis.group) d
+      in
+      List.exists in_residual residual
+  in
+  List.filter needs analysis.Analysis.nest.Nest.arrays
+
+let ram_map_for config alloc =
+  let arrays = ram_backed_arrays alloc in
+  match config.ram_policy with
+  | Private_banks -> Srfa_hw.Ram_map.build config.device arrays
+  | Single_bank -> Srfa_hw.Ram_map.build_single_bank config.device arrays
+
+(* Shared walking core: calls [on_iteration cost resident_bits] once per
+   iteration point, in execution order. *)
+let walk config alloc ~on_iteration =
+  let analysis = alloc.Allocation.analysis in
+  let nest = analysis.Analysis.nest in
+  let ngroups = Analysis.num_groups analysis in
+  let ram_map = ram_map_for config alloc in
+  let dfg = Srfa_dfg.Graph.build analysis in
+  let model = Cycle_model.create ~dfg ~latency:config.latency ~ram_map in
+  let residency = Residency.create config.residency alloc in
+  (* Charged-set bitmask -> makespan. Loop bodies have few groups, so the
+     memo stays tiny even though the space walk is long. *)
+  if ngroups > 60 then invalid_arg "Simulator.run: too many groups to mask";
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let charged_bits = Array.make ngroups false in
+  let makespan_of_mask mask =
+    match Hashtbl.find_opt memo mask with
+    | Some m -> m
+    | None ->
+      let charged (g : Group.t) = charged_bits.(g.Group.id) in
+      let m =
+        match config.execution with
+        | Serial -> Cycle_model.makespan model ~charged
+        | Pipelined -> Cycle_model.initiation_interval model ~charged
+      in
+      Hashtbl.replace memo mask m;
+      m
+  in
+  let resident_bits = Array.make ngroups false in
+  let visit point =
+    Residency.step residency point;
+    let mask = ref 0 in
+    for gid = 0 to ngroups - 1 do
+      let resident = Residency.resident residency gid in
+      charged_bits.(gid) <- not resident;
+      resident_bits.(gid) <- resident;
+      if not resident then mask := !mask lor (1 lsl gid)
+    done;
+    on_iteration (makespan_of_mask !mask) resident_bits
+  in
+  Iterspace.iter nest visit;
+  match config.execution with
+  | Serial -> Cycle_model.compute_makespan model
+  | Pipelined ->
+    Cycle_model.initiation_interval model ~charged:(fun _ -> false)
+
+let run ?(config = default_config) alloc =
+  let analysis = alloc.Allocation.analysis in
+  let ngroups = Analysis.num_groups analysis in
+  let total = ref 0 in
+  let ram_accesses = ref 0 in
+  let register_hits = ref 0 in
+  let group_ram = Array.make ngroups 0 in
+  let on_iteration cost resident_bits =
+    total := !total + cost;
+    Array.iteri
+      (fun gid resident ->
+        if resident then incr register_hits
+        else begin
+          incr ram_accesses;
+          group_ram.(gid) <- group_ram.(gid) + 1
+        end)
+      resident_bits
+  in
+  let model_baseline = walk config alloc ~on_iteration in
+  let iterations = Nest.iterations analysis.Analysis.nest in
+  (* Serial: the baseline per-iteration cost is the pure-compute makespan.
+     Pipelined: it is the recurrence-limited II, plus a one-time pipeline
+     fill of one body depth. *)
+  let compute_cycles, fill =
+    match config.execution with
+    | Serial -> (model_baseline * iterations, 0)
+    | Pipelined -> (model_baseline * iterations, model_baseline)
+  in
+  let control_cycles = config.control_overhead * iterations in
+  {
+    iterations;
+    total_cycles = !total + control_cycles + fill;
+    memory_cycles = !total - compute_cycles;
+    compute_cycles;
+    control_cycles;
+    ram_accesses = !ram_accesses;
+    register_hits = !register_hits;
+    group_ram_accesses = group_ram;
+  }
+
+let profile ?(config = default_config) alloc =
+  let hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let on_iteration cost _ =
+    let cost = cost + config.control_overhead in
+    Hashtbl.replace hist cost
+      (1 + Option.value ~default:0 (Hashtbl.find_opt hist cost))
+  in
+  let _ = walk config alloc ~on_iteration in
+  Hashtbl.fold (fun cost count acc -> (cost, count) :: acc) hist []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let memory_cycles_only ?config alloc = (run ?config alloc).memory_cycles
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>iterations      %d@,total cycles    %d@,memory cycles   %d@,\
+     compute cycles  %d@,control cycles  %d@,ram accesses    %d@,\
+     register hits   %d@]"
+    r.iterations r.total_cycles r.memory_cycles r.compute_cycles
+    r.control_cycles r.ram_accesses r.register_hits

@@ -1,0 +1,63 @@
+(** Whole-nest execution simulation.
+
+    Walks the iteration space in execution order, tracking register
+    residency per reference group (see {!Srfa_reuse.Analysis.Tracker}), and
+    accumulates the cycle cost of every iteration under the given
+    allocation. Per-iteration costs are memoised on the set of groups that
+    hit RAM, so the walk is linear in the iteration count. *)
+
+open Srfa_reuse
+
+type ram_policy =
+  | Private_banks  (** one bank per array: the paper's concurrency model *)
+  | Single_bank    (** ablation: all accesses serialise on one port *)
+
+type execution =
+  | Serial     (** the paper's model: one body evaluation at a time *)
+  | Pipelined  (** ablation: fully pipelined body, cost = initiation
+                   interval (see {!Cycle_model.initiation_interval}) *)
+
+type config = {
+  latency : Srfa_hw.Latency.t;
+  device : Srfa_hw.Device.t;
+  control_overhead : int;
+      (** extra cycles of loop control per body iteration *)
+  ram_policy : ram_policy;
+  residency : Residency.policy;
+      (** register-file management discipline; the paper's is {!Residency.Pinned} *)
+  execution : execution;
+}
+
+val default_config : config
+(** {!Srfa_hw.Latency.default}, XCV1000, no separate control cycles (the
+    FSM overlaps next-state computation with the datapath). *)
+
+type result = {
+  iterations : int;
+  total_cycles : int;       (** makespans + control overhead *)
+  memory_cycles : int;      (** cycles attributable to RAM accesses *)
+  compute_cycles : int;     (** pure-compute makespan times iterations *)
+  control_cycles : int;
+  ram_accesses : int;       (** charged group-accesses over the run *)
+  register_hits : int;      (** accesses served by pinned registers *)
+  group_ram_accesses : int array; (** per group id *)
+}
+
+val run : ?config:config -> Allocation.t -> result
+(** Simulates the allocation's nest. *)
+
+val profile : ?config:config -> Allocation.t -> (int * int) list
+(** Histogram of per-iteration cycle costs: [(cost, iterations)] pairs,
+    ascending by cost. The paper narrates designs this way ("iterations
+    have either 1 or 2 memory accesses"); the profile makes the claim
+    checkable for any design. *)
+
+val memory_cycles_only : ?config:config -> Allocation.t -> int
+(** Convenience: the [memory_cycles] field alone (the paper's T_mem). *)
+
+val ram_map_for : config -> Allocation.t -> Srfa_hw.Ram_map.t
+(** The array-to-block mapping the simulation uses: every array backed by
+    RAM in steady state, plus input/output arrays (their data must be
+    staged in RAM before/after the computation). *)
+
+val pp_result : Format.formatter -> result -> unit

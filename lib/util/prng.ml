@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let create ~seed =
+  let s = if seed = 0 then 0x1E3779B97F4A7C15 else seed in
+  { state = Int64.of_int s }
+
+(* xorshift64*: good-enough statistical quality for workload generation. *)
+let next t =
+  let open Int64 in
+  let x = t.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.state <- x;
+  mul x 0x2545F4914F6CDD1DL
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (v /. 9007199254740992.0)
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

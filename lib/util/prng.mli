@@ -1,0 +1,25 @@
+(** A small deterministic pseudo-random number generator (xorshift64-star).
+
+    Workload generators and property tests need reproducible streams that do
+    not depend on the global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] makes an independent generator. A seed of [0] is replaced
+    by a fixed non-zero constant (xorshift has an all-zero fixed point). *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform value in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float -> float
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. @raise Invalid_argument on []. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,60 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  let ncols = List.length t.headers in
+  let n = List.length cells in
+  if n > ncols then invalid_arg "Texttable.add_row: too many cells";
+  let padded = cells @ List.init (ncols - n) (fun _ -> "") in
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let note_width i s =
+    if String.length s > widths.(i) then widths.(i) <- String.length s
+  in
+  List.iteri (fun i (h, _) -> note_width i h) t.headers;
+  let note_row = function
+    | Separator -> ()
+    | Cells cs -> List.iteri note_width cs
+  in
+  List.iter note_row t.rows;
+  let buf = Buffer.create 1024 in
+  let pad i s align =
+    let fill = widths.(i) - String.length s in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+  in
+  let aligns = List.map snd t.headers in
+  let emit_cells cs =
+    let item i (s, a) = (if i > 0 then Buffer.add_string buf "  "); Buffer.add_string buf (pad i s a) in
+    List.iteri item (List.combine cs aligns);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_cells (List.map fst t.headers);
+  rule ();
+  let emit = function
+    | Separator -> rule ()
+    | Cells cs -> emit_cells cs
+  in
+  List.iter emit (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,25 @@
+(** Fixed-width text tables for benchmark and report output.
+
+    The bench harness prints the paper's Table 1 as aligned text; this module
+    does the column sizing so every printer produces consistent output. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:(string * align) list -> t
+(** [create ~headers] starts a table whose columns are labelled and aligned
+    as given. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. Rows shorter than the header are padded
+    with empty cells; longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between the rows added before and after. *)
+
+val render : t -> string
+(** Renders the table, one trailing newline included. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)

@@ -1,0 +1,42 @@
+exception Cycle of int
+
+(* Colours for the DFS: 0 = unvisited, 1 = on stack, 2 = done. *)
+let sort ~n ~succs =
+  let colour = Array.make n 0 in
+  let order = ref [] in
+  let rec visit u =
+    match colour.(u) with
+    | 1 -> raise (Cycle u)
+    | 2 -> ()
+    | _ ->
+      colour.(u) <- 1;
+      List.iter visit (succs u);
+      colour.(u) <- 2;
+      order := u :: !order
+  in
+  for u = 0 to n - 1 do
+    visit u
+  done;
+  !order
+
+let levels ~n ~succs =
+  let order = sort ~n ~succs in
+  let level = Array.make n 0 in
+  let bump u =
+    let l = level.(u) in
+    let raise_succ v = if level.(v) < l + 1 then level.(v) <- l + 1 in
+    List.iter raise_succ (succs u)
+  in
+  List.iter bump order;
+  level
+
+let reachable ~n ~succs seeds =
+  let seen = Array.make n false in
+  let rec visit u =
+    if not seen.(u) then begin
+      seen.(u) <- true;
+      List.iter visit (succs u)
+    end
+  in
+  List.iter visit seeds;
+  seen

@@ -1,0 +1,23 @@
+(** Topological ordering of small integer-indexed DAGs.
+
+    Nodes are identified by integers [0 .. n-1]. Edges are given by a
+    successor function. The graphs handled by this library (data-flow graphs
+    of loop bodies) have at most a few hundred nodes, so simplicity is
+    preferred over asymptotic cleverness. *)
+
+exception Cycle of int
+(** Raised when the graph contains a cycle; the payload is a node on it. *)
+
+val sort : n:int -> succs:(int -> int list) -> int list
+(** [sort ~n ~succs] returns the nodes [0 .. n-1] in a topological order
+    (every edge goes from an earlier to a later element).
+    @raise Cycle if the graph is not a DAG. *)
+
+val levels : n:int -> succs:(int -> int list) -> int array
+(** [levels ~n ~succs] assigns to each node its depth: sources get level 0,
+    and every other node gets [1 + max] of its predecessors' levels.
+    @raise Cycle if the graph is not a DAG. *)
+
+val reachable : n:int -> succs:(int -> int list) -> int list -> bool array
+(** [reachable ~n ~succs seeds] marks every node reachable from [seeds]
+    (including the seeds themselves) following edges forward. *)

@@ -1,0 +1,116 @@
+open Srfa_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let lookup env v =
+  match List.assoc_opt v env with Some x -> x | None -> raise Not_found
+
+let test_const () =
+  let a = Affine.const 5 in
+  check_int "constant term" 5 (Affine.constant a);
+  check_bool "is_const" true (Affine.is_const a);
+  check_int "eval" 5 (Affine.eval a ~lookup:(lookup []))
+
+let test_var () =
+  let a = Affine.var "i" in
+  check_int "coeff i" 1 (Affine.coeff a "i");
+  check_int "coeff j" 0 (Affine.coeff a "j");
+  check_bool "not const" false (Affine.is_const a);
+  check_int "eval" 7 (Affine.eval a ~lookup:(lookup [ ("i", 7) ]))
+
+let test_var_coeff () =
+  let a = Affine.var ~coeff:4 "i" in
+  check_int "coeff" 4 (Affine.coeff a "i");
+  check_int "eval" 12 (Affine.eval a ~lookup:(lookup [ ("i", 3) ]))
+
+let test_zero_coeff_normalised () =
+  let a = Affine.var ~coeff:0 "i" in
+  check_bool "zero-coefficient variable vanishes" true (Affine.is_const a);
+  Alcotest.(check (list string)) "vars" [] (Affine.vars a)
+
+let test_add () =
+  let a = Affine.add (Affine.var "i") (Affine.var ~coeff:2 "j") in
+  let a = Affine.add a (Affine.const 3) in
+  check_int "eval i+2j+3" 10
+    (Affine.eval a ~lookup:(lookup [ ("i", 1); ("j", 3) ]));
+  Alcotest.(check (list string)) "vars sorted" [ "i"; "j" ] (Affine.vars a)
+
+let test_add_cancels () =
+  let a = Affine.add (Affine.var "i") (Affine.var ~coeff:(-1) "i") in
+  check_bool "i - i = 0" true (Affine.is_const a);
+  check_int "constant" 0 (Affine.constant a)
+
+let test_sub () =
+  let a = Affine.sub (Affine.var "i") (Affine.const 2) in
+  check_int "eval i-2" 3 (Affine.eval a ~lookup:(lookup [ ("i", 5) ]))
+
+let test_scale () =
+  let a = Affine.scale 3 (Affine.add (Affine.var "i") (Affine.const 1)) in
+  check_int "coeff" 3 (Affine.coeff a "i");
+  check_int "const" 3 (Affine.constant a);
+  let z = Affine.scale 0 a in
+  check_bool "scale 0 is constant" true (Affine.is_const z);
+  check_int "scale 0 value" 0 (Affine.constant z)
+
+let test_equal () =
+  let a = Affine.add (Affine.var "i") (Affine.var "j") in
+  let b = Affine.add (Affine.var "j") (Affine.var "i") in
+  check_bool "commutative equality" true (Affine.equal a b);
+  check_bool "differs from i+2j" false
+    (Affine.equal a (Affine.add (Affine.var "i") (Affine.var ~coeff:2 "j")));
+  check_int "compare equal" 0 (Affine.compare a b)
+
+let test_pp () =
+  let s x = Affine.to_string x in
+  Alcotest.(check string) "const" "7" (s (Affine.const 7));
+  Alcotest.(check string) "var" "i" (s (Affine.var "i"));
+  Alcotest.(check string) "coeff" "3*i" (s (Affine.var ~coeff:3 "i"));
+  Alcotest.(check string) "sum" "i+j" (s (Affine.add (Affine.var "i") (Affine.var "j")));
+  Alcotest.(check string) "with const" "i+2"
+    (s (Affine.add (Affine.var "i") (Affine.const 2)));
+  Alcotest.(check string) "negative" "-i"
+    (s (Affine.var ~coeff:(-1) "i"))
+
+let prop_eval_linear =
+  QCheck.Test.make ~name:"eval is linear in the environment" ~count:200
+    QCheck.(triple (int_bound 10) (int_bound 10) (int_bound 10))
+    (fun (ci, cj, k) ->
+      let a =
+        Affine.add
+          (Affine.add (Affine.var ~coeff:ci "i") (Affine.var ~coeff:cj "j"))
+          (Affine.const k)
+      in
+      let env i j v = lookup [ ("i", i); ("j", j) ] v in
+      Affine.eval a ~lookup:(env 2 3) = (2 * ci) + (3 * cj) + k)
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:200
+    QCheck.(pair (int_bound 20) (int_bound 20))
+    (fun (x, y) ->
+      let a = Affine.var ~coeff:x "i" and b = Affine.var ~coeff:y "j" in
+      Affine.equal (Affine.add a b) (Affine.add b a))
+
+let () =
+  Alcotest.run "affine"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "const" `Quick test_const;
+          Alcotest.test_case "var" `Quick test_var;
+          Alcotest.test_case "var with coeff" `Quick test_var_coeff;
+          Alcotest.test_case "zero coeff normalised" `Quick
+            test_zero_coeff_normalised;
+          Alcotest.test_case "add" `Quick test_add;
+          Alcotest.test_case "add cancels" `Quick test_add_cancels;
+          Alcotest.test_case "sub" `Quick test_sub;
+          Alcotest.test_case "scale" `Quick test_scale;
+          Alcotest.test_case "equality" `Quick test_equal;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_eval_linear;
+          QCheck_alcotest.to_alcotest prop_add_commutes;
+        ] );
+    ]

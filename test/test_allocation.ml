@@ -1,0 +1,110 @@
+open Srfa_reuse
+open Srfa_test_helpers
+
+let analysis () = Helpers.analyze (Helpers.example ())
+
+let entries_of spec =
+  Array.of_list
+    (List.map (fun (beta, pinned) -> { Allocation.beta; pinned }) spec)
+
+let test_make_valid () =
+  let an = analysis () in
+  let alloc =
+    Allocation.make ~analysis:an ~budget:64 ~algorithm:"test"
+      (entries_of
+         [ (30, true); (1, false); (1, false); (20, true); (1, false) ])
+  in
+  Alcotest.(check int) "total" 53 (Allocation.total_registers alloc);
+  Alcotest.(check int) "beta of group 0" 30 (Allocation.beta alloc 0)
+
+let test_make_rejects_overbudget () =
+  let an = analysis () in
+  Alcotest.(check bool)
+    "budget exceeded" true
+    (try
+       ignore
+         (Allocation.make ~analysis:an ~budget:10 ~algorithm:"test"
+            (entries_of
+               [ (30, true); (1, false); (1, false); (20, true); (1, false) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_make_rejects_wrong_arity () =
+  let an = analysis () in
+  Alcotest.(check bool)
+    "entry count mismatch" true
+    (try
+       ignore
+         (Allocation.make ~analysis:an ~budget:64 ~algorithm:"test"
+            (entries_of [ (1, false) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_make_rejects_negative () =
+  let an = analysis () in
+  Alcotest.(check bool)
+    "negative beta" true
+    (try
+       ignore
+         (Allocation.make ~analysis:an ~budget:64 ~algorithm:"test"
+            (entries_of
+               [ (-1, false); (1, false); (1, false); (1, false); (1, false) ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_is_full () =
+  let an = analysis () in
+  let alloc =
+    Allocation.make ~analysis:an ~budget:64 ~algorithm:"test"
+      (entries_of
+         [ (30, true); (1, false); (30, true); (1, true); (1, false) ])
+  in
+  Alcotest.(check bool) "a full at 30" true (Allocation.is_full alloc 0);
+  Alcotest.(check bool) "b not full at 1" false (Allocation.is_full alloc 1);
+  Alcotest.(check bool) "d full at 30" true (Allocation.is_full alloc 2);
+  (* e has nu = 1, so its single register is "full". *)
+  Alcotest.(check bool) "e full at 1" true (Allocation.is_full alloc 4)
+
+let test_residual_groups () =
+  let an = analysis () in
+  let alloc =
+    Allocation.make ~analysis:an ~budget:100 ~algorithm:"test"
+      (entries_of
+         [ (30, true); (1, true); (30, true); (20, true); (1, true) ])
+  in
+  (* a, d, c fully pinned; b partial; e has no reuse. *)
+  Alcotest.(check (list int)) "residual = b and e" [ 1; 4 ]
+    (Allocation.residual_ram_groups alloc);
+  (* e's single register is trivially "full" (nu = 1), so it appears among
+     the fully pinned groups even though it still hits RAM. *)
+  Alcotest.(check (list int)) "fully pinned" [ 0; 2; 3; 4 ]
+    (Allocation.fully_pinned_groups alloc)
+
+let test_unpinned_is_residual () =
+  let an = analysis () in
+  let alloc =
+    Allocation.make ~analysis:an ~budget:64 ~algorithm:"test"
+      (entries_of
+         [ (30, false); (1, false); (1, false); (1, false); (1, false) ])
+  in
+  Alcotest.(check bool) "unpinned full group still residual" true
+    (List.mem 0 (Allocation.residual_ram_groups alloc))
+
+let () =
+  Alcotest.run "allocation"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make valid" `Quick test_make_valid;
+          Alcotest.test_case "rejects over budget" `Quick
+            test_make_rejects_overbudget;
+          Alcotest.test_case "rejects wrong arity" `Quick
+            test_make_rejects_wrong_arity;
+          Alcotest.test_case "rejects negative" `Quick
+            test_make_rejects_negative;
+          Alcotest.test_case "is_full" `Quick test_is_full;
+          Alcotest.test_case "residual groups" `Quick test_residual_groups;
+          Alcotest.test_case "unpinned is residual" `Quick
+            test_unpinned_is_residual;
+        ] );
+    ]

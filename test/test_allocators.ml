@@ -1,0 +1,261 @@
+open Srfa_reuse
+open Srfa_test_helpers
+module Allocator = Srfa_core.Allocator
+
+let analysis () = Helpers.analyze (Helpers.example ())
+
+let betas alloc =
+  List.map
+    (fun name -> (name, Helpers.beta_named alloc name))
+    [ "a[k]"; "b[k][j]"; "c[j]"; "d[i][k]"; "e[i][j][k]" ]
+
+(* The exact Fig. 2(c) distributions under a 64-register budget. *)
+let test_fr_distribution () =
+  let alloc = Allocator.run Allocator.Fr_ra (analysis ()) ~budget:64 in
+  Alcotest.(check (list (pair string int)))
+    "FR-RA = {a:30, b:1, c:20, d:1, e:1}"
+    [ ("a[k]", 30); ("b[k][j]", 1); ("c[j]", 20); ("d[i][k]", 1);
+      ("e[i][j][k]", 1) ]
+    (betas alloc);
+  Alcotest.(check int) "11 registers stranded" 53
+    (Allocation.total_registers alloc)
+
+let test_pr_distribution () =
+  let alloc = Allocator.run Allocator.Pr_ra (analysis ()) ~budget:64 in
+  Alcotest.(check (list (pair string int)))
+    "PR-RA gives the 11 leftovers to d"
+    [ ("a[k]", 30); ("b[k][j]", 1); ("c[j]", 20); ("d[i][k]", 12);
+      ("e[i][j][k]", 1) ]
+    (betas alloc);
+  Alcotest.(check int) "uses the full budget" 64
+    (Allocation.total_registers alloc)
+
+let test_cpa_distribution () =
+  let alloc = Allocator.run Allocator.Cpa_ra (analysis ()) ~budget:64 in
+  Alcotest.(check (list (pair string int)))
+    "CPA-RA = {a:16, b:16, c:1, d:30, e:1}"
+    [ ("a[k]", 16); ("b[k][j]", 16); ("c[j]", 1); ("d[i][k]", 30);
+      ("e[i][j][k]", 1) ]
+    (betas alloc)
+
+let test_cpa_trace () =
+  let an = analysis () in
+  let _, trace = Srfa_core.Cpa_ra.allocate_traced an ~budget:64 in
+  match trace with
+  | [ first; second ] ->
+    Alcotest.(check (list string)) "round 1 picks {d}" [ "d[i][k]" ]
+      (List.map Group.name first.Srfa_core.Cpa_ra.cut);
+    Alcotest.(check bool) "round 1 full" true
+      first.Srfa_core.Cpa_ra.granted_full;
+    Alcotest.(check (list string)) "round 2 picks {a,b}"
+      [ "a[k]"; "b[k][j]" ]
+      (List.map Group.name second.Srfa_core.Cpa_ra.cut);
+    Alcotest.(check bool) "round 2 split" false
+      second.Srfa_core.Cpa_ra.granted_full
+  | steps -> Alcotest.failf "expected 2 trace steps, got %d" (List.length steps)
+
+let test_pinning_policies () =
+  let an = analysis () in
+  let fr = Allocator.run Allocator.Fr_ra an ~budget:64 in
+  (* FR pins only explicitly allocated groups. *)
+  let b = Helpers.info_named an "b[k][j]" in
+  Alcotest.(check bool) "FR leaves b unpinned" false
+    (Allocation.entry fr b.Analysis.group.Group.id).Allocation.pinned;
+  let a = Helpers.info_named an "a[k]" in
+  Alcotest.(check bool) "FR pins a" true
+    (Allocation.entry fr a.Analysis.group.Group.id).Allocation.pinned;
+  (* CPA pins everything. *)
+  let cpa = Allocator.run Allocator.Cpa_ra an ~budget:64 in
+  for gid = 0 to Analysis.num_groups an - 1 do
+    Alcotest.(check bool) "CPA pins all" true
+      (Allocation.entry cpa gid).Allocation.pinned
+  done
+
+let test_budget_below_minimum_raises () =
+  let an = analysis () in
+  List.iter
+    (fun alg ->
+      Alcotest.(check bool)
+        (Allocator.name alg ^ " rejects tiny budget")
+        true
+        (try
+           ignore (Allocator.run alg an ~budget:4);
+           false
+         with Invalid_argument _ -> true))
+    Allocator.all
+
+let test_budget_exactly_minimum () =
+  let an = analysis () in
+  List.iter
+    (fun alg ->
+      let alloc = Allocator.run alg an ~budget:5 in
+      Alcotest.(check int)
+        (Allocator.name alg ^ " uses one register per group")
+        5
+        (Allocation.total_registers alloc))
+    Allocator.all
+
+let test_huge_budget_allocates_everything () =
+  let an = analysis () in
+  let full = Analysis.total_registers_full an in
+  List.iter
+    (fun alg ->
+      let alloc = Allocator.run alg an ~budget:(full + 100) in
+      (* Every group with reuse ends fully covered. *)
+      for gid = 0 to Analysis.num_groups an - 1 do
+        let info = Analysis.info an gid in
+        if info.Analysis.has_reuse && info.Analysis.saved_full > 0 then
+          Alcotest.(check bool)
+            (Allocator.name alg ^ ": group fully covered")
+            true
+            (Allocation.is_full alloc gid)
+      done)
+    [ Allocator.Fr_ra; Allocator.Pr_ra; Allocator.Knapsack ]
+
+let test_huge_budget_cpa_is_frugal_but_fastest () =
+  (* CPA-RA stops once no remaining cut can shorten the critical path (the
+     example's c[j] fetch hides under op1, so covering it buys nothing) —
+    yet its schedule is at least as fast as anyone's. *)
+  let an = analysis () in
+  let budget = Analysis.total_registers_full an + 100 in
+  let cycles alg =
+    let alloc = Allocator.run alg an ~budget in
+    (Srfa_sched.Simulator.run alloc).Srfa_sched.Simulator.total_cycles
+  in
+  let cpa = cycles Allocator.Cpa_ra in
+  List.iter
+    (fun alg ->
+      Alcotest.(check bool)
+        (Allocator.name alg ^ " not faster than cpa-ra")
+        true
+        (cpa <= cycles alg))
+    [ Allocator.Fr_ra; Allocator.Pr_ra; Allocator.Knapsack ];
+  let cpa_alloc = Allocator.run Allocator.Cpa_ra an ~budget in
+  Alcotest.(check bool) "cpa spends less than everything" true
+    (Allocation.total_registers cpa_alloc < budget)
+
+let test_knapsack_beats_fr_on_saved_accesses () =
+  (* FR's choice is one feasible knapsack solution, so the DP must save at
+     least as many accesses on every kernel. *)
+  let saved alloc =
+    let an = alloc.Allocation.analysis in
+    List.fold_left
+      (fun acc gid ->
+        let i = Analysis.info an gid in
+        if Allocation.is_full alloc gid && (Allocation.entry alloc gid).Allocation.pinned
+        then acc + i.Analysis.saved_full
+        else acc)
+      0
+      (List.init (Analysis.num_groups an) Fun.id)
+  in
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      let budget = Srfa_core.Ordering.feasibility_minimum an + 12 in
+      let fr = Allocator.run Allocator.Fr_ra an ~budget in
+      let ks = Allocator.run Allocator.Knapsack an ~budget in
+      Alcotest.(check bool)
+        (name ^ ": knapsack saves at least as much")
+        true
+        (saved ks >= saved fr))
+    (Helpers.small_kernels ())
+
+let test_knapsack_optimal_small () =
+  (* Brute-force check on the example: no subset of fully-replaced groups
+     within the budget saves more accesses than the DP's choice. *)
+  let an = analysis () in
+  let budget = 64 in
+  let capacity = budget - Analysis.num_groups an in
+  let infos = Array.to_list an.Analysis.infos in
+  let candidates =
+    List.filter
+      (fun (i : Analysis.info) ->
+        i.Analysis.has_reuse && i.Analysis.saved_full > 0)
+      infos
+  in
+  let rec best = function
+    | [] -> fun cap -> if cap >= 0 then 0 else min_int
+    | (i : Analysis.info) :: rest ->
+      fun cap ->
+        let skip = best rest cap in
+        let take =
+          let cap' = cap - (i.Analysis.nu - 1) in
+          if cap' >= 0 then i.Analysis.saved_full + best rest cap'
+          else min_int
+        in
+        max skip take
+  in
+  let optimum = best candidates capacity in
+  let ks = Allocator.run Allocator.Knapsack an ~budget in
+  let achieved =
+    List.fold_left
+      (fun acc (i : Analysis.info) ->
+        let gid = i.Analysis.group.Group.id in
+        if Allocation.is_full ks gid && (Allocation.entry ks gid).Allocation.pinned
+        then acc + i.Analysis.saved_full
+        else acc)
+      0 infos
+  in
+  Alcotest.(check int) "DP achieves the optimum" optimum achieved
+
+let test_pr_extends_fr () =
+  (* PR never takes registers away from FR's choices. *)
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      let budget = Srfa_core.Ordering.feasibility_minimum an + 9 in
+      let fr = Allocator.run Allocator.Fr_ra an ~budget in
+      let pr = Allocator.run Allocator.Pr_ra an ~budget in
+      for gid = 0 to Analysis.num_groups an - 1 do
+        Alcotest.(check bool)
+          (name ^ ": pr >= fr per group")
+          true
+          (Allocation.beta pr gid >= Allocation.beta fr gid)
+      done)
+    (Helpers.small_kernels ())
+
+let test_version_labels () =
+  Alcotest.(check string) "v1" "v1" (Allocator.version_label Allocator.Fr_ra);
+  Alcotest.(check string) "v2" "v2" (Allocator.version_label Allocator.Pr_ra);
+  Alcotest.(check string) "v3" "v3" (Allocator.version_label Allocator.Cpa_ra);
+  Alcotest.(check bool) "of_name roundtrip" true
+    (List.for_all
+       (fun alg -> Allocator.of_name (Allocator.name alg) = Some alg)
+       Allocator.all);
+  Alcotest.(check bool) "unknown name" true (Allocator.of_name "zz" = None)
+
+let () =
+  Alcotest.run "allocators"
+    [
+      ( "fig2 distributions",
+        [
+          Alcotest.test_case "fr-ra" `Quick test_fr_distribution;
+          Alcotest.test_case "pr-ra" `Quick test_pr_distribution;
+          Alcotest.test_case "cpa-ra" `Quick test_cpa_distribution;
+          Alcotest.test_case "cpa trace" `Quick test_cpa_trace;
+          Alcotest.test_case "pinning policies" `Quick test_pinning_policies;
+        ] );
+      ( "budgets",
+        [
+          Alcotest.test_case "below minimum raises" `Quick
+            test_budget_below_minimum_raises;
+          Alcotest.test_case "exactly minimum" `Quick
+            test_budget_exactly_minimum;
+          Alcotest.test_case "huge budget" `Quick
+            test_huge_budget_allocates_everything;
+          Alcotest.test_case "huge budget: cpa frugal" `Quick
+            test_huge_budget_cpa_is_frugal_but_fastest;
+        ] );
+      ( "knapsack",
+        [
+          Alcotest.test_case "dominates fr on saved accesses" `Quick
+            test_knapsack_beats_fr_on_saved_accesses;
+          Alcotest.test_case "optimal on the example" `Quick
+            test_knapsack_optimal_small;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "pr extends fr" `Quick test_pr_extends_fr;
+          Alcotest.test_case "version labels" `Quick test_version_labels;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+open Srfa_reuse
+open Srfa_test_helpers
+module Allocator = Srfa_core.Allocator
+
+let test_spends_stranded_registers () =
+  (* On the example with a huge budget, CPA-RA strands registers (c[j] is
+     off the critical path); CPA+ fills c's window too. *)
+  let an = Helpers.analyze (Helpers.example ()) in
+  let budget = Analysis.total_registers_full an + 50 in
+  let v3 = Allocator.run Allocator.Cpa_ra an ~budget in
+  let v3p = Allocator.run Allocator.Cpa_plus an ~budget in
+  Alcotest.(check bool) "v3 strands" true
+    (Allocation.total_registers v3 < Allocation.total_registers v3p);
+  Alcotest.(check int) "v3+ fills c" 20 (Helpers.beta_named v3p "c[j]");
+  Alcotest.(check int) "v3 leaves c at 1" 1 (Helpers.beta_named v3 "c[j]")
+
+let test_never_slower_than_cpa () =
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      List.iter
+        (fun extra ->
+          let budget = Srfa_core.Ordering.feasibility_minimum an + extra in
+          let cycles alg =
+            let alloc = Allocator.run alg an ~budget in
+            (Srfa_sched.Simulator.run alloc).Srfa_sched.Simulator.total_cycles
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s (+%d): cpa+ <= cpa" name extra)
+            true
+            (cycles Allocator.Cpa_plus <= cycles Allocator.Cpa_ra))
+        [ 3; 11; 40 ])
+    (Helpers.small_kernels ())
+
+let test_same_when_budget_consumed () =
+  (* At the paper budget on the example the cut loop consumes everything,
+     so the two variants coincide. *)
+  let an = Helpers.analyze (Helpers.example ()) in
+  let beta alg name = Helpers.beta_named (Allocator.run alg an ~budget:64) name in
+  List.iter
+    (fun name ->
+      Alcotest.(check int) name (beta Allocator.Cpa_ra name)
+        (beta Allocator.Cpa_plus name))
+    [ "a[k]"; "b[k][j]"; "c[j]"; "d[i][k]"; "e[i][j][k]" ]
+
+let test_algorithm_label () =
+  let an = Helpers.analyze (Helpers.example ()) in
+  let alloc = Allocator.run Allocator.Cpa_plus an ~budget:64 in
+  Alcotest.(check string) "provenance label" "cpa-ra+"
+    alloc.Allocation.algorithm;
+  Alcotest.(check string) "version" "v3+"
+    (Allocator.version_label Allocator.Cpa_plus)
+
+let test_still_within_budget () =
+  let an = Helpers.analyze (Helpers.example ()) in
+  List.iter
+    (fun budget ->
+      let alloc = Allocator.run Allocator.Cpa_plus an ~budget in
+      Alcotest.(check bool)
+        (Printf.sprintf "budget %d respected" budget)
+        true
+        (Allocation.total_registers alloc <= budget))
+    [ 5; 17; 64; 300; 1000 ]
+
+let () =
+  Alcotest.run "cpa-plus"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "spends stranded registers" `Quick
+            test_spends_stranded_registers;
+          Alcotest.test_case "never slower than cpa" `Quick
+            test_never_slower_than_cpa;
+          Alcotest.test_case "same when budget consumed" `Quick
+            test_same_when_budget_consumed;
+          Alcotest.test_case "labels" `Quick test_algorithm_label;
+          Alcotest.test_case "within budget" `Quick test_still_within_budget;
+        ] );
+    ]

@@ -1,0 +1,104 @@
+open Srfa_reuse
+open Srfa_test_helpers
+module Graph = Srfa_dfg.Graph
+module Critical = Srfa_dfg.Critical
+module Cut = Srfa_dfg.Cut
+
+let latency = Srfa_hw.Latency.default
+
+let cg_of nest charged =
+  let an = Helpers.analyze nest in
+  let dfg = Graph.build an in
+  Critical.make dfg ~latency ~charged
+
+let names cut = List.map Group.name cut
+
+let test_example_cuts () =
+  (* Fig. 2(b): cuts are {a,b}, {d}, {e}. *)
+  let cg = cg_of (Helpers.example ()) (fun _ -> true) in
+  let cuts = List.map names (Cut.enumerate cg) in
+  Alcotest.(check int) "three cuts" 3 (List.length cuts);
+  Alcotest.(check bool) "{d}" true (List.mem [ "d[i][k]" ] cuts);
+  Alcotest.(check bool) "{e}" true (List.mem [ "e[i][j][k]" ] cuts);
+  Alcotest.(check bool) "{a,b}" true
+    (List.mem [ "a[k]"; "b[k][j]" ] cuts)
+
+let test_cuts_are_cuts () =
+  let cg = cg_of (Helpers.example ()) (fun _ -> true) in
+  List.iter
+    (fun cut ->
+      Alcotest.(check bool) "disconnects all critical paths" true
+        (Cut.is_cut cg cut))
+    (Cut.enumerate cg)
+
+let test_cuts_are_minimal () =
+  let cg = cg_of (Helpers.example ()) (fun _ -> true) in
+  let drop_one cut = List.map (fun g -> List.filter (fun x -> x != g) cut) cut in
+  List.iter
+    (fun cut ->
+      List.iter
+        (fun smaller ->
+          Alcotest.(check bool) "proper subsets are not cuts" false
+            (Cut.is_cut cg smaller))
+        (drop_one cut))
+    (Cut.enumerate cg)
+
+let test_not_a_cut () =
+  let cg = cg_of (Helpers.example ()) (fun _ -> true) in
+  let an = Helpers.analyze (Helpers.example ()) in
+  let a = (Helpers.info_named an "a[k]").Analysis.group in
+  Alcotest.(check bool) "{a} alone leaves the b path" false
+    (Cut.is_cut cg [ a ])
+
+let test_after_full_d () =
+  (* Once d is register-resident the CG shrinks; {a,b} and {e} remain. *)
+  let an = Helpers.analyze (Helpers.example ()) in
+  let d = (Helpers.info_named an "d[i][k]").Analysis.group in
+  let charged (g : Group.t) = g.Group.id <> d.Group.id in
+  let cg = cg_of (Helpers.example ()) charged in
+  let cuts = List.map names (Cut.enumerate cg) in
+  Alcotest.(check bool) "{a,b} still a cut" true
+    (List.mem [ "a[k]"; "b[k][j]" ] cuts);
+  Alcotest.(check bool) "{d} gone" false (List.mem [ "d[i][k]" ] cuts)
+
+let test_fir_cuts () =
+  let cg = cg_of (Helpers.small_fir ()) (fun _ -> true) in
+  let cuts = List.map names (Cut.enumerate cg) in
+  (* The multiply's operands form one cut; the accumulator's read and
+     write are separate cut opportunities. *)
+  Alcotest.(check bool) "{c,x} is a cut" true
+    (List.mem [ "y[i]"; "c[j]"; "x[i+j]" ] cuts
+    || List.mem [ "c[j]"; "x[i+j]" ] cuts)
+
+let test_enumeration_guard () =
+  let cg = cg_of (Helpers.example ()) (fun _ -> true) in
+  Alcotest.(check bool)
+    "guard rejects absurd limits" true
+    (try
+       ignore (Cut.enumerate ~max_groups:1 cg);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sorted_by_size () =
+  let cg = cg_of (Helpers.example ()) (fun _ -> true) in
+  let sizes = List.map List.length (Cut.enumerate cg) in
+  Alcotest.(check (list int)) "ascending sizes" [ 1; 1; 2 ] sizes
+
+let () =
+  Alcotest.run "cuts"
+    [
+      ( "example",
+        [
+          Alcotest.test_case "fig2 cuts" `Quick test_example_cuts;
+          Alcotest.test_case "cuts disconnect" `Quick test_cuts_are_cuts;
+          Alcotest.test_case "cuts minimal" `Quick test_cuts_are_minimal;
+          Alcotest.test_case "non-cut detected" `Quick test_not_a_cut;
+          Alcotest.test_case "after d allocated" `Quick test_after_full_d;
+          Alcotest.test_case "sorted by size" `Quick test_sorted_by_size;
+        ] );
+      ( "other kernels",
+        [
+          Alcotest.test_case "fir cuts" `Quick test_fir_cuts;
+          Alcotest.test_case "enumeration guard" `Quick test_enumeration_guard;
+        ] );
+    ]

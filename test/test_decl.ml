@@ -1,0 +1,65 @@
+open Srfa_ir
+
+let test_make () =
+  let d = Decl.make "a" [ 4; 5 ] in
+  Alcotest.(check int) "elements" 20 (Decl.elements d);
+  Alcotest.(check int) "size bits (16 default)" 320 (Decl.size_bits d);
+  Alcotest.(check int) "rank" 2 (Decl.rank d)
+
+let test_scalar () =
+  let s = Decl.scalar "acc" in
+  Alcotest.(check int) "one element" 1 (Decl.elements s);
+  Alcotest.(check int) "rank 0" 0 (Decl.rank s);
+  Alcotest.(check bool)
+    "local by default" true
+    (s.Decl.storage = Decl.Local)
+
+let test_bits () =
+  let d = Decl.make ~bits:1 "mask" [ 8 ] in
+  Alcotest.(check int) "1-bit elements" 8 (Decl.size_bits d)
+
+let test_invalid () =
+  Alcotest.(check bool)
+    "zero extent rejected" true
+    (try
+       ignore (Decl.make "a" [ 0 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "negative extent rejected" true
+    (try
+       ignore (Decl.make "a" [ 4; -1 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "zero width rejected" true
+    (try
+       ignore (Decl.make ~bits:0 "a" [ 4 ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "empty name rejected" true
+    (try
+       ignore (Decl.make "" [ 4 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_equality_by_name () =
+  let a1 = Decl.make "a" [ 4 ] and a2 = Decl.make "a" [ 9 ] in
+  Alcotest.(check bool) "same name, equal" true (Decl.equal a1 a2);
+  let b = Decl.make "b" [ 4 ] in
+  Alcotest.(check bool) "different name" false (Decl.equal a1 b);
+  Alcotest.(check bool) "ordering" true (Decl.compare a1 b < 0)
+
+let () =
+  Alcotest.run "decl"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make" `Quick test_make;
+          Alcotest.test_case "scalar" `Quick test_scalar;
+          Alcotest.test_case "bit width" `Quick test_bits;
+          Alcotest.test_case "invalid declarations" `Quick test_invalid;
+          Alcotest.test_case "equality by name" `Quick test_equality_by_name;
+        ] );
+    ]

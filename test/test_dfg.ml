@@ -1,0 +1,131 @@
+open Srfa_reuse
+open Srfa_test_helpers
+module Graph = Srfa_dfg.Graph
+module Critical = Srfa_dfg.Critical
+
+let latency = Srfa_hw.Latency.default
+
+let build () =
+  let an = Helpers.analyze (Helpers.example ()) in
+  (an, Graph.build an)
+
+let test_structure () =
+  let _, dfg = build () in
+  (* 5 reference groups + 2 multiplies. *)
+  Alcotest.(check int) "seven nodes" 7 (Graph.num_nodes dfg);
+  Alcotest.(check int) "five ref nodes" 5 (List.length (Graph.ref_nodes dfg))
+
+let test_chain_through_d () =
+  let an, dfg = build () in
+  (* The d node must sit between op1 and op2: it has both a predecessor
+     (the multiply producing it) and a successor (the multiply consuming
+     it). *)
+  let d = Helpers.info_named an "d[i][k]" in
+  let d_node =
+    List.find
+      (fun (nd : Graph.node) ->
+        match Graph.group_of_node nd with
+        | Some g -> g.Group.id = d.Analysis.group.Group.id
+        | None -> false)
+      (Graph.ref_nodes dfg)
+  in
+  Alcotest.(check int) "d has a producer" 1
+    (List.length (Graph.preds dfg d_node.Graph.id));
+  Alcotest.(check int) "d has a consumer" 1
+    (List.length (Graph.succs dfg d_node.Graph.id))
+
+let test_path_length_all_ram () =
+  let _, dfg = build () in
+  let charged _ = true in
+  (* b(1) -> mul(1) -> d(1) -> mul(1) -> e(1) = 5 with unit latencies. *)
+  Alcotest.(check int) "critical path" 5
+    (Graph.path_length dfg ~latency ~charged);
+  Alcotest.(check int) "memory portion" 3
+    (Graph.memory_path_length dfg ~latency ~charged)
+
+let test_path_length_with_registers () =
+  let an, dfg = build () in
+  let d = Helpers.info_named an "d[i][k]" in
+  let charged (g : Group.t) = g.Group.id <> d.Analysis.group.Group.id in
+  Alcotest.(check int) "memory portion without d" 2
+    (Graph.memory_path_length dfg ~latency ~charged);
+  let charged _ = false in
+  Alcotest.(check int) "all registers: pure compute" 2
+    (Graph.path_length dfg ~latency ~charged);
+  Alcotest.(check int) "no memory cycles" 0
+    (Graph.memory_path_length dfg ~latency ~charged)
+
+let test_critical_graph_excludes_c () =
+  let an, dfg = build () in
+  let cg = Critical.make dfg ~latency ~charged:(fun _ -> true) in
+  let names = List.map Group.name (Critical.ref_groups cg) in
+  Alcotest.(check bool) "c off the critical graph" false
+    (List.mem "c[j]" names);
+  Alcotest.(check bool) "a on" true (List.mem "a[k]" names);
+  Alcotest.(check bool) "b on" true (List.mem "b[k][j]" names);
+  Alcotest.(check bool) "d on" true (List.mem "d[i][k]" names);
+  Alcotest.(check bool) "e on" true (List.mem "e[i][j][k]" names);
+  ignore an
+
+let test_critical_graph_after_d_allocated () =
+  let an, dfg = build () in
+  let d = Helpers.info_named an "d[i][k]" in
+  let charged (g : Group.t) = g.Group.id <> d.Analysis.group.Group.id in
+  let cg = Critical.make dfg ~latency ~charged in
+  let names = List.map Group.name (Critical.ref_groups cg) in
+  Alcotest.(check bool) "a still critical" true (List.mem "a[k]" names);
+  Alcotest.(check bool) "c still not critical" false (List.mem "c[j]" names)
+
+let test_accumulator_two_nodes () =
+  (* y[i] in FIR is read (previous value) and written (new value): the DFG
+     needs a source node and a sink node for the same group. *)
+  let an = Helpers.analyze (Helpers.small_fir ()) in
+  let dfg = Graph.build an in
+  let y = Helpers.info_named an "y[i]" in
+  let y_nodes =
+    List.filter
+      (fun (nd : Graph.node) ->
+        match Graph.group_of_node nd with
+        | Some g -> g.Group.id = y.Analysis.group.Group.id
+        | None -> false)
+      (Graph.ref_nodes dfg)
+  in
+  Alcotest.(check int) "two y nodes" 2 (List.length y_nodes)
+
+let test_dot_render () =
+  let _, dfg = build () in
+  let cg = Critical.make dfg ~latency ~charged:(fun _ -> true) in
+  let dot = Srfa_dfg.Dot.render ~highlight:cg dfg ~charged:(fun _ -> true) in
+  Alcotest.(check bool) "digraph header" true
+    (Helpers.contains_substring dot "digraph dfg");
+  Alcotest.(check bool) "has d node" true
+    (Helpers.contains_substring dot "d[i][k]");
+  Alcotest.(check bool) "balanced braces" true
+    (String.length dot > 0 && dot.[String.length dot - 2] = '}')
+
+let () =
+  Alcotest.run "dfg"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "node counts" `Quick test_structure;
+          Alcotest.test_case "chain through d" `Quick test_chain_through_d;
+          Alcotest.test_case "accumulator two nodes" `Quick
+            test_accumulator_two_nodes;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "all-RAM critical path" `Quick
+            test_path_length_all_ram;
+          Alcotest.test_case "with registers" `Quick
+            test_path_length_with_registers;
+        ] );
+      ( "critical graph",
+        [
+          Alcotest.test_case "c excluded" `Quick
+            test_critical_graph_excludes_c;
+          Alcotest.test_case "recomputed after allocation" `Quick
+            test_critical_graph_after_d_allocated;
+        ] );
+      ("dot", [ Alcotest.test_case "render" `Quick test_dot_render ]);
+    ]

@@ -1,0 +1,107 @@
+(* Cross-check of the two independent schedule implementations: the
+   interval-booking Cycle_model and the cycle-stepped Event_model must
+   agree on every body schedule. *)
+
+open Srfa_reuse
+open Srfa_test_helpers
+module Graph = Srfa_dfg.Graph
+module Cycle_model = Srfa_sched.Cycle_model
+module Event_model = Srfa_sched.Event_model
+
+let latency = Srfa_hw.Latency.default
+
+let setup nest =
+  let an = Helpers.analyze nest in
+  let dfg = Graph.build an in
+  let ram_map =
+    Srfa_hw.Ram_map.build Srfa_hw.Device.xcv1000 nest.Srfa_ir.Nest.arrays
+  in
+  (an, dfg, ram_map)
+
+let both nest charged =
+  let _, dfg, ram_map = setup nest in
+  let model = Cycle_model.create ~dfg ~latency ~ram_map in
+  ( Cycle_model.makespan model ~charged,
+    Event_model.makespan ~dfg ~latency ~ram_map ~charged )
+
+let test_agree_all_charged () =
+  List.iter
+    (fun (name, nest) ->
+      let a, b = both nest (fun _ -> true) in
+      Alcotest.(check int) (name ^ ": all charged") a b)
+    (Helpers.small_kernels ())
+
+let test_agree_none_charged () =
+  List.iter
+    (fun (name, nest) ->
+      let a, b = both nest (fun _ -> false) in
+      Alcotest.(check int) (name ^ ": all registers") a b)
+    (Helpers.small_kernels ())
+
+let test_agree_every_subset_on_example () =
+  (* 5 groups: all 32 charged subsets. *)
+  let nest = Helpers.example () in
+  for mask = 0 to 31 do
+    let charged (g : Group.t) = mask land (1 lsl g.Group.id) <> 0 in
+    let a, b = both nest charged in
+    Alcotest.(check int) (Printf.sprintf "mask %d" mask) a b
+  done
+
+let test_agree_single_bank () =
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      ignore an;
+      let dfg = Graph.build (Helpers.analyze nest) in
+      let ram_map =
+        Srfa_hw.Ram_map.build_single_bank Srfa_hw.Device.xcv1000
+          nest.Srfa_ir.Nest.arrays
+      in
+      let model = Cycle_model.create ~dfg ~latency ~ram_map in
+      let charged _ = true in
+      Alcotest.(check int)
+        (name ^ ": single bank")
+        (Cycle_model.makespan model ~charged)
+        (Event_model.makespan ~dfg ~latency ~ram_map ~charged))
+    (Helpers.small_kernels ())
+
+let test_agree_slow_ram () =
+  let latency = Srfa_hw.Latency.make ~ram_access:3 () in
+  List.iter
+    (fun (name, nest) ->
+      let dfg = Graph.build (Helpers.analyze nest) in
+      let ram_map =
+        Srfa_hw.Ram_map.build Srfa_hw.Device.xcv1000 nest.Srfa_ir.Nest.arrays
+      in
+      let model = Cycle_model.create ~dfg ~latency ~ram_map in
+      let charged _ = true in
+      Alcotest.(check int)
+        (name ^ ": ram latency 3")
+        (Cycle_model.makespan model ~charged)
+        (Event_model.makespan ~dfg ~latency ~ram_map ~charged))
+    (Helpers.small_kernels ())
+
+let prop_agree_random =
+  QCheck.Test.make ~name:"models agree on random nests and charge sets"
+    ~count:60
+    QCheck.(pair Helpers.arbitrary_nest (int_bound 255))
+    (fun (nest, mask) ->
+      let charged (g : Group.t) = mask land (1 lsl (g.Group.id mod 8)) <> 0 in
+      let a, b = both nest charged in
+      a = b)
+
+let () =
+  Alcotest.run "event-model"
+    [
+      ( "cross-check",
+        [
+          Alcotest.test_case "all charged" `Quick test_agree_all_charged;
+          Alcotest.test_case "none charged" `Quick test_agree_none_charged;
+          Alcotest.test_case "all subsets (example)" `Quick
+            test_agree_every_subset_on_example;
+          Alcotest.test_case "single bank" `Quick test_agree_single_bank;
+          Alcotest.test_case "slow ram" `Quick test_agree_slow_ram;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_agree_random ] );
+    ]

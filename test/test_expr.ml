@@ -1,0 +1,97 @@
+open Srfa_ir
+
+let a = Decl.make "a" [ 8 ]
+let b = Decl.make "b" [ 8; 8 ]
+let i = Affine.var "i"
+let j = Affine.var "j"
+
+let test_ref_rank_checked () =
+  Alcotest.(check bool)
+    "too few indices rejected" true
+    (try
+       ignore (Expr.ref_ b [ i ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "matching rank accepted" true
+    (ignore (Expr.ref_ b [ i; j ]);
+     true)
+
+let test_ref_equal () =
+  let r1 = Expr.ref_ a [ i ] and r2 = Expr.ref_ a [ Affine.var "i" ] in
+  Alcotest.(check bool) "same index function" true (Expr.ref_equal r1 r2);
+  let r3 = Expr.ref_ a [ j ] in
+  Alcotest.(check bool) "different index" false (Expr.ref_equal r1 r3);
+  Alcotest.(check bool)
+    "group identity distinguishes a[i] from a[i+1]" false
+    (Expr.ref_equal r1 (Expr.ref_ a [ Affine.add i (Affine.const 1) ]))
+
+let test_loads () =
+  let e =
+    Expr.Binary
+      ( Op.Add,
+        Expr.Load (Expr.ref_ a [ i ]),
+        Expr.Binary (Op.Mul, Expr.Load (Expr.ref_ b [ i; j ]), Expr.Const 2) )
+  in
+  let loads = Expr.loads e in
+  Alcotest.(check int) "two loads" 2 (List.length loads);
+  Alcotest.(check string)
+    "left-to-right order" "a"
+    (List.hd loads).Expr.decl.Decl.name
+
+let test_stmt_refs () =
+  let target = Expr.ref_ b [ i; j ] in
+  let s = Expr.Assign (target, Expr.Load (Expr.ref_ a [ i ])) in
+  let refs = Expr.stmt_refs s in
+  Alcotest.(check int) "read then write" 2 (List.length refs);
+  Alcotest.(check string)
+    "write last" "b"
+    (List.nth refs 1).Expr.decl.Decl.name
+
+let test_ref_vars () =
+  let r = Expr.ref_ b [ Affine.add i j; Affine.const 3 ] in
+  Alcotest.(check (list string)) "vars of b[i+j][3]" [ "i"; "j" ]
+    (Expr.ref_vars r)
+
+let test_eval () =
+  let env = function "i" -> 2 | "j" -> 3 | _ -> raise Not_found in
+  let load (r : Expr.ref_) coords =
+    match r.Expr.decl.Decl.name with
+    | "a" -> 10 + coords.(0)
+    | "b" -> 100 + (10 * coords.(0)) + coords.(1)
+    | _ -> 0
+  in
+  let e =
+    Expr.Binary
+      ( Op.Add,
+        Expr.Load (Expr.ref_ a [ i ]),
+        Expr.Load (Expr.ref_ b [ i; Affine.add j (Affine.const 1) ]) )
+  in
+  (* a[2] + b[2][4] = 12 + 124 *)
+  Alcotest.(check int) "eval" 136 (Expr.eval e ~env ~load)
+
+let test_eval_index () =
+  let env = function "i" -> 2 | "j" -> 3 | _ -> raise Not_found in
+  let r = Expr.ref_ b [ Affine.add i j; Affine.scale 2 j ] in
+  Alcotest.(check (array int)) "coords" [| 5; 6 |] (Expr.eval_index r ~env)
+
+let test_pp () =
+  let r = Expr.ref_ b [ Affine.add i j; j ] in
+  Alcotest.(check string) "ref rendering" "b[i+j][j]"
+    (Format.asprintf "%a" Expr.pp_ref r)
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "rank checked" `Quick test_ref_rank_checked;
+          Alcotest.test_case "reference equality" `Quick test_ref_equal;
+          Alcotest.test_case "loads" `Quick test_loads;
+          Alcotest.test_case "stmt refs" `Quick test_stmt_refs;
+          Alcotest.test_case "ref vars" `Quick test_ref_vars;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "eval_index" `Quick test_eval_index;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+open Srfa_reuse
+open Srfa_test_helpers
+module Extra = Srfa_kernels.Extra
+module Simulator = Srfa_sched.Simulator
+
+let test_registry () =
+  Alcotest.(check int) "four extra kernels" 4 (List.length (Extra.all ()));
+  List.iter
+    (fun (name, _) ->
+      Alcotest.(check bool) (name ^ " findable") true (Extra.find name <> None);
+      Alcotest.(check bool)
+        (name ^ " findable through Kernels")
+        true
+        (Srfa_kernels.Kernels.find name <> None))
+    (Extra.all ())
+
+let test_conv2d_windows () =
+  let an = Helpers.analyze (Extra.conv2d ()) in
+  let m = Helpers.info_named an "m[u][v]" in
+  Alcotest.(check int) "mask window 9" 9 m.Analysis.nu;
+  let im = Helpers.info_named an "im[r+u][c+v]" in
+  (* one row sweep touches mask-many rows of the full image width *)
+  Alcotest.(check int) "image band 3x32" 96 im.Analysis.nu
+
+let test_conv2d_semantics () =
+  let nest = Extra.conv2d ~mask:2 ~image:4 () in
+  let init name coords =
+    match name with
+    | "im" -> (3 * coords.(0)) + coords.(1)
+    | "m" -> 1
+    | _ -> 0
+  in
+  let store = Srfa_ir.Interp.run_fresh nest ~init in
+  (* out[0][0] = im[0][0]+im[0][1]+im[1][0]+im[1][1] = 0+1+3+4 *)
+  Alcotest.(check int) "out origin" 8 (Srfa_ir.Interp.read store "out" [| 0; 0 |])
+
+let test_corner_turn_reuse_differs_from_mat () =
+  (* a[k][i] in the corner turn is invariant to j like MAT's a[i][k], but
+     its window content differs: one j-body sweeps a column. *)
+  let an_ct = Helpers.analyze (Extra.corner_turn ~size:8 ()) in
+  let a_ct = Helpers.info_named an_ct "a[k][i]" in
+  Alcotest.(check int) "corner-turn a window" 8 a_ct.Analysis.nu;
+  Alcotest.(check int) "carried at level 2" 2 a_ct.Analysis.window_level
+
+let test_gradient_pair_two_components () =
+  (* Two statements over disjoint arrays: the critical graph covers only
+     one component's worth of cuts at a time. *)
+  let nest = Extra.gradient_pair ~size:8 () in
+  let an = Helpers.analyze nest in
+  let dfg = Srfa_dfg.Graph.build an in
+  (* 2 reads im + 1 write gx + 2 reads im2 + 1 write gy + 2 subs = 8 *)
+  Alcotest.(check int) "eight nodes" 8 (Srfa_dfg.Graph.num_nodes dfg);
+  let cg =
+    Srfa_dfg.Critical.make dfg ~latency:Srfa_hw.Latency.default
+      ~charged:(fun _ -> true)
+  in
+  (* Both components have equal path lengths, so cuts must hit both. *)
+  let cuts = Srfa_dfg.Cut.enumerate cg in
+  Alcotest.(check bool) "cuts exist" true (cuts <> []);
+  List.iter
+    (fun cut ->
+      Alcotest.(check bool) "every cut spans both components" true
+        (List.length cut >= 2))
+    cuts
+
+let test_extra_kernels_full_pipeline () =
+  List.iter
+    (fun (name, nest) ->
+      let reports = Srfa_core.Flow.evaluate_all nest in
+      let base = List.hd reports in
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (name ^ " " ^ r.Srfa_estimate.Report.version ^ " never slower in cycles")
+            true
+            (r.Srfa_estimate.Report.cycles <= base.Srfa_estimate.Report.cycles))
+        reports)
+    [
+      ("conv2d", Extra.conv2d ~mask:2 ~image:8 ());
+      ("moving-average", Extra.moving_average ~window:4 ~samples:24 ());
+      ("corner-turn", Extra.corner_turn ~size:6 ());
+      ("gradient-pair", Extra.gradient_pair ~size:8 ());
+    ]
+
+let test_extra_transform_equivalence () =
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      List.iter
+        (fun alg ->
+          let alloc = Srfa_core.Allocator.run alg an ~budget:24 in
+          let plan = Srfa_codegen.Plan.build alloc in
+          Alcotest.(check bool)
+            (name ^ "/" ^ Srfa_core.Allocator.name alg)
+            true
+            (Srfa_codegen.Exec_check.equivalent plan ~init:Helpers.init))
+        Srfa_core.Allocator.all)
+    [
+      ("conv2d", Extra.conv2d ~mask:2 ~image:6 ());
+      ("moving-average", Extra.moving_average ~window:3 ~samples:12 ());
+      ("corner-turn", Extra.corner_turn ~size:4 ());
+      ("gradient-pair", Extra.gradient_pair ~size:5 ());
+    ]
+
+let test_profile_matches_total () =
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      let alloc = Srfa_core.Allocator.run Srfa_core.Allocator.Cpa_ra an ~budget:16 in
+      let r = Simulator.run alloc in
+      let hist = Simulator.profile alloc in
+      let histo_iterations = List.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+      let histo_cycles =
+        List.fold_left (fun acc (c, n) -> acc + (c * n)) 0 hist
+      in
+      Alcotest.(check int) (name ^ ": iterations") r.Simulator.iterations
+        histo_iterations;
+      Alcotest.(check int) (name ^ ": cycles") r.Simulator.total_cycles
+        histo_cycles;
+      Alcotest.(check bool)
+        (name ^ ": ascending costs")
+        true
+        (let rec asc = function
+           | (a, _) :: ((b, _) :: _ as rest) -> a < b && asc rest
+           | _ -> true
+         in
+         asc hist))
+    (Helpers.small_kernels ())
+
+let test_profile_example_shape () =
+  (* The paper: CPA iterations have "either 1 or 2 memory accesses"; with
+     the 2-cycle compute chain that is costs 3 and 4. *)
+  let an = Helpers.analyze (Helpers.example ()) in
+  let alloc = Srfa_core.Allocator.run Srfa_core.Allocator.Cpa_ra an ~budget:64 in
+  Alcotest.(check (list (pair int int))) "16 cheap + 584 regular"
+    [ (3, 16); (4, 584) ]
+    (Simulator.profile alloc)
+
+let () =
+  Alcotest.run "extra-kernels"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "conv2d windows" `Quick test_conv2d_windows;
+          Alcotest.test_case "conv2d semantics" `Quick test_conv2d_semantics;
+          Alcotest.test_case "corner-turn reuse" `Quick
+            test_corner_turn_reuse_differs_from_mat;
+          Alcotest.test_case "gradient-pair components" `Quick
+            test_gradient_pair_two_components;
+          Alcotest.test_case "full pipeline" `Quick
+            test_extra_kernels_full_pipeline;
+          Alcotest.test_case "transform equivalence" `Slow
+            test_extra_transform_equivalence;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "matches totals" `Quick test_profile_matches_total;
+          Alcotest.test_case "example shape" `Quick test_profile_example_shape;
+        ] );
+    ]

@@ -1,0 +1,74 @@
+(* Regression pins for the Table 1 pipeline: total cycle counts and
+   register totals of every kernel x algorithm under the default
+   configuration (budget 64, XCV1000, default latencies, pinned
+   residency). The pipeline is deterministic, so these are stable; any
+   intentional model change must update them consciously, with
+   EXPERIMENTS.md. *)
+
+module Allocator = Srfa_core.Allocator
+module Simulator = Srfa_sched.Simulator
+
+(* kernel -> (algorithm, registers, cycles) *)
+let expected =
+  [
+    ("fir", [ (Allocator.Fr_ra, 34, 95328);
+              (Allocator.Pr_ra, 64, 64545);
+              (Allocator.Cpa_ra, 63, 64545) ]);
+    ("dec-fir", [ (Allocator.Fr_ra, 3, 46272);
+                  (Allocator.Pr_ra, 64, 46272);
+                  (Allocator.Cpa_ra, 63, 38801) ]);
+    ("imi", [ (Allocator.Fr_ra, 4, 229376);
+              (Allocator.Pr_ra, 64, 229376);
+              (Allocator.Cpa_ra, 64, 229128) ]);
+    ("mat", [ (Allocator.Fr_ra, 34, 98304);
+              (Allocator.Pr_ra, 64, 97312);
+              (Allocator.Cpa_ra, 63, 97312) ]);
+    ("pat", [ (Allocator.Fr_ra, 3, 184512);
+              (Allocator.Pr_ra, 64, 184512);
+              (Allocator.Cpa_ra, 63, 154721) ]);
+    ("bic", [ (Allocator.Fr_ra, 3, 1843968);
+              (Allocator.Pr_ra, 64, 1843968);
+              (Allocator.Cpa_ra, 63, 1831424) ]);
+  ]
+
+let test_kernel name rows () =
+  let nest = Option.get (Srfa_kernels.Kernels.find name) in
+  let analysis = Srfa_core.Flow.analyze nest in
+  List.iter
+    (fun (alg, regs, cycles) ->
+      let alloc = Allocator.run alg analysis ~budget:64 in
+      Alcotest.(check int)
+        (name ^ " " ^ Allocator.name alg ^ " registers")
+        regs
+        (Srfa_reuse.Allocation.total_registers alloc);
+      Alcotest.(check int)
+        (name ^ " " ^ Allocator.name alg ^ " cycles")
+        cycles
+        (Simulator.run alloc).Simulator.total_cycles)
+    rows
+
+let test_shape_criteria () =
+  (* The qualitative Table 1 shape (EXPERIMENTS.md): v3 cycles <= v2
+     cycles <= v1 cycles on every kernel. *)
+  List.iter
+    (fun (name, rows) ->
+      let cycles alg =
+        let _, _, c = List.find (fun (a, _, _) -> a = alg) rows in
+        c
+      in
+      Alcotest.(check bool) (name ^ ": v3 <= v2 <= v1") true
+        (cycles Allocator.Cpa_ra <= cycles Allocator.Pr_ra
+        && cycles Allocator.Pr_ra <= cycles Allocator.Fr_ra))
+    expected
+
+let () =
+  Alcotest.run "goldens"
+    [
+      ( "table1",
+        List.map
+          (fun (name, rows) ->
+            Alcotest.test_case name `Quick (test_kernel name rows))
+          expected
+        @ [ Alcotest.test_case "shape criteria" `Quick test_shape_criteria ]
+      );
+    ]

@@ -1,0 +1,86 @@
+open Srfa_reuse
+open Srfa_test_helpers
+
+let test_collect_example () =
+  let groups = Group.collect (Helpers.example ()) in
+  Alcotest.(check int) "five groups" 5 (Array.length groups);
+  let names = Array.to_list (Array.map Group.name groups) in
+  Alcotest.(check (list string)) "program order"
+    [ "a[k]"; "b[k][j]"; "d[i][k]"; "c[j]"; "e[i][j][k]" ]
+    names
+
+let test_write_read_merge () =
+  (* d[i][k] is written by statement 1 and read by statement 2: one group
+     with both counts. *)
+  let groups = Group.collect (Helpers.example ()) in
+  let d = groups.(2) in
+  Alcotest.(check string) "is d" "d[i][k]" (Group.name d);
+  Alcotest.(check int) "one read" 1 d.Group.reads;
+  Alcotest.(check int) "one write" 1 d.Group.writes;
+  Alcotest.(check bool) "is_read" true (Group.is_read d);
+  Alcotest.(check bool) "is_write" true (Group.is_write d)
+
+let test_accumulator_counts () =
+  let groups = Group.collect (Helpers.small_fir ()) in
+  let y = groups.(0) in
+  Alcotest.(check string) "accumulator first" "y[i]" (Group.name y);
+  Alcotest.(check int) "read once" 1 y.Group.reads;
+  Alcotest.(check int) "written once" 1 y.Group.writes
+
+let test_ids_sequential () =
+  let groups = Group.collect (Helpers.example ()) in
+  Array.iteri
+    (fun k g -> Alcotest.(check int) "id" k g.Group.id)
+    groups
+
+let test_find () =
+  let nest = Helpers.example () in
+  let groups = Group.collect nest in
+  let refs = Srfa_ir.Nest.refs nest in
+  List.iter
+    (fun r ->
+      let g = Group.find groups r in
+      Alcotest.(check bool) "found ref belongs to its group" true
+        (Srfa_ir.Expr.ref_equal g.Group.ref_ r))
+    refs
+
+let test_find_foreign_raises () =
+  let groups = Group.collect (Helpers.example ()) in
+  let foreign =
+    Srfa_ir.Expr.ref_ (Srfa_ir.Decl.make "zz" [ 4 ]) [ Srfa_ir.Affine.var "i" ]
+  in
+  Alcotest.(check bool)
+    "foreign reference raises" true
+    (try
+       ignore (Group.find groups foreign);
+       false
+     with Not_found -> true)
+
+let test_distinct_index_functions_are_distinct_groups () =
+  let open Srfa_ir.Builder in
+  let a = input "a" [ 8 ] and y = output "y" [ 4 ] in
+  let i = idx "i" in
+  let nest =
+    nest "shift" ~loops:[ ("i", 4) ]
+      [ at y [ i ] <-- (a.%[ [ i ] ] + a.%[ [ i +: cidx 1 ] ]) ]
+  in
+  let groups = Group.collect nest in
+  Alcotest.(check int) "a[i], a[i+1] and y[i]" 3 (Array.length groups)
+
+let () =
+  Alcotest.run "group"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "collect example" `Quick test_collect_example;
+          Alcotest.test_case "write/read merge" `Quick test_write_read_merge;
+          Alcotest.test_case "accumulator counts" `Quick
+            test_accumulator_counts;
+          Alcotest.test_case "sequential ids" `Quick test_ids_sequential;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "find foreign raises" `Quick
+            test_find_foreign_raises;
+          Alcotest.test_case "distinct index functions" `Quick
+            test_distinct_index_functions_are_distinct_groups;
+        ] );
+    ]

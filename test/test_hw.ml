@@ -1,0 +1,132 @@
+open Srfa_hw
+open Srfa_ir
+
+let test_xcv1000 () =
+  let d = Device.xcv1000 in
+  Alcotest.(check int) "slices" 12288 d.Device.slices;
+  Alcotest.(check int) "ram blocks" 32 d.Device.ram_blocks;
+  Alcotest.(check int) "block bits" 4096 d.Device.ram_block_bits;
+  Alcotest.(check int) "dual ported" 2 d.Device.ram_ports
+
+let test_register_slices () =
+  let d = Device.xcv1000 in
+  Alcotest.(check int) "16-bit register = 8 slices" 8
+    (Device.register_slices d ~bits:16);
+  Alcotest.(check int) "1-bit register = 1 slice" 1
+    (Device.register_slices d ~bits:1)
+
+let test_blocks_for () =
+  let d = Device.xcv1000 in
+  Alcotest.(check int) "small data still needs one block" 1
+    (Device.blocks_for d ~bits:100);
+  Alcotest.(check int) "exactly one block" 1 (Device.blocks_for d ~bits:4096);
+  Alcotest.(check int) "one bit over" 2 (Device.blocks_for d ~bits:4097)
+
+let test_invalid_device () =
+  Alcotest.(check bool)
+    "zero slices rejected" true
+    (try
+       ignore
+         (Device.make ~name:"x" ~slices:0 ~ram_blocks:1 ~ram_block_bits:1
+            ~ram_ports:1 ~flipflops_per_slice:1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_latency_default () =
+  let l = Latency.default in
+  Alcotest.(check int) "ram" 1 l.Latency.ram_access;
+  Alcotest.(check int) "register" 0 l.Latency.register_access;
+  Alcotest.(check int) "add" 1 (l.Latency.binary Op.Add);
+  Alcotest.(check int) "div" 2 (l.Latency.binary Op.Div)
+
+let test_latency_validation () =
+  Alcotest.(check bool)
+    "zero ram latency rejected" true
+    (try
+       ignore (Latency.make ~ram_access:0 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "negative op latency rejected" true
+    (try
+       ignore (Latency.make ~binary:(fun _ -> -1) ());
+       false
+     with Invalid_argument _ -> true)
+
+let arrays () =
+  [
+    Decl.make "a" [ 30 ];
+    Decl.make "b" [ 30; 20 ];
+    Decl.make "c" [ 20 ];
+  ]
+
+let test_ram_map_private_banks () =
+  let m = Ram_map.build Device.xcv1000 (arrays ()) in
+  Alcotest.(check bool) "a and b in different banks" false
+    (Ram_map.conflict m "a" "b");
+  Alcotest.(check bool) "a mapped" true (Ram_map.is_mapped m "a");
+  Alcotest.(check bool) "unknown not mapped" false (Ram_map.is_mapped m "zz");
+  (* 30*16 = 480 bits, 600*16 = 9600 bits (3 blocks), 320 bits: 5 blocks. *)
+  Alcotest.(check int) "blocks used" 5 (Ram_map.blocks_used m)
+
+let test_ram_map_spills_external () =
+  let big = Decl.make "big" [ 64; 64; 64 ] in
+  (* 64^3 * 16 bits = 4 Mbit >> 32 * 4096 bits on chip. *)
+  let m = Ram_map.build Device.xcv1000 [ big; Decl.make "small" [ 8 ] ] in
+  Alcotest.(check (list string)) "big goes external" [ "big" ]
+    (Ram_map.external_arrays m);
+  Alcotest.(check bool) "small stays on chip" true
+    (match Ram_map.location m "small" with
+    | Ram_map.Internal _ -> true
+    | Ram_map.External -> false);
+  Alcotest.(check int) "external bus has one port" 1
+    (Ram_map.ports_of_bank m (Ram_map.bank_of m "big"))
+
+let test_external_arrays_conflict () =
+  let b1 = Decl.make "b1" [ 64; 64; 16 ] and b2 = Decl.make "b2" [ 64; 64; 16 ] in
+  let m = Ram_map.build Device.xcv1000 [ b1; b2 ] in
+  (* Both are too large: they share the external bus. *)
+  Alcotest.(check bool) "both external" true
+    (List.length (Ram_map.external_arrays m) = 2);
+  Alcotest.(check bool) "conflict on the bus" true
+    (Ram_map.conflict m "b1" "b2")
+
+let test_single_bank () =
+  let m = Ram_map.build_single_bank Device.xcv1000 (arrays ()) in
+  Alcotest.(check bool) "everything conflicts" true
+    (Ram_map.conflict m "a" "b" && Ram_map.conflict m "b" "c");
+  Alcotest.(check int) "one port" 1 (Ram_map.ports_of_bank m 0)
+
+let test_blocks_never_exceed_device () =
+  let lots = List.init 50 (fun k -> Decl.make (Printf.sprintf "x%d" k) [ 256 ]) in
+  let m = Ram_map.build Device.xcv1000 lots in
+  Alcotest.(check bool) "blocks within device" true
+    (Ram_map.blocks_used m <= Device.xcv1000.Device.ram_blocks)
+
+let () =
+  Alcotest.run "hw"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "xcv1000" `Quick test_xcv1000;
+          Alcotest.test_case "register slices" `Quick test_register_slices;
+          Alcotest.test_case "blocks for" `Quick test_blocks_for;
+          Alcotest.test_case "validation" `Quick test_invalid_device;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "defaults" `Quick test_latency_default;
+          Alcotest.test_case "validation" `Quick test_latency_validation;
+        ] );
+      ( "ram map",
+        [
+          Alcotest.test_case "private banks" `Quick test_ram_map_private_banks;
+          Alcotest.test_case "external spill" `Quick
+            test_ram_map_spills_external;
+          Alcotest.test_case "external conflicts" `Quick
+            test_external_arrays_conflict;
+          Alcotest.test_case "single bank" `Quick test_single_bank;
+          Alcotest.test_case "block budget" `Quick
+            test_blocks_never_exceed_device;
+        ] );
+    ]

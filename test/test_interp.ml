@@ -1,0 +1,97 @@
+open Srfa_ir
+
+(* 2x2 matrix multiply, checked against hand-computed values. *)
+let test_matmul_2x2 () =
+  let n = Srfa_kernels.Kernels.mat ~size:2 () in
+  let init name coords =
+    match name with
+    | "a" -> (2 * coords.(0)) + coords.(1) + 1 (* [[1;2];[3;4]] *)
+    | "b" -> if coords.(0) = coords.(1) then 2 else 1 (* [[2;1];[1;2]] *)
+    | _ -> 0
+  in
+  let store = Interp.run_fresh n ~init in
+  (* c = a * b = [[4;5];[10;11]] *)
+  Alcotest.(check int) "c00" 4 (Interp.read store "c" [| 0; 0 |]);
+  Alcotest.(check int) "c01" 5 (Interp.read store "c" [| 0; 1 |]);
+  Alcotest.(check int) "c10" 10 (Interp.read store "c" [| 1; 0 |]);
+  Alcotest.(check int) "c11" 11 (Interp.read store "c" [| 1; 1 |])
+
+let test_fir_small () =
+  let n = Srfa_kernels.Kernels.fir ~taps:2 ~samples:4 () in
+  let init name coords =
+    match name with
+    | "x" -> coords.(0) + 1 (* 1,2,3,4 *)
+    | "c" -> if coords.(0) = 0 then 1 else 10 (* y[i] = x[i] + 10*x[i+1] *)
+    | _ -> 0
+  in
+  let store = Interp.run_fresh n ~init in
+  Alcotest.(check int) "y0" 21 (Interp.read store "y" [| 0 |]);
+  Alcotest.(check int) "y1" 32 (Interp.read store "y" [| 1 |]);
+  Alcotest.(check int) "y2" 43 (Interp.read store "y" [| 2 |])
+
+let test_pat_counts_matches () =
+  let n = Srfa_kernels.Kernels.pat ~pattern:2 ~text:5 () in
+  (* text = a b a b a ; pattern = a b *)
+  let init name coords =
+    match name with
+    | "s" -> coords.(0) mod 2
+    | "p" -> coords.(0) mod 2
+    | _ -> 0
+  in
+  let store = Interp.run_fresh n ~init in
+  (* positions 0 and 2 match fully (score 2); odd positions score 0. *)
+  Alcotest.(check int) "hit at 0" 2 (Interp.read store "hits" [| 0 |]);
+  Alcotest.(check int) "miss at 1" 0 (Interp.read store "hits" [| 1 |]);
+  Alcotest.(check int) "hit at 2" 2 (Interp.read store "hits" [| 2 |])
+
+let test_write_read () =
+  let n = Srfa_kernels.Kernels.mat ~size:2 () in
+  let store = Interp.store_create n in
+  Interp.write store "a" [| 1; 1 |] 42;
+  Alcotest.(check int) "write/read" 42 (Interp.read store "a" [| 1; 1 |]);
+  Alcotest.(check bool)
+    "out-of-bounds write rejected" true
+    (try
+       Interp.write store "a" [| 5; 5 |] 1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_statement_order_within_iteration () =
+  (* The fig. 1 chain: e must observe the d written in the same iteration. *)
+  let n =
+    let open Builder in
+    let a = input "a" [ 4 ] and d = local "d" [ 4 ] and e = output "e" [ 4 ] in
+    let i = idx "i" in
+    nest "chain" ~loops:[ ("i", 4) ]
+      [
+        at d [ i ] <-- (a.%[ [ i ] ] * const 2);
+        at e [ i ] <-- (d.%[ [ i ] ] + const 1);
+      ]
+  in
+  let store = Interp.run_fresh n ~init:(fun _ c -> c.(0)) in
+  Alcotest.(check int) "e[3] = 2*3+1" 7 (Interp.read store "e" [| 3 |])
+
+let test_equal_array () =
+  let n = Srfa_kernels.Kernels.mat ~size:2 () in
+  let s1 = Interp.run_fresh n ~init:(fun _ c -> c.(0) + c.(1)) in
+  let s2 = Interp.run_fresh n ~init:(fun _ c -> c.(0) + c.(1)) in
+  Alcotest.(check bool) "deterministic" true (Interp.equal_array s1 s2 "c");
+  let s3 = Interp.run_fresh n ~init:(fun _ c -> c.(0) - c.(1)) in
+  Alcotest.(check bool)
+    "different inputs differ" false
+    (Interp.equal_array s1 s3 "c")
+
+let () =
+  Alcotest.run "interp"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "matmul 2x2" `Quick test_matmul_2x2;
+          Alcotest.test_case "fir small" `Quick test_fir_small;
+          Alcotest.test_case "pattern counts" `Quick test_pat_counts_matches;
+          Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "statement order" `Quick
+            test_statement_order_within_iteration;
+          Alcotest.test_case "equal_array" `Quick test_equal_array;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+open Srfa_ir
+
+let nest2 () =
+  let open Builder in
+  let a = input "a" [ 3 ] and y = output "y" [ 3; 4 ] in
+  let i = idx "i" and j = idx "j" in
+  nest "t" ~loops:[ ("i", 3); ("j", 4) ] [ at y [ i; j ] <-- a.%[ [ i ] ] ]
+
+let test_order () =
+  let n = nest2 () in
+  let seen = ref [] in
+  Iterspace.iter n (fun p -> seen := Array.copy p :: !seen);
+  let seen = List.rev !seen in
+  Alcotest.(check int) "count" 12 (List.length seen);
+  Alcotest.(check (array int)) "first" [| 0; 0 |] (List.hd seen);
+  Alcotest.(check (array int)) "second (inner fastest)" [| 0; 1 |]
+    (List.nth seen 1);
+  Alcotest.(check (array int)) "last" [| 2; 3 |] (List.nth seen 11)
+
+let test_linear_roundtrip () =
+  let n = nest2 () in
+  for k = 0 to 11 do
+    let p = Iterspace.point_of_linear n k in
+    Alcotest.(check int) (Printf.sprintf "roundtrip %d" k) k
+      (Iterspace.linear n p)
+  done
+
+let test_linear_matches_order () =
+  let n = nest2 () in
+  let k = ref 0 in
+  Iterspace.iter n (fun p ->
+      Alcotest.(check int) "execution rank" !k (Iterspace.linear n p);
+      incr k)
+
+let test_env () =
+  let n = nest2 () in
+  let env = Iterspace.env_of_point n [| 2; 1 |] in
+  Alcotest.(check int) "i" 2 (env "i");
+  Alcotest.(check int) "j" 1 (env "j");
+  Alcotest.(check bool)
+    "unknown raises" true
+    (try
+       ignore (env "zz");
+       false
+     with Not_found -> true)
+
+let test_element_linear () =
+  let d = Decl.make "m" [ 3; 4; 5 ] in
+  Alcotest.(check int) "origin" 0 (Iterspace.element_linear d [| 0; 0; 0 |]);
+  Alcotest.(check int) "row-major" ((1 * 20) + (2 * 5) + 3)
+    (Iterspace.element_linear d [| 1; 2; 3 |]);
+  let s = Decl.scalar "acc" in
+  Alcotest.(check int) "scalar" 0 (Iterspace.element_linear s [||])
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"linear/point_of_linear roundtrip" ~count:100
+    QCheck.(int_bound 11)
+    (fun k ->
+      let n = nest2 () in
+      Iterspace.linear n (Iterspace.point_of_linear n k) = k)
+
+let () =
+  Alcotest.run "iterspace"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "order" `Quick test_order;
+          Alcotest.test_case "linear roundtrip" `Quick test_linear_roundtrip;
+          Alcotest.test_case "linear matches order" `Quick
+            test_linear_matches_order;
+          Alcotest.test_case "environment" `Quick test_env;
+          Alcotest.test_case "element linear" `Quick test_element_linear;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

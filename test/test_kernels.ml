@@ -1,0 +1,165 @@
+open Srfa_reuse
+open Srfa_test_helpers
+module Kernels = Srfa_kernels.Kernels
+
+let test_registry () =
+  Alcotest.(check int) "six table-1 kernels" 6 (List.length (Kernels.all ()));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) ("find " ^ name) true (Kernels.find name <> None))
+    Kernels.names;
+  Alcotest.(check bool) "unknown kernel" true (Kernels.find "nope" = None)
+
+let test_depths () =
+  let depth name =
+    match Kernels.find name with
+    | Some nest -> Srfa_ir.Nest.depth nest
+    | None -> -1
+  in
+  (* §5: MAT and BIC are 3- and 4-deep; the rest are 2-deep (the example
+     is the 3-deep Fig. 1 code). *)
+  Alcotest.(check int) "fir" 2 (depth "fir");
+  Alcotest.(check int) "dec-fir" 2 (depth "dec-fir");
+  Alcotest.(check int) "pat" 2 (depth "pat");
+  Alcotest.(check int) "mat" 3 (depth "mat");
+  Alcotest.(check int) "imi" 3 (depth "imi");
+  Alcotest.(check int) "bic" 4 (depth "bic");
+  Alcotest.(check int) "example" 3 (depth "example")
+
+let test_default_iteration_counts () =
+  let iters name =
+    match Kernels.find name with
+    | Some nest -> Srfa_ir.Nest.iterations nest
+    | None -> -1
+  in
+  Alcotest.(check int) "fir: 993 outputs x 32 taps" (993 * 32) (iters "fir");
+  Alcotest.(check int) "dec-fir: 241 outputs x 64 taps" (241 * 64)
+    (iters "dec-fir");
+  Alcotest.(check int) "mat: 32^3" (32 * 32 * 32) (iters "mat");
+  Alcotest.(check int) "imi: 8 frames x 64 x 64" (8 * 64 * 64) (iters "imi");
+  Alcotest.(check int) "pat: 961 positions x 64" (961 * 64) (iters "pat");
+  Alcotest.(check int) "bic: 49^2 x 16^2" (49 * 49 * 16 * 16) (iters "bic")
+
+let test_nu_values () =
+  (* The reuse-window sizes that drive every Table 1 allocation. *)
+  let nu kernel name =
+    let an = Helpers.analyze kernel in
+    (Helpers.info_named an name).Analysis.nu
+  in
+  let fir = Kernels.fir () in
+  Alcotest.(check int) "fir x window" 32 (nu fir "x[i+j]");
+  Alcotest.(check int) "fir coefficients" 32 (nu fir "c[j]");
+  Alcotest.(check int) "fir accumulator" 1 (nu fir "y[i]");
+  let dec = Kernels.dec_fir () in
+  Alcotest.(check int) "dec-fir window" 64 (nu dec "x[4*i+j]");
+  let mat = Kernels.mat () in
+  Alcotest.(check int) "mat a row" 32 (nu mat "a[i][k]");
+  Alcotest.(check int) "mat b full" 1024 (nu mat "b[k][j]");
+  Alcotest.(check int) "mat c accumulator" 1 (nu mat "c[i][j]");
+  let bic = Kernels.bic () in
+  Alcotest.(check int) "bic template" 256 (nu bic "t[u][v]");
+  Alcotest.(check int) "bic image band" (16 * 64) (nu bic "im[r+u][c+v]");
+  let imi = Kernels.imi () in
+  Alcotest.(check int) "imi image" 4096 (nu imi "im1[r][c]");
+  Alcotest.(check int) "imi weight" 1 (nu imi "w[f]")
+
+let test_mat_semantics () =
+  (* mat against a reference OCaml matrix multiply. *)
+  let size = 5 in
+  let nest = Kernels.mat ~size () in
+  let a i j = ((i * 3) + j + 1) mod 7 in
+  let b i j = ((i * 5) + (j * 2) + 3) mod 11 in
+  let init name coords =
+    match name with
+    | "a" -> a coords.(0) coords.(1)
+    | "b" -> b coords.(0) coords.(1)
+    | _ -> 0
+  in
+  let store = Srfa_ir.Interp.run_fresh nest ~init in
+  for i = 0 to size - 1 do
+    for j = 0 to size - 1 do
+      let expect = ref 0 in
+      for k = 0 to size - 1 do
+        expect := !expect + (a i k * b k j)
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "c[%d][%d]" i j)
+        !expect
+        (Srfa_ir.Interp.read store "c" [| i; j |])
+    done
+  done
+
+let test_bic_semantics () =
+  (* Correlation score at a position counts matching pixels. *)
+  let nest = Kernels.bic ~template:2 ~image:4 () in
+  let init name coords =
+    match name with
+    | "im" -> (coords.(0) + coords.(1)) mod 2 (* checkerboard *)
+    | "t" -> (coords.(0) + coords.(1)) mod 2
+    | _ -> 0
+  in
+  let store = Srfa_ir.Interp.run_fresh nest ~init in
+  (* The checkerboard template matches perfectly at even offsets. *)
+  Alcotest.(check int) "perfect match at (0,0)" 4
+    (Srfa_ir.Interp.read store "score" [| 0; 0 |]);
+  Alcotest.(check int) "anti-phase at (0,1)" 0
+    (Srfa_ir.Interp.read store "score" [| 0; 1 |]);
+  Alcotest.(check int) "perfect match at (1,1)" 4
+    (Srfa_ir.Interp.read store "score" [| 1; 1 |])
+
+let test_imi_semantics () =
+  let nest = Kernels.imi ~width:4 ~height:4 ~frames:4 () in
+  let init name coords =
+    match name with
+    | "im1" -> 0
+    | "im2" -> 40
+    | "w" -> coords.(0) (* weight f blends 0 -> 40 in steps of 10 *)
+    | _ -> 0
+  in
+  let store = Srfa_ir.Interp.run_fresh nest ~init in
+  Alcotest.(check int) "frame 0 is im1" 0
+    (Srfa_ir.Interp.read store "out" [| 0; 2; 2 |]);
+  Alcotest.(check int) "frame 2 blends halfway" 20
+    (Srfa_ir.Interp.read store "out" [| 2; 2; 2 |])
+
+let test_dec_fir_strided_reads () =
+  (* Each dec-fir output reads a window shifted by the decimation. *)
+  let nest = Kernels.dec_fir ~taps:2 ~samples:8 ~decimation:2 () in
+  let init name coords =
+    match name with
+    | "x" -> 10 * coords.(0)
+    | "c" -> 1
+    | _ -> 0
+  in
+  let store = Srfa_ir.Interp.run_fresh nest ~init in
+  (* y[i] = x[2i] + x[2i+1] = 10(2i) + 10(2i+1). *)
+  Alcotest.(check int) "y0" 10 (Srfa_ir.Interp.read store "y" [| 0 |]);
+  Alcotest.(check int) "y1" 50 (Srfa_ir.Interp.read store "y" [| 1 |]);
+  Alcotest.(check int) "y2" 90 (Srfa_ir.Interp.read store "y" [| 2 |])
+
+let test_parameter_overrides () =
+  let nest = Kernels.fir ~taps:8 ~samples:64 () in
+  Alcotest.(check int) "iterations follow parameters" ((64 - 8 + 1) * 8)
+    (Srfa_ir.Nest.iterations nest)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "names" `Quick test_registry;
+          Alcotest.test_case "depths" `Quick test_depths;
+          Alcotest.test_case "iteration counts" `Quick
+            test_default_iteration_counts;
+          Alcotest.test_case "parameters" `Quick test_parameter_overrides;
+        ] );
+      ( "reuse windows",
+        [ Alcotest.test_case "nu values" `Quick test_nu_values ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "mat" `Quick test_mat_semantics;
+          Alcotest.test_case "bic" `Quick test_bic_semantics;
+          Alcotest.test_case "imi" `Quick test_imi_semantics;
+          Alcotest.test_case "dec-fir" `Quick test_dec_fir_strided_reads;
+        ] );
+    ]

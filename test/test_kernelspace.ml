@@ -1,0 +1,110 @@
+open Srfa_ir
+open Srfa_reuse
+
+let vars3 = [ "i"; "j"; "k" ]
+let i = Affine.var "i"
+let j = Affine.var "j"
+let k = Affine.var "k"
+
+let analyse loop_vars index = Kernelspace.of_index ~loop_vars index
+
+let test_invariant_one_var () =
+  (* a[k] under (i,j,k): reuse carried by the outermost invariant loop. *)
+  let t = analyse vars3 [ k ] in
+  Alcotest.(check bool) "has reuse" true (Kernelspace.has_reuse t);
+  Alcotest.(check (option int)) "carried at level 1" (Some 1)
+    (Kernelspace.carry_level t);
+  Alcotest.(check (option int)) "distance 1" (Some 1)
+    (Kernelspace.carry_distance t)
+
+let test_invariant_middle () =
+  (* d[i][k]: invariant only to j, the middle loop. *)
+  let t = analyse vars3 [ i; k ] in
+  Alcotest.(check (option int)) "carried at level 2" (Some 2)
+    (Kernelspace.carry_level t)
+
+let test_injective () =
+  (* e[i][j][k]: touches a fresh element every iteration. *)
+  let t = analyse vars3 [ i; j; k ] in
+  Alcotest.(check bool) "no reuse" false (Kernelspace.has_reuse t);
+  Alcotest.(check (option int)) "no carry level" None
+    (Kernelspace.carry_level t)
+
+let test_coupled_window () =
+  (* x[i+j] under (i,j): reuse along the anti-diagonal, carried by i. *)
+  let t = analyse [ "i"; "j" ] [ Affine.add i j ] in
+  Alcotest.(check bool) "has reuse" true (Kernelspace.has_reuse t);
+  Alcotest.(check (option int)) "carried at level 1" (Some 1)
+    (Kernelspace.carry_level t);
+  match Kernelspace.kernel_basis t with
+  | [ v ] -> Alcotest.(check (array int)) "kernel (1,-1)" [| 1; -1 |] v
+  | _ -> Alcotest.fail "expected a single kernel vector"
+
+let test_decimated () =
+  (* x[4i+j]: same element at (i+1, j-4); carried by i with distance 1. *)
+  let t = analyse [ "i"; "j" ] [ Affine.add (Affine.var ~coeff:4 "i") j ] in
+  Alcotest.(check (option int)) "carried at level 1" (Some 1)
+    (Kernelspace.carry_level t);
+  match Kernelspace.kernel_basis t with
+  | [ v ] -> Alcotest.(check (array int)) "kernel (1,-4)" [| 1; -4 |] v
+  | _ -> Alcotest.fail "expected a single kernel vector"
+
+let test_scalar () =
+  (* A 0-dimensional accumulator: everything is reuse. *)
+  let t = analyse vars3 [] in
+  Alcotest.(check bool) "has reuse" true (Kernelspace.has_reuse t);
+  Alcotest.(check (option int)) "carried outermost" (Some 1)
+    (Kernelspace.carry_level t);
+  Alcotest.(check int) "kernel has full rank" 3
+    (List.length (Kernelspace.kernel_basis t))
+
+let test_two_dim_coupled () =
+  (* im[r+u][c+v] under (r,c,u,v): two independent diagonals. *)
+  let r = Affine.var "r" and c = Affine.var "c" in
+  let u = Affine.var "u" and v = Affine.var "v" in
+  let t =
+    analyse [ "r"; "c"; "u"; "v" ] [ Affine.add r u; Affine.add c v ]
+  in
+  Alcotest.(check bool) "has reuse" true (Kernelspace.has_reuse t);
+  Alcotest.(check (option int)) "carried at level 1" (Some 1)
+    (Kernelspace.carry_level t);
+  Alcotest.(check int) "two kernel vectors" 2
+    (List.length (Kernelspace.kernel_basis t))
+
+let test_scaled_invariant () =
+  (* b[2k][j] under (i,j,k): still invariant to i only (the scaling does
+     not create extra reuse). *)
+  let t = analyse vars3 [ Affine.var ~coeff:2 "k"; j ] in
+  Alcotest.(check (option int)) "carried at level 1" (Some 1)
+    (Kernelspace.carry_level t);
+  match Kernelspace.kernel_basis t with
+  | [ v ] -> Alcotest.(check (array int)) "kernel e_i" [| 1; 0; 0 |] v
+  | _ -> Alcotest.fail "expected a single kernel vector"
+
+let test_basis_echelon_order () =
+  (* a[k] has kernel {e_i, e_j}: echelon order lists e_i first. *)
+  let t = analyse vars3 [ k ] in
+  match Kernelspace.kernel_basis t with
+  | [ v1; v2 ] ->
+    Alcotest.(check (array int)) "e_i" [| 1; 0; 0 |] v1;
+    Alcotest.(check (array int)) "e_j" [| 0; 1; 0 |] v2
+  | _ -> Alcotest.fail "expected two kernel vectors"
+
+let () =
+  Alcotest.run "kernelspace"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "invariant variable" `Quick test_invariant_one_var;
+          Alcotest.test_case "invariant middle loop" `Quick
+            test_invariant_middle;
+          Alcotest.test_case "injective map" `Quick test_injective;
+          Alcotest.test_case "coupled window (FIR)" `Quick test_coupled_window;
+          Alcotest.test_case "decimated window" `Quick test_decimated;
+          Alcotest.test_case "scalar accumulator" `Quick test_scalar;
+          Alcotest.test_case "2-D coupled (BIC)" `Quick test_two_dim_coupled;
+          Alcotest.test_case "scaled invariant" `Quick test_scaled_invariant;
+          Alcotest.test_case "echelon basis order" `Quick
+            test_basis_echelon_order;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+open Srfa_ir
+open Builder
+
+let valid_nest () =
+  let a = input "a" [ 8 ] and y = output "y" [ 4 ] in
+  let i = idx "i" in
+  nest "t" ~loops:[ ("i", 4); ("j", 5) ] [ at y [ i ] <-- (a.%[ [ i +: cidx 3 ] ] + const 1); at y [ i ] <-- a.%[ [ i ] ] ]
+
+let rejects name f =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool)
+        "Invalid_argument raised" true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+
+let test_accepts_valid () =
+  let n = valid_nest () in
+  Alcotest.(check int) "depth" 2 (Nest.depth n);
+  Alcotest.(check int) "iterations" 20 (Nest.iterations n);
+  Alcotest.(check (list string)) "vars" [ "i"; "j" ] (Nest.loop_vars n);
+  Alcotest.(check int) "refs in program order" 4 (List.length (Nest.refs n))
+
+let test_find_array () =
+  let n = valid_nest () in
+  Alcotest.(check string) "find a" "a" (Nest.find_array n "a").Decl.name;
+  Alcotest.(check bool)
+    "missing array raises Not_found" true
+    (try
+       ignore (Nest.find_array n "zz");
+       false
+     with Not_found -> true)
+
+let test_pp_smoke () =
+  let text = Format.asprintf "%a" Nest.pp (valid_nest ()) in
+  Alcotest.(check bool) "mentions kernel name" true
+    (String.length text > 0
+    && Srfa_test_helpers.Helpers.contains_substring text "kernel t")
+
+let () =
+  Alcotest.run "nest"
+    [
+      ( "validation",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_accepts_valid;
+          rejects "no loops" (fun () ->
+              Nest.make ~name:"x" ~arrays:[] ~loops:[] ~body:[]);
+          rejects "empty body" (fun () ->
+              Nest.make ~name:"x" ~arrays:[]
+                ~loops:[ Nest.loop "i" 4 ]
+                ~body:[]);
+          rejects "duplicate loop variables" (fun () ->
+              let a = input "a" [ 4 ] and y = output "y" [ 4 ] in
+              let i = idx "i" in
+              Nest.make ~name:"x" ~arrays:[ a; y ]
+                ~loops:[ Nest.loop "i" 4; Nest.loop "i" 4 ]
+                ~body:[ at y [ i ] <-- a.%[ [ i ] ] ]);
+          rejects "undeclared array" (fun () ->
+              let a = input "a" [ 4 ] and y = output "y" [ 4 ] in
+              let i = idx "i" in
+              Nest.make ~name:"x" ~arrays:[ y ]
+                ~loops:[ Nest.loop "i" 4 ]
+                ~body:[ at y [ i ] <-- a.%[ [ i ] ] ]);
+          rejects "out-of-bounds upper" (fun () ->
+              let a = input "a" [ 4 ] and y = output "y" [ 4 ] in
+              let i = idx "i" in
+              nest "x" ~loops:[ ("i", 4) ]
+                [ at y [ i ] <-- a.%[ [ i +: cidx 1 ] ] ]
+              |> fun _ -> ignore a);
+          rejects "out-of-bounds negative" (fun () ->
+              let a = input "a" [ 4 ] and y = output "y" [ 4 ] in
+              let i = idx "i" in
+              nest "x" ~loops:[ ("i", 4) ]
+                [ at y [ i ] <-- a.%[ [ i -: cidx 1 ] ] ]);
+          rejects "unknown index variable" (fun () ->
+              let a = input "a" [ 4 ] and y = output "y" [ 4 ] in
+              let i = idx "i" and k = idx "k" in
+              nest "x" ~loops:[ ("i", 4) ] [ at y [ i ] <-- a.%[ [ k ] ] ]);
+          rejects "non-positive trip count" (fun () -> Nest.loop "i" 0);
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "find_array" `Quick test_find_array;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+open Srfa_ir
+
+let check_int = Alcotest.(check int)
+
+let test_arith () =
+  check_int "add" 7 (Op.eval_binary Op.Add 3 4);
+  check_int "sub" (-1) (Op.eval_binary Op.Sub 3 4);
+  check_int "mul" 12 (Op.eval_binary Op.Mul 3 4);
+  check_int "div" 3 (Op.eval_binary Op.Div 13 4);
+  check_int "div truncates toward zero" (-3) (Op.eval_binary Op.Div (-13) 4);
+  check_int "div by zero yields 0" 0 (Op.eval_binary Op.Div 5 0)
+
+let test_minmax () =
+  check_int "min" 3 (Op.eval_binary Op.Min 3 4);
+  check_int "max" 4 (Op.eval_binary Op.Max 3 4);
+  check_int "min negative" (-4) (Op.eval_binary Op.Min 3 (-4))
+
+let test_bitwise () =
+  check_int "and" 0b100 (Op.eval_binary Op.Band 0b110 0b101);
+  check_int "or" 0b111 (Op.eval_binary Op.Bor 0b110 0b101);
+  check_int "xor" 0b011 (Op.eval_binary Op.Bxor 0b110 0b101)
+
+let test_compare () =
+  check_int "eq true" 1 (Op.eval_binary Op.Eq 5 5);
+  check_int "eq false" 0 (Op.eval_binary Op.Eq 5 6);
+  check_int "lt true" 1 (Op.eval_binary Op.Lt 5 6);
+  check_int "lt false" 0 (Op.eval_binary Op.Lt 6 5);
+  check_int "lt equal" 0 (Op.eval_binary Op.Lt 5 5)
+
+let test_unary () =
+  check_int "neg" (-5) (Op.eval_unary Op.Neg 5);
+  check_int "abs" 5 (Op.eval_unary Op.Abs (-5));
+  check_int "bnot of 0" 1 (Op.eval_unary Op.Bnot 0);
+  check_int "bnot of 1" 0 (Op.eval_unary Op.Bnot 1)
+
+let test_names_unique () =
+  let names = List.map Op.binary_name Op.all_binary in
+  Alcotest.(check int)
+    "binary names are distinct"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  let unames = List.map Op.unary_name Op.all_unary in
+  Alcotest.(check int)
+    "unary names are distinct"
+    (List.length unames)
+    (List.length (List.sort_uniq String.compare unames))
+
+let prop_eq_reflexive =
+  QCheck.Test.make ~name:"eq is reflexive" ~count:100 QCheck.small_int
+    (fun x -> Op.eval_binary Op.Eq x x = 1)
+
+let prop_minmax_bounds =
+  QCheck.Test.make ~name:"min <= max" ~count:100
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      Op.eval_binary Op.Min a b <= Op.eval_binary Op.Max a b)
+
+let () =
+  Alcotest.run "op"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "min/max" `Quick test_minmax;
+          Alcotest.test_case "bitwise" `Quick test_bitwise;
+          Alcotest.test_case "comparisons" `Quick test_compare;
+          Alcotest.test_case "unary" `Quick test_unary;
+          Alcotest.test_case "names unique" `Quick test_names_unique;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_eq_reflexive;
+          QCheck_alcotest.to_alcotest prop_minmax_bounds;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+open Srfa_ir
+open Srfa_test_helpers
+
+let test_kernels_fully_permutable () =
+  List.iter
+    (fun (name, nest) ->
+      Alcotest.(check bool)
+        (name ^ " is fully permutable")
+        true
+        (Permute.fully_permutable nest))
+    (Helpers.small_kernels ())
+
+let test_subtraction_reduction_rejected () =
+  let open Builder in
+  let x = input "x" [ 4 ] and acc = output "acc" [ 4 ] in
+  let i = idx "i" and j = idx "j" in
+  let nest =
+    nest "subred" ~loops:[ ("i", 4); ("j", 4) ]
+      [ at acc [ i ] <-- (acc.%[ [ i ] ] - x.%[ [ j ] ]) ]
+  in
+  (* Subtraction is associative-insensitive to order of the *other*
+     operands but the reduction test must stay conservative. *)
+  Alcotest.(check bool) "rejected" false (Permute.fully_permutable nest);
+  Alcotest.(check bool) "reason mentions operator" true
+    (match Permute.illegality nest with
+    | Some why -> Helpers.contains_substring why "associative"
+    | None -> false)
+
+let test_cross_iteration_dependence_rejected () =
+  let open Builder in
+  let x = local "x" [ 8 ] and y = output "y" [ 4 ] in
+  let i = idx "i" in
+  let nest =
+    nest "shift" ~loops:[ ("i", 4) ]
+      [
+        at x [ i +: cidx 1 ] <-- (y.%[ [ i ] ] + const 1);
+        at y [ i ] <-- x.%[ [ i ] ];
+      ]
+  in
+  (* y[i] is read by statement 1 before statement 2 writes it, and x is
+     read through a different index than its write: cross-iteration flow. *)
+  Alcotest.(check bool) "rejected" false (Permute.fully_permutable nest)
+
+let test_interchange_reorders () =
+  let nest = Helpers.example () in
+  let swapped = Permute.interchange nest ~order:[ 0; 2; 1 ] in
+  Alcotest.(check (list string)) "i k j" [ "i"; "k"; "j" ]
+    (Nest.loop_vars swapped);
+  Alcotest.(check int) "same iteration count" (Nest.iterations nest)
+    (Nest.iterations swapped)
+
+let test_interchange_bad_order () =
+  let nest = Helpers.example () in
+  List.iter
+    (fun order ->
+      Alcotest.(check bool)
+        "invalid order rejected" true
+        (try
+           ignore (Permute.interchange nest ~order);
+           false
+         with Invalid_argument _ -> true))
+    [ [ 0; 1 ]; [ 0; 1; 1 ]; [ 0; 1; 3 ] ]
+
+let test_interchange_preserves_semantics () =
+  List.iter
+    (fun (name, nest) ->
+      let reference = Interp.run_fresh nest ~init:Helpers.init in
+      List.iter
+        (fun order ->
+          let permuted = Permute.interchange nest ~order in
+          let result = Interp.run_fresh permuted ~init:Helpers.init in
+          List.iter
+            (fun (d : Decl.t) ->
+              if d.Decl.storage = Decl.Output then
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s under [%s]: %s agrees" name
+                     (String.concat ";" (List.map string_of_int order))
+                     d.Decl.name)
+                  true
+                  (Interp.equal_array reference result d.Decl.name))
+            nest.Nest.arrays)
+        (Permute.all_orders nest))
+    (Helpers.small_kernels ())
+
+let test_all_orders_count () =
+  let nest = Helpers.example () in
+  Alcotest.(check int) "3! orders" 6 (List.length (Permute.all_orders nest));
+  Alcotest.(check (list int)) "identity first" [ 0; 1; 2 ]
+    (List.hd (Permute.all_orders nest))
+
+let test_explorer_imi () =
+  let nest = Helpers.small_imi () in
+  (* A budget too small for the paper-order image windows (nu = 30 each)
+     but ample once the frame loop is innermost (nu = 1 each). *)
+  let config =
+    { Srfa_core.Flow.default_config with Srfa_core.Flow.budget = 12 }
+  in
+  let candidates =
+    Srfa_core.Order_explorer.explore ~config Srfa_core.Allocator.Cpa_ra nest
+  in
+  Alcotest.(check int) "six candidates" 6 (List.length candidates);
+  let best = List.hd candidates in
+  let identity =
+    List.find
+      (fun c -> c.Srfa_core.Order_explorer.order = [ 0; 1; 2 ])
+      candidates
+  in
+  Alcotest.(check bool) "sorted ascending" true
+    (let rec mono = function
+       | a :: (b :: _ as rest) ->
+         a.Srfa_core.Order_explorer.cycles <= b.Srfa_core.Order_explorer.cycles
+         && mono rest
+       | _ -> true
+     in
+     mono candidates);
+  (* frame loop innermost turns the image windows into single registers *)
+  Alcotest.(check bool) "best strictly beats the paper order" true
+    (best.Srfa_core.Order_explorer.cycles
+    < identity.Srfa_core.Order_explorer.cycles);
+  Alcotest.(check (list string)) "f innermost" [ "r"; "c"; "f" ]
+    best.Srfa_core.Order_explorer.loop_vars
+
+let test_explorer_best_never_worse_than_identity () =
+  List.iter
+    (fun (name, nest) ->
+      let candidates =
+        Srfa_core.Order_explorer.explore Srfa_core.Allocator.Cpa_ra nest
+      in
+      let identity_order = List.init (Nest.depth nest) Fun.id in
+      let identity =
+        List.find
+          (fun c -> c.Srfa_core.Order_explorer.order = identity_order)
+          candidates
+      in
+      let best = List.hd candidates in
+      Alcotest.(check bool)
+        (name ^ ": best <= identity")
+        true
+        (best.Srfa_core.Order_explorer.cycles
+        <= identity.Srfa_core.Order_explorer.cycles))
+    (Helpers.small_kernels ())
+
+let () =
+  Alcotest.run "permute"
+    [
+      ( "legality",
+        [
+          Alcotest.test_case "kernels permutable" `Quick
+            test_kernels_fully_permutable;
+          Alcotest.test_case "subtraction reduction rejected" `Quick
+            test_subtraction_reduction_rejected;
+          Alcotest.test_case "cross-iteration rejected" `Quick
+            test_cross_iteration_dependence_rejected;
+        ] );
+      ( "interchange",
+        [
+          Alcotest.test_case "reorders" `Quick test_interchange_reorders;
+          Alcotest.test_case "bad orders rejected" `Quick
+            test_interchange_bad_order;
+          Alcotest.test_case "preserves semantics" `Slow
+            test_interchange_preserves_semantics;
+          Alcotest.test_case "all orders" `Quick test_all_orders_count;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "imi best order" `Quick test_explorer_imi;
+          Alcotest.test_case "best never worse" `Quick
+            test_explorer_best_never_worse_than_identity;
+        ] );
+    ]

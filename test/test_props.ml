@@ -1,0 +1,270 @@
+(* Property-based tests over randomly generated nests (see
+   Helpers.arbitrary_nest): the invariants that must hold for *any* affine
+   kernel, not just the paper's six. *)
+
+open Srfa_reuse
+open Srfa_test_helpers
+module Allocator = Srfa_core.Allocator
+
+let arbitrary = Helpers.arbitrary_nest
+
+let budget_for an extra = Srfa_core.Ordering.feasibility_minimum an + extra
+
+(* Every allocator respects its budget and keeps feasibility registers. *)
+let prop_allocators_respect_budget =
+  QCheck.Test.make ~name:"allocations within budget, beta >= 1" ~count:60
+    arbitrary (fun nest ->
+      let an = Analysis.analyze nest in
+      List.for_all
+        (fun alg ->
+          let budget = budget_for an 10 in
+          let alloc = Allocator.run alg an ~budget in
+          Allocation.total_registers alloc <= budget
+          && List.for_all
+               (fun gid -> Allocation.beta alloc gid >= 1)
+               (List.init (Analysis.num_groups an) Fun.id))
+        Allocator.all)
+
+(* FR-RA allocates all-or-nothing. *)
+let prop_fr_all_or_nothing =
+  QCheck.Test.make ~name:"fr-ra gives nu or 1" ~count:60 arbitrary
+    (fun nest ->
+      let an = Analysis.analyze nest in
+      let alloc = Allocator.run Allocator.Fr_ra an ~budget:(budget_for an 15) in
+      List.for_all
+        (fun gid ->
+          let beta = Allocation.beta alloc gid in
+          beta = 1 || beta = (Analysis.info an gid).Analysis.nu)
+        (List.init (Analysis.num_groups an) Fun.id))
+
+(* At most one group differs between PR and FR, and never downward. *)
+let prop_pr_adds_to_one_group =
+  QCheck.Test.make ~name:"pr-ra extends fr-ra on exactly one group" ~count:60
+    arbitrary (fun nest ->
+      let an = Analysis.analyze nest in
+      let budget = budget_for an 7 in
+      let fr = Allocator.run Allocator.Fr_ra an ~budget in
+      let pr = Allocator.run Allocator.Pr_ra an ~budget in
+      let diffs =
+        List.filter
+          (fun gid -> Allocation.beta pr gid <> Allocation.beta fr gid)
+          (List.init (Analysis.num_groups an) Fun.id)
+      in
+      List.length diffs <= 1
+      && List.for_all
+           (fun gid -> Allocation.beta pr gid > Allocation.beta fr gid)
+           diffs)
+
+(* The analysis quantities are internally consistent. *)
+let prop_analysis_consistent =
+  QCheck.Test.make ~name:"analysis invariants" ~count:60 arbitrary
+    (fun nest ->
+      let an = Analysis.analyze nest in
+      let iterations = Srfa_ir.Nest.iterations nest in
+      Array.for_all
+        (fun (i : Analysis.info) ->
+          i.Analysis.nu >= 1
+          && i.Analysis.distinct <= i.Analysis.accesses
+          && i.Analysis.accesses = iterations
+          && i.Analysis.saved_full >= 0
+          && i.Analysis.saved_full <= i.Analysis.accesses
+          && (i.Analysis.has_reuse || i.Analysis.nu = 1))
+        an.Analysis.infos)
+
+(* The scalar-replacement transform preserves semantics under every
+   algorithm — the strongest whole-pipeline property. *)
+let prop_transform_equivalent =
+  QCheck.Test.make ~name:"transform preserves semantics" ~count:40 arbitrary
+    (fun nest ->
+      let an = Analysis.analyze nest in
+      List.for_all
+        (fun alg ->
+          let alloc = Allocator.run alg an ~budget:(budget_for an 6) in
+          let plan = Srfa_codegen.Plan.build alloc in
+          Srfa_codegen.Exec_check.equivalent plan ~init:Helpers.init)
+        Allocator.all)
+
+(* Simulator identities. *)
+let prop_simulator_identities =
+  QCheck.Test.make ~name:"simulator cycle identities" ~count:40 arbitrary
+    (fun nest ->
+      let an = Analysis.analyze nest in
+      let alloc = Allocator.run Allocator.Cpa_ra an ~budget:(budget_for an 8) in
+      let r = Srfa_sched.Simulator.run alloc in
+      r.Srfa_sched.Simulator.total_cycles
+      = r.Srfa_sched.Simulator.compute_cycles
+        + r.Srfa_sched.Simulator.memory_cycles
+        + r.Srfa_sched.Simulator.control_cycles
+      && r.Srfa_sched.Simulator.memory_cycles >= 0
+      && r.Srfa_sched.Simulator.iterations = Srfa_ir.Nest.iterations nest)
+
+(* More registers never slow FR-RA down (its choices grow monotonically). *)
+let prop_fr_monotone_in_budget =
+  QCheck.Test.make ~name:"fr-ra cycles monotone in budget" ~count:30 arbitrary
+    (fun nest ->
+      let an = Analysis.analyze nest in
+      let cycles extra =
+        let alloc =
+          Allocator.run Allocator.Fr_ra an ~budget:(budget_for an extra)
+        in
+        (Srfa_sched.Simulator.run alloc).Srfa_sched.Simulator.total_cycles
+      in
+      cycles 20 <= cycles 5)
+
+(* A fully-funded FR allocation eliminates all eliminable memory. (CPA-RA
+   may decline to spend: when some critical path carries no removable
+   memory access, covering the others cannot shorten the schedule — the
+   paper's rationale for cut-wise allocation.) *)
+let prop_full_budget_leaves_only_no_reuse =
+  QCheck.Test.make ~name:"full budget leaves only no-reuse traffic" ~count:30
+    arbitrary (fun nest ->
+      let an = Analysis.analyze nest in
+      let budget = Analysis.total_registers_full an + 4 in
+      let alloc = Allocator.run Allocator.Fr_ra an ~budget in
+      let r = Srfa_sched.Simulator.run alloc in
+      let no_reuse gid = not (Analysis.info an gid).Analysis.has_reuse in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun gid accesses -> accesses = 0 || no_reuse gid)
+           r.Srfa_sched.Simulator.group_ram_accesses))
+
+(* The residency tracker never reports a rank below zero or residency for
+   an unpinned entry. *)
+let prop_tracker_sane =
+  QCheck.Test.make ~name:"tracker ranks sane" ~count:30 arbitrary
+    (fun nest ->
+      let an = Analysis.analyze nest in
+      let tr = Analysis.Tracker.create an in
+      let ok = ref true in
+      Srfa_ir.Iterspace.iter nest (fun point ->
+          Analysis.Tracker.step tr point;
+          for gid = 0 to Analysis.num_groups an - 1 do
+            let rank = Analysis.Tracker.slot_rank tr gid in
+            if rank < 0 then ok := false;
+            if Analysis.Tracker.resident tr gid ~beta:1000000 ~pinned:false
+            then ok := false
+          done);
+      !ok)
+
+(* Critical-graph and cut invariants on random nests. *)
+let prop_critical_and_cuts =
+  QCheck.Test.make ~name:"critical graph and cut invariants" ~count:40
+    arbitrary (fun nest ->
+      let an = Analysis.analyze nest in
+      let dfg = Srfa_dfg.Graph.build an in
+      let latency = Srfa_hw.Latency.default in
+      let charged _ = true in
+      let cg = Srfa_dfg.Critical.make dfg ~latency ~charged in
+      let len_ok =
+        Srfa_dfg.Critical.length cg
+        = Srfa_dfg.Graph.path_length dfg ~latency ~charged
+      in
+      let cuts = Srfa_dfg.Cut.enumerate cg in
+      let all_are_cuts =
+        List.for_all (fun cut -> Srfa_dfg.Cut.is_cut cg cut) cuts
+      in
+      let all_minimal =
+        List.for_all
+          (fun cut ->
+            List.for_all
+              (fun g ->
+                not
+                  (Srfa_dfg.Cut.is_cut cg
+                     (List.filter
+                        (fun x -> x.Group.id <> g.Group.id)
+                        cut)))
+              cut)
+          cuts
+      in
+      len_ok && all_are_cuts && all_minimal)
+
+(* Printing a nest in the surface DSL and reparsing preserves both the
+   analysis and the computed values. *)
+let prop_frontend_roundtrip =
+  QCheck.Test.make ~name:"frontend print/parse roundtrip" ~count:40 arbitrary
+    (fun nest ->
+      let reparsed = Srfa_frontend.Parser.parse (Srfa_frontend.Parser.print nest) in
+      let a1 = Analysis.analyze nest and a2 = Analysis.analyze reparsed in
+      let analyses_agree =
+        Analysis.num_groups a1 = Analysis.num_groups a2
+        && Array.for_all2
+             (fun (i1 : Analysis.info) (i2 : Analysis.info) ->
+               i1.Analysis.nu = i2.Analysis.nu
+               && i1.Analysis.saved_full = i2.Analysis.saved_full)
+             a1.Analysis.infos a2.Analysis.infos
+      in
+      let s1 = Srfa_ir.Interp.run_fresh nest ~init:Helpers.init in
+      let s2 = Srfa_ir.Interp.run_fresh reparsed ~init:Helpers.init in
+      analyses_agree
+      && List.for_all
+           (fun (d : Srfa_ir.Decl.t) ->
+             Srfa_ir.Interp.equal_array s1 s2 d.Srfa_ir.Decl.name)
+           nest.Srfa_ir.Nest.arrays)
+
+(* Strip-mining composes with the whole pipeline: a tiled random nest still
+   passes transform equivalence under every allocator. *)
+let prop_tiled_transform_equivalent =
+  QCheck.Test.make ~name:"tiled nests keep transform equivalence" ~count:25
+    QCheck.(pair arbitrary (int_bound 100))
+    (fun (nest, salt) ->
+      let depth = Srfa_ir.Nest.depth nest in
+      let level = salt mod depth in
+      match Srfa_ir.Tile.tileable_factors nest ~level with
+      | [] -> true
+      | factors ->
+        let factor = List.nth factors (salt mod List.length factors) in
+        let tiled = Srfa_ir.Tile.tile nest ~level ~factor in
+        let an = Analysis.analyze tiled in
+        List.for_all
+          (fun alg ->
+            let alloc = Allocator.run alg an ~budget:(budget_for an 6) in
+            let plan = Srfa_codegen.Plan.build alloc in
+            Srfa_codegen.Exec_check.equivalent plan ~init:Helpers.init)
+          [ Allocator.Fr_ra; Allocator.Cpa_ra ])
+
+(* The cost histogram is an exact decomposition of the simulated run. *)
+let prop_profile_decomposes_run =
+  QCheck.Test.make ~name:"profile histogram matches run totals" ~count:30
+    arbitrary (fun nest ->
+      let an = Analysis.analyze nest in
+      let alloc = Allocator.run Allocator.Pr_ra an ~budget:(budget_for an 5) in
+      let r = Srfa_sched.Simulator.run alloc in
+      let hist = Srfa_sched.Simulator.profile alloc in
+      List.fold_left (fun acc (_, n) -> acc + n) 0 hist
+      = r.Srfa_sched.Simulator.iterations
+      && List.fold_left (fun acc (c, n) -> acc + (c * n)) 0 hist
+         = r.Srfa_sched.Simulator.total_cycles)
+
+(* Interpreting twice with the same inputs is deterministic. *)
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"interpreter deterministic" ~count:30 arbitrary
+    (fun nest ->
+      let s1 = Srfa_ir.Interp.run_fresh nest ~init:Helpers.init in
+      let s2 = Srfa_ir.Interp.run_fresh nest ~init:Helpers.init in
+      List.for_all
+        (fun (d : Srfa_ir.Decl.t) ->
+          Srfa_ir.Interp.equal_array s1 s2 d.Srfa_ir.Decl.name)
+        nest.Srfa_ir.Nest.arrays)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_allocators_respect_budget;
+            prop_fr_all_or_nothing;
+            prop_pr_adds_to_one_group;
+            prop_analysis_consistent;
+            prop_transform_equivalent;
+            prop_simulator_identities;
+            prop_fr_monotone_in_budget;
+            prop_full_budget_leaves_only_no_reuse;
+            prop_tracker_sane;
+            prop_critical_and_cuts;
+            prop_frontend_roundtrip;
+            prop_tiled_transform_equivalent;
+            prop_profile_decomposes_run;
+            prop_interp_deterministic;
+          ] );
+    ]

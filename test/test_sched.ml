@@ -1,0 +1,161 @@
+open Srfa_reuse
+open Srfa_test_helpers
+module Graph = Srfa_dfg.Graph
+module Cycle_model = Srfa_sched.Cycle_model
+module Simulator = Srfa_sched.Simulator
+
+let latency = Srfa_hw.Latency.default
+
+let model_of nest =
+  let an = Helpers.analyze nest in
+  let dfg = Graph.build an in
+  let arrays = nest.Srfa_ir.Nest.arrays in
+  let ram_map = Srfa_hw.Ram_map.build Srfa_hw.Device.xcv1000 arrays in
+  (an, Cycle_model.create ~dfg ~latency ~ram_map)
+
+let test_example_makespans () =
+  let an, model = model_of (Helpers.example ()) in
+  ignore an;
+  (* Pure compute: two chained multiplies. *)
+  Alcotest.(check int) "compute makespan" 2 (Cycle_model.compute_makespan model);
+  (* All charged: b -> op1 -> d -> op2 -> e adds 3 memory cycles. *)
+  Alcotest.(check int) "all-RAM makespan" 5
+    (Cycle_model.makespan model ~charged:(fun _ -> true));
+  Alcotest.(check int) "memory cycles" 3
+    (Cycle_model.memory_cycles model ~charged:(fun _ -> true))
+
+let test_example_partial_charges () =
+  let an, model = model_of (Helpers.example ()) in
+  let id name = (Helpers.info_named an name).Analysis.group.Group.id in
+  let charged_of names (g : Group.t) = List.mem g.Group.id (List.map id names) in
+  (* Only e charged: one store level. *)
+  Alcotest.(check int) "only e" 1
+    (Cycle_model.memory_cycles model ~charged:(charged_of [ "e[i][j][k]" ]));
+  (* a and b charged (both feed op1, different banks): one fetch level. *)
+  Alcotest.(check int) "a,b concurrent" 1
+    (Cycle_model.memory_cycles model
+       ~charged:(charged_of [ "a[k]"; "b[k][j]" ]));
+  (* c charged: its fetch hides under op1 (not on the critical path). *)
+  Alcotest.(check int) "c hides" 0
+    (Cycle_model.memory_cycles model ~charged:(charged_of [ "c[j]" ]))
+
+let test_port_serialisation () =
+  (* Two reads of the same array in one iteration: same bank, and the
+     XCV1000's dual ports absorb both; a third serialises. *)
+  let open Srfa_ir.Builder in
+  let a = input "a" [ 16 ] and y = output "y" [ 8 ] in
+  let i = idx "i" in
+  let nest =
+    nest "triple" ~loops:[ ("i", 8) ]
+      [
+        at y [ i ]
+        <-- (a.%[ [ i ] ] + a.%[ [ i +: cidx 1 ] ] + a.%[ [ i +: cidx 2 ] ]);
+      ]
+  in
+  let _, model = model_of nest in
+  let mem = Cycle_model.memory_cycles model ~charged:(fun _ -> true) in
+  (* Three loads on two ports: two cycles of fetching instead of one, plus
+     the y store. *)
+  Alcotest.(check int) "dual-port serialisation" 3 mem
+
+let test_single_bank_worse () =
+  List.iter
+    (fun (name, nest) ->
+      let run policy =
+        let config =
+          { Simulator.default_config with Simulator.ram_policy = policy }
+        in
+        let an = Helpers.analyze nest in
+        let alloc = Srfa_core.Allocator.run Srfa_core.Allocator.Fr_ra an ~budget:64 in
+        (Simulator.run ~config alloc).Simulator.total_cycles
+      in
+      Alcotest.(check bool)
+        (name ^ ": single bank never faster")
+        true
+        (run Simulator.Single_bank >= run Simulator.Private_banks))
+    (Helpers.small_kernels ())
+
+let test_simulator_identities () =
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      let alloc =
+        Srfa_core.Allocator.run Srfa_core.Allocator.Cpa_ra an ~budget:16
+      in
+      let r = Simulator.run alloc in
+      Alcotest.(check int)
+        (name ^ ": iterations")
+        (Srfa_ir.Nest.iterations nest)
+        r.Simulator.iterations;
+      Alcotest.(check int)
+        (name ^ ": total = compute + memory + control")
+        r.Simulator.total_cycles
+        (r.Simulator.compute_cycles + r.Simulator.memory_cycles
+       + r.Simulator.control_cycles);
+      Alcotest.(check bool)
+        (name ^ ": memory cycles bounded by accesses")
+        true
+        (r.Simulator.memory_cycles
+        <= r.Simulator.ram_accesses * latency.Srfa_hw.Latency.ram_access + r.Simulator.iterations);
+      let per_group = Array.fold_left ( + ) 0 r.Simulator.group_ram_accesses in
+      Alcotest.(check int)
+        (name ^ ": per-group accesses sum")
+        r.Simulator.ram_accesses per_group)
+    (Helpers.small_kernels ())
+
+let test_full_allocation_no_memory_cycles () =
+  (* With every reuse window fully covered, only no-reuse groups pay. *)
+  let nest = Helpers.small_mat () in
+  let an = Helpers.analyze nest in
+  let full = Analysis.total_registers_full an in
+  let alloc = Srfa_core.Allocator.run Srfa_core.Allocator.Cpa_ra an ~budget:(full + 8) in
+  let r = Simulator.run alloc in
+  Alcotest.(check int) "mat fully covered: no memory cycles" 0
+    r.Simulator.memory_cycles
+
+let test_control_overhead () =
+  let nest = Helpers.small_mat () in
+  let an = Helpers.analyze nest in
+  let alloc = Srfa_core.Allocator.run Srfa_core.Allocator.Fr_ra an ~budget:16 in
+  let with_overhead =
+    Simulator.run
+      ~config:{ Simulator.default_config with Simulator.control_overhead = 2 }
+      alloc
+  in
+  let without = Simulator.run alloc in
+  Alcotest.(check int) "control cycles accounted"
+    (without.Simulator.total_cycles + (2 * without.Simulator.iterations))
+    with_overhead.Simulator.total_cycles
+
+let test_register_hits_complementary () =
+  let nest = Helpers.example () in
+  let an = Helpers.analyze nest in
+  let alloc = Srfa_core.Allocator.run Srfa_core.Allocator.Cpa_ra an ~budget:64 in
+  let r = Simulator.run alloc in
+  Alcotest.(check int) "hits + misses = groups x iterations"
+    (Analysis.num_groups an * r.Simulator.iterations)
+    (r.Simulator.register_hits + r.Simulator.ram_accesses)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "cycle model",
+        [
+          Alcotest.test_case "example makespans" `Quick test_example_makespans;
+          Alcotest.test_case "partial charges" `Quick
+            test_example_partial_charges;
+          Alcotest.test_case "port serialisation" `Quick
+            test_port_serialisation;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "single bank never faster" `Quick
+            test_single_bank_worse;
+          Alcotest.test_case "identities" `Quick test_simulator_identities;
+          Alcotest.test_case "full allocation" `Quick
+            test_full_allocation_no_memory_cycles;
+          Alcotest.test_case "control overhead" `Quick test_control_overhead;
+          Alcotest.test_case "hits complementary" `Quick
+            test_register_hits_complementary;
+        ] );
+    ]

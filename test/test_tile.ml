@@ -1,0 +1,111 @@
+open Srfa_ir
+open Srfa_test_helpers
+
+let test_structure () =
+  let nest = Helpers.small_mat () in
+  let tiled = Tile.tile nest ~level:2 ~factor:2 in
+  Alcotest.(check (list string)) "loop vars" [ "i"; "j"; "k_t"; "k_i" ]
+    (Nest.loop_vars tiled);
+  Alcotest.(check int) "iteration count preserved" (Nest.iterations nest)
+    (Nest.iterations tiled);
+  Alcotest.(check (list int)) "trip counts" [ 4; 4; 2; 2 ]
+    (Nest.trip_counts tiled)
+
+let test_semantics_preserved () =
+  (* Strip-mining preserves the exact iteration order, hence all
+     semantics, for every kernel and every level/factor. *)
+  List.iter
+    (fun (name, nest) ->
+      let reference = Interp.run_fresh nest ~init:Helpers.init in
+      List.iteri
+        (fun level _ ->
+          List.iter
+            (fun factor ->
+              let tiled = Tile.tile nest ~level ~factor in
+              let result = Interp.run_fresh tiled ~init:Helpers.init in
+              List.iter
+                (fun (d : Decl.t) ->
+                  if d.Decl.storage = Decl.Output then
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s level %d factor %d: %s" name level
+                         factor d.Decl.name)
+                      true
+                      (Interp.equal_array reference result d.Decl.name))
+                nest.Nest.arrays)
+            (Tile.tileable_factors nest ~level))
+        nest.Nest.loops)
+    (Helpers.small_kernels ())
+
+let test_indices_substituted () =
+  let nest = Srfa_kernels.Kernels.fir ~taps:5 ~samples:16 () in
+  (* x[i+j] with i tiled by 3 becomes x[i_i + 3*i_t + j] (terms sorted). *)
+  let tiled = Tile.tile nest ~level:0 ~factor:3 in
+  let an = Helpers.analyze tiled in
+  let x = Helpers.info_named an "x[i_i+3*i_t+j]" in
+  Alcotest.(check bool) "window still coupled" true
+    x.Srfa_reuse.Analysis.has_reuse
+
+let test_invalid () =
+  let nest = Helpers.small_mat () in
+  let invalid f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "factor 1 rejected" true
+    (invalid (fun () -> Tile.tile nest ~level:0 ~factor:1));
+  Alcotest.(check bool) "non-dividing factor rejected" true
+    (invalid (fun () -> Tile.tile nest ~level:0 ~factor:3));
+  Alcotest.(check bool) "bad level rejected" true
+    (invalid (fun () -> Tile.tile nest ~level:9 ~factor:2))
+
+let test_tileable_factors () =
+  let nest = Srfa_kernels.Kernels.mat ~size:12 () in
+  Alcotest.(check (list int)) "divisors of 12" [ 2; 3; 4; 6 ]
+    (Tile.tileable_factors nest ~level:0)
+
+let test_composes_with_interchange () =
+  (* Tile then interchange: still the same values. *)
+  let nest = Helpers.small_mat () in
+  let tiled = Tile.tile nest ~level:2 ~factor:2 in
+  Alcotest.(check bool) "tiled mat permutable" true
+    (Permute.fully_permutable tiled);
+  let moved = Permute.interchange tiled ~order:[ 2; 0; 1; 3 ] in
+  let s1 = Interp.run_fresh nest ~init:Helpers.init in
+  let s2 = Interp.run_fresh moved ~init:Helpers.init in
+  Alcotest.(check bool) "values preserved" true (Interp.equal_array s1 s2 "c")
+
+let test_full_pipeline_on_tiled () =
+  (* The whole flow runs on tiled nests (allocation, simulation,
+     transform equivalence). *)
+  let nest = Tile.tile (Helpers.small_bic ()) ~level:1 ~factor:2 in
+  let an = Helpers.analyze nest in
+  List.iter
+    (fun alg ->
+      let alloc = Srfa_core.Allocator.run alg an ~budget:24 in
+      let plan = Srfa_codegen.Plan.build alloc in
+      Alcotest.(check bool)
+        (Srfa_core.Allocator.name alg ^ " equivalent on tiled bic")
+        true
+        (Srfa_codegen.Exec_check.equivalent plan ~init:Helpers.init))
+    Srfa_core.Allocator.all
+
+let () =
+  Alcotest.run "tile"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "semantics preserved" `Slow
+            test_semantics_preserved;
+          Alcotest.test_case "indices substituted" `Quick
+            test_indices_substituted;
+          Alcotest.test_case "invalid inputs" `Quick test_invalid;
+          Alcotest.test_case "tileable factors" `Quick test_tileable_factors;
+          Alcotest.test_case "composes with interchange" `Quick
+            test_composes_with_interchange;
+          Alcotest.test_case "full pipeline" `Quick
+            test_full_pipeline_on_tiled;
+        ] );
+    ]
