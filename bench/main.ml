@@ -19,7 +19,9 @@
      fixed-clock           Section 5's fixed-clock-fabric remark
      ablation-peeling      cost of the peeled window loads/writebacks
      ablation-pipelining   serial vs pipelined execution regimes
-     perf                  Bechamel micro-benchmarks of the allocators *)
+     perf                  Bechamel micro-benchmarks of the allocators
+     perf-cuts             flow min-vertex-cut vs exhaustive enumeration
+                           on synthetic unrolled kernels (BENCH_cuts.json) *)
 
 module Allocator = Srfa_core.Allocator
 module Flow = Srfa_core.Flow
@@ -97,7 +99,7 @@ let fig2_dfg () =
     (fun cut ->
       Printf.printf "cut: {%s}\n"
         (String.concat ", " (List.map Srfa_reuse.Group.name cut)))
-    (Srfa_dfg.Cut.enumerate cg);
+    (Srfa_dfg.Cut.enumerate_exhaustive cg);
   Printf.printf "\nGraphviz DOT of the DFG (boxes = references):\n\n%s"
     (Srfa_dfg.Dot.render ~highlight:cg dfg ~charged)
 
@@ -644,7 +646,7 @@ let perf () =
             Srfa_dfg.Critical.make dfg ~latency:Srfa_hw.Latency.default
               ~charged:(fun _ -> true)
           in
-          ignore (Srfa_dfg.Cut.enumerate cg));
+          ignore (Srfa_dfg.Cut.enumerate_exhaustive cg));
       stage "simulate example (cpa)" (fun () ->
           let alloc = Allocator.run Allocator.Cpa_ra analysis ~budget in
           ignore (Simulator.run alloc));
@@ -674,6 +676,189 @@ let perf () =
     (fun (name, est) -> Printf.printf "  %-32s %s\n" name est)
     (List.sort compare !rows)
 
+(* ------------------------------------------------------------- perf-cuts *)
+
+(* The cheapest-cut query CPA-RA issues every round, asked two ways on the
+   same critical graph: through the polynomial flow engine and through the
+   exhaustive minimal-cut enumeration (capped at 16 groups — its hard
+   wall). The synthetic kernels put every reference group on the CG, the
+   unrolled regime the enumerator cannot survive. *)
+let perf_cuts () =
+  section
+    "perf-cuts: flow min-vertex-cut vs exhaustive enumeration (synthetic \
+     unrolled kernels)";
+  let sizes = [ 8; 12; 16; 24; 48 ] in
+  let instances =
+    List.map
+      (fun g ->
+        let nest = Srfa_kernels.Extra.synthetic_cut ~groups:g () in
+        let analysis = Flow.analyze nest in
+        let dfg = Srfa_dfg.Graph.build analysis in
+        let info gid = Srfa_reuse.Analysis.info analysis gid in
+        (* The CPA-RA round-1 memory state: one pinned register per group. *)
+        let charged (grp : Srfa_reuse.Group.t) =
+          let i = info grp.Srfa_reuse.Group.id in
+          (not i.Srfa_reuse.Analysis.has_reuse) || 1 < i.Srfa_reuse.Analysis.nu
+        in
+        let improvable (grp : Srfa_reuse.Group.t) =
+          let i = info grp.Srfa_reuse.Group.id in
+          i.Srfa_reuse.Analysis.has_reuse && 1 < i.Srfa_reuse.Analysis.nu
+        in
+        let weight (grp : Srfa_reuse.Group.t) =
+          (info grp.Srfa_reuse.Group.id).Srfa_reuse.Analysis.nu - 1
+        in
+        let cg =
+          Srfa_dfg.Critical.make dfg ~latency:Srfa_hw.Latency.default ~charged
+        in
+        (g, cg, improvable, weight))
+      sizes
+  in
+  let flow_query cg improvable weight () =
+    ignore (Srfa_dfg.Cut.cheapest cg ~eligible:improvable ~weight)
+  in
+  let exhaustive_query cg improvable weight () =
+    (* What Cpa_ra.allocate did before the flow engine: enumerate every
+       minimal cut, keep the all-improvable ones, fold to the cheapest. *)
+    let cuts = Srfa_dfg.Cut.enumerate_exhaustive cg in
+    let eligible = List.filter (List.for_all improvable) cuts in
+    let required = List.fold_left (fun acc grp -> acc + weight grp) 0 in
+    ignore
+      (List.fold_left
+         (fun acc cut ->
+           match acc with
+           | None -> Some cut
+           | Some b -> if required cut < required b then Some cut else acc)
+         None eligible)
+  in
+  (* Equal answers before timing: the oracle and the engine must name the
+     same cheapest weight wherever the oracle can run at all. *)
+  List.iter
+    (fun (g, cg, improvable, weight) ->
+      if g <= 16 then begin
+        let required = List.fold_left (fun acc grp -> acc + weight grp) 0 in
+        let reference =
+          Srfa_dfg.Cut.enumerate_exhaustive cg
+          |> List.filter (List.for_all improvable)
+          |> List.fold_left
+               (fun acc cut ->
+                 match acc with
+                 | None -> Some (required cut)
+                 | Some b -> Some (min b (required cut)))
+               None
+        in
+        let flow =
+          Option.map snd (Srfa_dfg.Cut.cheapest cg ~eligible:improvable ~weight)
+        in
+        Printf.printf "%2d groups: cheapest weight flow=%s exhaustive=%s %s\n"
+          g
+          (match flow with Some w -> string_of_int w | None -> "-")
+          (match reference with Some w -> string_of_int w | None -> "-")
+          (if flow = reference then "agree" else "MISMATCH")
+      end)
+    instances;
+  Printf.printf "\n";
+  let open Bechamel in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    List.concat_map
+      (fun (g, cg, improvable, weight) ->
+        let flow = stage (Printf.sprintf "flow-%02d" g)
+            (flow_query cg improvable weight)
+        in
+        if g <= 16 then
+          [
+            flow;
+            stage (Printf.sprintf "exhaustive-%02d" g)
+              (exhaustive_query cg improvable weight);
+          ]
+        else [ flow ])
+      instances
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"cuts" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let estimates = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ e ] -> Hashtbl.replace estimates name e
+      | Some _ | None -> ())
+    results;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let lookup kind g =
+    Hashtbl.fold
+      (fun name e acc ->
+        if contains name (Printf.sprintf "%s-%02d" kind g) then Some e else acc)
+      estimates None
+  in
+  let table =
+    T.create
+      ~headers:
+        [
+          ("ref groups", T.Right); ("flow ns/query", T.Right);
+          ("exhaustive ns/query", T.Right); ("speedup", T.Right);
+        ]
+  in
+  let points =
+    List.map
+      (fun g ->
+        let flow = lookup "flow" g and exh = lookup "exhaustive" g in
+        let speedup =
+          match (flow, exh) with
+          | Some f, Some e when f > 0.0 -> Some (e /. f)
+          | _ -> None
+        in
+        T.add_row table
+          [
+            string_of_int g;
+            (match flow with Some f -> Printf.sprintf "%.0f" f | None -> "-");
+            (match exh with Some e -> Printf.sprintf "%.0f" e | None -> "-");
+            (match speedup with
+            | Some s -> Printf.sprintf "%.0fx" s
+            | None -> "- (beyond the 16-group wall)");
+          ];
+        (g, flow, exh, speedup))
+      sizes
+  in
+  T.print table;
+  (match List.find_opt (fun (g, _, _, _) -> g = 16) points with
+  | Some (_, _, _, Some s) ->
+    Printf.printf "\nspeedup at the 16-group wall: %.0fx (target >= 10x): %s\n"
+      s
+      (if s >= 10.0 then "ok" else "MISMATCH")
+  | _ -> Printf.printf "\nspeedup at the 16-group wall: unavailable\n");
+  let oc = open_out "BENCH_cuts.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"perf-cuts\",\n  \"unit\": \"ns/query\",\n  \
+     \"points\": [\n";
+  let njson = List.length points in
+  List.iteri
+    (fun k (g, flow, exh, speedup) ->
+      let num = function
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null"
+      in
+      Printf.fprintf oc
+        "    { \"groups\": %d, \"flow_ns\": %s, \"exhaustive_ns\": %s, \
+         \"speedup\": %s }%s\n"
+        g (num flow) (num exh) (num speedup)
+        (if k = njson - 1 then "" else ","))
+    points;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_cuts.json\n"
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -693,6 +878,7 @@ let sections =
     ("ablation-peeling", ablation_peeling);
     ("ablation-pipelining", ablation_pipelining);
     ("perf", perf);
+    ("perf-cuts", perf_cuts);
   ]
 
 let () =

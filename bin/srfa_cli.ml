@@ -210,7 +210,7 @@ let cuts_cmd =
       Format.printf "cut: {%s}@."
         (String.concat ", " (List.map Srfa_reuse.Group.name cut))
     in
-    List.iter show (Srfa_dfg.Cut.enumerate cg)
+    List.iter show (Srfa_dfg.Cut.enumerate_exhaustive cg)
   in
   Cmd.v
     (Cmd.info "cuts" ~doc:"Enumerate the cuts of a kernel's critical graph.")

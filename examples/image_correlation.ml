@@ -24,7 +24,7 @@ let () =
     (fun cut ->
       Format.printf "cut: {%s}@."
         (String.concat ", " (List.map Srfa_reuse.Group.name cut)))
-    (Srfa_dfg.Cut.enumerate cg);
+    (Srfa_dfg.Cut.enumerate_exhaustive cg);
 
   (* CPA-RA with its decision trace. *)
   let budget = 64 in

@@ -28,33 +28,21 @@ let allocate_traced ?(latency = Srfa_hw.Latency.default)
     let i = info g.Group.id in
     i.Analysis.has_reuse && betas.(g.Group.id) < i.Analysis.nu
   in
-  let required cut =
-    let need g = (info g.Group.id).Analysis.nu - betas.(g.Group.id) in
-    List.fold_left (fun acc g -> acc + need g) 0 cut
-  in
+  let need g = (info g.Group.id).Analysis.nu - betas.(g.Group.id) in
+  let scratch = Critical.scratch dfg in
   let trace = ref [] in
   let rec round () =
     if !remaining > 0 then begin
-      let cg = Critical.make dfg ~latency ~charged in
+      let cg = Critical.make ~scratch dfg ~latency ~charged in
       let mem_len = Graph.memory_path_length dfg ~latency ~charged in
       if mem_len > 0 then begin
-        let cuts = Cut.enumerate cg in
-        let eligible =
-          List.filter (fun cut -> List.for_all improvable cut) cuts
-        in
-        match eligible with
-        | [] -> ()
-        | _ :: _ ->
-          let best =
-            List.fold_left
-              (fun acc cut ->
-                match acc with
-                | None -> Some cut
-                | Some b -> if required cut < required b then Some cut else acc)
-              None eligible
-          in
-          let cut = Option.get best in
-          let req = required cut in
+        (* One max-flow query replaces enumerating every minimal cut: the
+           min-weight vertex cut over improvable groups is exactly the
+           cheapest eligible cut, under the same tie-break the enumeration
+           order used to impose. *)
+        match Cut.cheapest cg ~eligible:improvable ~weight:need with
+        | None -> ()
+        | Some (cut, req) ->
           let len = Critical.length cg in
           if req <= !remaining then begin
             let fill g =

@@ -1,4 +1,5 @@
 open Srfa_reuse
+module Bitset = Srfa_util.Bitset
 
 type t = {
   graph : Graph.t;
@@ -7,15 +8,42 @@ type t = {
   cg_succs : int list array;
   sources : int list;
   sinks : int list;
+  is_sink : Bitset.t;
   charged : Group.t -> bool;
 }
 
-let make g ~latency ~charged =
+(* Buffers whose contents depend only on the DFG's structure (the topological
+   order) or that are overwritten wholesale on every extraction (the distance
+   arrays). CPA-RA re-extracts the CG once per allocation round under a new
+   [charged] predicate; sharing a scratch across rounds skips the per-round
+   topological sort and the two array allocations. *)
+type scratch = {
+  sgraph : Graph.t;
+  order : int list;
+  fwd : int array;
+  bwd : int array;
+}
+
+let scratch g =
   let n = Graph.num_nodes g in
+  {
+    sgraph = g;
+    order = Srfa_util.Toposort.sort ~n ~succs:(Graph.succs g);
+    fwd = Array.make n 0;
+    bwd = Array.make n 0;
+  }
+
+let make ?scratch:sc g ~latency ~charged =
+  let n = Graph.num_nodes g in
+  let sc =
+    match sc with Some s when s.sgraph == g -> s | Some _ | None -> scratch g
+  in
   let w u = Graph.node_latency g ~latency ~charged (Graph.nodes g).(u) in
-  let order = Srfa_util.Toposort.sort ~n ~succs:(Graph.succs g) in
+  let order = sc.order in
   (* Inclusive longest distances from any source / to any sink. *)
-  let fwd = Array.make n 0 and bwd = Array.make n 0 in
+  let fwd = sc.fwd and bwd = sc.bwd in
+  Array.fill fwd 0 n 0;
+  Array.fill bwd 0 n 0;
   let relax_fwd u =
     let base =
       List.fold_left (fun acc p -> max acc fwd.(p)) 0 (Graph.preds g u)
@@ -51,7 +79,8 @@ let make g ~latency ~charged =
     List.filter (fun u -> in_cg.(u) && not cg_has_pred.(u)) ids
   in
   let sinks = List.filter (fun u -> in_cg.(u) && cg_succs.(u) = []) ids in
-  { graph = g; length; in_cg; cg_succs; sources; sinks; charged }
+  let is_sink = Bitset.of_list n sinks in
+  { graph = g; length; in_cg; cg_succs; sources; sinks; is_sink; charged }
 
 let length t = t.length
 
@@ -59,16 +88,25 @@ let nodes t =
   List.filter (fun u -> t.in_cg.(u)) (List.init (Array.length t.in_cg) Fun.id)
 
 let mem t u = t.in_cg.(u)
+let succs t u = t.cg_succs.(u)
+let sources t = t.sources
+let sinks t = t.sinks
 
 let ref_groups t =
+  let n = Array.length t.in_cg in
+  let seen = Bitset.create (Analysis.num_groups (Graph.analysis t.graph)) in
   let refs = ref [] in
-  let note u =
-    match Graph.group_of_node (Graph.nodes t.graph).(u) with
-    | Some g when not (List.exists (fun x -> x.Group.id = g.Group.id) !refs) ->
-      refs := g :: !refs
-    | Some _ | None -> ()
-  in
-  List.iter note (nodes t);
+  for u = 0 to n - 1 do
+    if t.in_cg.(u) then begin
+      let gid = Graph.group_id t.graph u in
+      if gid >= 0 && not (Bitset.mem seen gid) then begin
+        Bitset.add seen gid;
+        match Graph.group_of_node (Graph.nodes t.graph).(u) with
+        | Some g -> refs := g :: !refs
+        | None -> ()
+      end
+    end
+  done;
   List.rev !refs
 
 let charged_ref_groups t =
@@ -76,13 +114,12 @@ let charged_ref_groups t =
 
 let has_path_avoiding t ~forbidden =
   let n = Array.length t.in_cg in
-  let seen = Array.make n false in
-  let sink u = List.mem u t.sinks in
+  let seen = Bitset.create n in
   let rec dfs u =
-    if seen.(u) || forbidden u then false
+    if Bitset.mem seen u || forbidden u then false
     else begin
-      seen.(u) <- true;
-      if sink u then true else List.exists dfs t.cg_succs.(u)
+      Bitset.add seen u;
+      if Bitset.mem t.is_sink u then true else List.exists dfs t.cg_succs.(u)
     end
   in
   List.exists (fun s -> (not (forbidden s)) && dfs s) t.sources

@@ -9,9 +9,20 @@ open Srfa_reuse
 
 type t
 
+type scratch
+(** Reusable extraction state for one DFG: the topological order (structure
+    only, so valid across memory states) and the forward/backward distance
+    arrays (overwritten on each extraction). CPA-RA builds one scratch per
+    allocation and re-extracts the CG with it every round. *)
+
+val scratch : Graph.t -> scratch
+
 val make :
+  ?scratch:scratch ->
   Graph.t -> latency:Srfa_hw.Latency.t -> charged:(Group.t -> bool) -> t
-(** Extracts the CG of the DFG under the given memory state. *)
+(** Extracts the CG of the DFG under the given memory state. A [scratch]
+    built from the same DFG skips the per-call topological sort; one built
+    from another DFG is ignored. *)
 
 val length : t -> int
 (** Latency of the critical path(s). *)
@@ -30,6 +41,15 @@ val charged_ref_groups : t -> Group.t list
 
 val mem : t -> int -> bool
 (** Whether a DFG node belongs to the CG. *)
+
+val succs : t -> int -> int list
+(** CG-restricted successors of a CG node (critical edges only). *)
+
+val sources : t -> int list
+(** CG nodes with no critical predecessor, in node-id order. *)
+
+val sinks : t -> int list
+(** CG nodes with no critical successor, in node-id order. *)
 
 val has_path_avoiding : t -> forbidden:(int -> bool) -> bool
 (** Whether a critical source-to-sink path exists that avoids every node

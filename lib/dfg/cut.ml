@@ -1,19 +1,25 @@
 open Srfa_reuse
-
-let node_forbidden cg groups u =
-  match Graph.group_of_node (Graph.nodes (Critical.graph cg)).(u) with
-  | Some g -> List.exists (fun x -> x.Group.id = g.Group.id) groups
-  | None -> false
+module Bitset = Srfa_util.Bitset
 
 let is_cut cg groups =
-  not (Critical.has_path_avoiding cg ~forbidden:(node_forbidden cg groups))
+  let g = Critical.graph cg in
+  let forbidden_gids =
+    Bitset.create (Analysis.num_groups (Graph.analysis g))
+  in
+  List.iter (fun grp -> Bitset.add forbidden_gids grp.Group.id) groups;
+  let forbidden u =
+    let gid = Graph.group_id g u in
+    gid >= 0 && Bitset.mem forbidden_gids gid
+  in
+  not (Critical.has_path_avoiding cg ~forbidden)
 
-let enumerate ?(max_groups = 16) cg =
+let enumerate_exhaustive ?(max_groups = 16) cg =
   let groups = Array.of_list (Critical.charged_ref_groups cg) in
   let n = Array.length groups in
   if n > max_groups then
     invalid_arg
-      (Printf.sprintf "Cut.enumerate: %d CG reference groups exceed limit %d"
+      (Printf.sprintf
+         "Cut.enumerate_exhaustive: %d CG reference groups exceed limit %d"
          n max_groups);
   let subset_of_mask mask =
     let rec go i acc =
@@ -39,3 +45,115 @@ let enumerate ?(max_groups = 16) cg =
          let c = Int.compare (popcount a) (popcount b) in
          if c <> 0 then c else Int.compare a b)
   |> List.map subset_of_mask
+
+(* ---- polynomial cheapest-cut engine ----------------------------------- *)
+
+(* The cheapest eligible cut is a minimum-weight vertex cut of the CG where
+   eligible groups cost their weight and every other vertex is uncuttable.
+   The capacities handed to the flow network are scaled to bake in the
+   deterministic tie-break the exhaustive path used:
+
+     scaled(g) = weight(g) * (k + 1) + 1
+
+   with [k] candidate groups. The max-flow value then minimises the pair
+   (total weight, cut cardinality) lexicographically — the [+1] per member
+   counts members, and [k + 1] keeps the count from ever outweighing one
+   unit of real weight. The third key, the lexicographically smallest
+   candidate-index set (identical to the exhaustive enumerator's ascending
+   mask order), is resolved by one more max-flow run per candidate: walking
+   indices from most significant to least, a candidate is excluded (its arc
+   forced to infinity) whenever a cut of unchanged scaled value still
+   exists without it, and is otherwise a member of every remaining optimal
+   cut. The candidates never excluded are exactly the cut.
+
+   Groups occupying several CG nodes (an accumulator's loop-carried read
+   and its store) get one weighted arc per node. Such groups are virtually
+   never candidates — an accumulator's window is a single register, so it
+   is register-resident from the initial allocation on — but when one is,
+   a cut through several of its nodes is charged once per node rather than
+   once per group, i.e. the engine answers the node-cut relaxation of the
+   (NP-hard) group-labelled cut. The result is still a valid cut with the
+   deterministic tie-break; only its weight can exceed the group-labelled
+   optimum, and never on the paper's kernels. *)
+let cheapest cg ~eligible ~weight =
+  let g = Critical.graph cg in
+  let groups = Array.of_list (Critical.charged_ref_groups cg) in
+  let k = Array.length groups in
+  let num_groups = Analysis.num_groups (Graph.analysis g) in
+  let cand_of_gid = Array.make num_groups (-1) in
+  let candidates = ref [] in
+  for i = k - 1 downto 0 do
+    if eligible groups.(i) then begin
+      cand_of_gid.(groups.(i).Group.id) <- i;
+      candidates := i :: !candidates
+    end
+  done;
+  let candidates = !candidates in
+  if candidates = [] then None
+  else if not (is_cut cg (List.map (fun i -> groups.(i)) candidates)) then
+    None
+  else begin
+    (* Compact the CG onto 0..m-1 and build the node-split network. *)
+    let cg_nodes = Array.of_list (Critical.nodes cg) in
+    let m = Array.length cg_nodes in
+    let compact = Array.make (Graph.num_nodes g) (-1) in
+    Array.iteri (fun i u -> compact.(u) <- i) cg_nodes;
+    let succs =
+      Array.map
+        (fun u -> List.map (fun v -> compact.(v)) (Critical.succs cg u))
+        cg_nodes
+    in
+    let candidate_of_node cu =
+      let gid = Graph.group_id g cg_nodes.(cu) in
+      if gid >= 0 then cand_of_gid.(gid) else -1
+    in
+    let scaled i = (weight groups.(i) * (k + 1)) + 1 in
+    let cap cu =
+      let i = candidate_of_node cu in
+      if i >= 0 then scaled i else Flownet.inf
+    in
+    let split =
+      Flownet.split_nodes ~n:m ~succs ~sources:(List.map (fun u -> compact.(u))
+          (Critical.sources cg))
+        ~sinks:(List.map (fun u -> compact.(u)) (Critical.sinks cg))
+        ~cap
+    in
+    let arcs = Array.make k [] in
+    Array.iteri
+      (fun cu arc ->
+        let i = candidate_of_node cu in
+        if i >= 0 then arcs.(i) <- arc :: arcs.(i))
+      split.Flownet.node_arc;
+    let sum_caps =
+      List.fold_left
+        (fun acc i -> acc + (List.length arcs.(i) * scaled i))
+        0 candidates
+    in
+    let solve limit =
+      Flownet.max_flow ~limit split.Flownet.net ~source:split.Flownet.source
+        ~sink:split.Flownet.sink
+    in
+    (* The all-candidates cut is finite, so the optimum is <= sum_caps and
+       the first run can never hit its limit. *)
+    let best = solve sum_caps in
+    let excluded = Bitset.create (max k 1) in
+    List.iter
+      (fun i ->
+        List.iter (fun e -> Flownet.set_cap split.Flownet.net e Flownet.inf)
+          arcs.(i);
+        if solve best > best then
+          (* Every optimal cut still available contains this candidate. *)
+          List.iter
+            (fun e -> Flownet.set_cap split.Flownet.net e (scaled i))
+            arcs.(i)
+        else Bitset.add excluded i)
+      (List.rev candidates);
+    let cut =
+      List.filter_map
+        (fun i -> if Bitset.mem excluded i then None else Some groups.(i))
+        candidates
+    in
+    assert (is_cut cg cut);
+    let total = List.fold_left (fun acc grp -> acc + weight grp) 0 cut in
+    Some (cut, total)
+  end

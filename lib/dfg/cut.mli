@@ -2,17 +2,39 @@
 
     A cut is a minimal set of RAM-hitting reference groups whose removal
     disconnects every critical path (paper §3); register-resident
-    references contribute no latency, so they are not cut candidates. Enumeration is exponential in the number
-    of CG reference groups — the paper makes the same worst-case remark —
-    but CGs of loop bodies are tiny in practice; a guard refuses absurd
-    inputs instead of hanging. *)
+    references contribute no latency, so they are not cut candidates.
+
+    Two engines answer cut queries. {!cheapest} — what CPA-RA asks every
+    round — reduces the minimum-weight vertex cut to max-flow over the
+    node-split CG ({!Flownet}) and runs in polynomial time, so allocation
+    scales to unrolled and fused bodies with hundreds of reference groups.
+    {!enumerate_exhaustive} is the original subset enumeration, kept as the
+    reference oracle and for printing the complete minimal-cut set; it is
+    exponential in the number of CG reference groups (the paper makes the
+    same worst-case remark) and guarded against absurd inputs. Both break
+    ties identically — ascending cut weight, then cardinality, then the
+    lexicographically smallest set of group positions — so they name the
+    same cut whenever both can run. *)
 
 open Srfa_reuse
 
-val enumerate : ?max_groups:int -> Critical.t -> Group.t list list
-(** All minimal cuts, each sorted by group id; the list is ordered by
-    ascending cut size then lexicographic ids. [max_groups] (default 16)
-    bounds the subset enumeration.
+val cheapest :
+  Critical.t ->
+  eligible:(Group.t -> bool) ->
+  weight:(Group.t -> int) ->
+  (Group.t list * int) option
+(** The cheapest cut of the CG made only of [eligible] charged reference
+    groups, with its total [weight]; [None] when no such cut exists (some
+    critical path carries no eligible group). The cut is minimal, listed in
+    CG reference-group order, and deterministic under the tie-break above.
+    Weights must be non-negative. Runs in O(V^2 E) per max-flow, with one
+    extra max-flow per candidate group for the tie-break. *)
+
+val enumerate_exhaustive :
+  ?max_groups:int -> Critical.t -> Group.t list list
+(** All minimal cuts, each sorted by group position; the list is ordered by
+    ascending cut size then lexicographic positions. [max_groups] (default
+    16) bounds the subset enumeration.
     @raise Invalid_argument if the CG carries more reference groups. *)
 
 val is_cut : Critical.t -> Group.t list -> bool

@@ -1,0 +1,156 @@
+(* Dinic's algorithm over an explicit residual graph. Edges are stored in
+   flat arrays with the reverse edge at [e lxor 1]; adjacency lists are
+   frozen into arrays on first use so the blocking-flow DFS can keep a
+   per-node cursor. Capacities are kept twice: [base] is the configured
+   capacity (mutable through {!set_cap}), [residual] is rebuilt from it at
+   the start of every {!max_flow} run, which makes runs idempotent — the
+   cut refinement loop re-solves the same network under different
+   capacity assignments. *)
+
+let inf = max_int / 8
+
+type t = {
+  nodes : int;
+  mutable eto : int array;
+  mutable base : int array;
+  mutable residual : int array;
+  mutable ecount : int;
+  adj : int list array;
+  mutable adj_arr : int array array;
+  mutable adj_dirty : bool;
+  level : int array;
+  cursor : int array;
+  queue : int array;
+}
+
+let create nodes =
+  if nodes <= 0 then invalid_arg "Flownet.create: need at least one node";
+  {
+    nodes;
+    eto = Array.make 16 0;
+    base = Array.make 16 0;
+    residual = Array.make 16 0;
+    ecount = 0;
+    adj = Array.make nodes [];
+    adj_arr = [||];
+    adj_dirty = true;
+    level = Array.make nodes (-1);
+    cursor = Array.make nodes 0;
+    queue = Array.make nodes 0;
+  }
+
+let grow t =
+  let cap = Array.length t.eto in
+  if t.ecount + 2 > cap then begin
+    let cap' = 2 * cap in
+    let widen a = Array.append a (Array.make (cap' - cap) 0) in
+    t.eto <- widen t.eto;
+    t.base <- widen t.base;
+    t.residual <- widen t.residual
+  end
+
+let add_edge t u v cap =
+  if u < 0 || u >= t.nodes || v < 0 || v >= t.nodes then
+    invalid_arg "Flownet.add_edge: node out of range";
+  if cap < 0 then invalid_arg "Flownet.add_edge: negative capacity";
+  grow t;
+  let e = t.ecount in
+  t.eto.(e) <- v;
+  t.base.(e) <- cap;
+  t.eto.(e + 1) <- u;
+  t.base.(e + 1) <- 0;
+  t.adj.(u) <- e :: t.adj.(u);
+  t.adj.(v) <- (e + 1) :: t.adj.(v);
+  t.ecount <- t.ecount + 2;
+  t.adj_dirty <- true;
+  e
+
+let set_cap t e cap =
+  if e < 0 || e >= t.ecount then invalid_arg "Flownet.set_cap: no such edge";
+  if cap < 0 then invalid_arg "Flownet.set_cap: negative capacity";
+  t.base.(e) <- cap
+
+let freeze t =
+  if t.adj_dirty then begin
+    t.adj_arr <- Array.map Array.of_list t.adj;
+    t.adj_dirty <- false
+  end
+
+(* Level graph by BFS over positive-residual edges. *)
+let bfs t source sink =
+  Array.fill t.level 0 t.nodes (-1);
+  t.level.(source) <- 0;
+  t.queue.(0) <- source;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = t.queue.(!head) in
+    incr head;
+    Array.iter
+      (fun e ->
+        let v = t.eto.(e) in
+        if t.residual.(e) > 0 && t.level.(v) < 0 then begin
+          t.level.(v) <- t.level.(u) + 1;
+          t.queue.(!tail) <- v;
+          incr tail
+        end)
+      t.adj_arr.(u)
+  done;
+  t.level.(sink) >= 0
+
+let rec blocking t sink u budget =
+  if u = sink then budget
+  else begin
+    let pushed = ref 0 in
+    let arr = t.adj_arr.(u) in
+    let len = Array.length arr in
+    while !pushed = 0 && t.cursor.(u) < len do
+      let e = arr.(t.cursor.(u)) in
+      let v = t.eto.(e) in
+      if t.residual.(e) > 0 && t.level.(v) = t.level.(u) + 1 then begin
+        let d = blocking t sink v (min budget t.residual.(e)) in
+        if d > 0 then begin
+          t.residual.(e) <- t.residual.(e) - d;
+          t.residual.(e lxor 1) <- t.residual.(e lxor 1) + d;
+          pushed := d
+        end
+        else t.cursor.(u) <- t.cursor.(u) + 1
+      end
+      else t.cursor.(u) <- t.cursor.(u) + 1
+    done;
+    !pushed
+  end
+
+let max_flow ?(limit = max_int) t ~source ~sink =
+  if source = sink then invalid_arg "Flownet.max_flow: source equals sink";
+  freeze t;
+  Array.blit t.base 0 t.residual 0 t.ecount;
+  let flow = ref 0 in
+  let exceeded () = !flow > limit in
+  while (not (exceeded ())) && bfs t source sink do
+    Array.fill t.cursor 0 t.nodes 0;
+    let saturated = ref false in
+    while (not !saturated) && not (exceeded ()) do
+      let d = blocking t sink source inf in
+      if d > 0 then flow := !flow + d else saturated := true
+    done
+  done;
+  !flow
+
+(* ---- node-split vertex cuts ------------------------------------------- *)
+
+type split = { net : t; source : int; sink : int; node_arc : int array }
+
+let split_nodes ~n ~succs ~sources ~sinks ~cap =
+  if n <= 0 then invalid_arg "Flownet.split_nodes: empty graph";
+  let net = create ((2 * n) + 2) in
+  let source = 2 * n and sink = (2 * n) + 1 in
+  let node_arc = Array.make n 0 in
+  for u = 0 to n - 1 do
+    node_arc.(u) <- add_edge net (2 * u) ((2 * u) + 1) (cap u)
+  done;
+  for u = 0 to n - 1 do
+    List.iter (fun v -> ignore (add_edge net ((2 * u) + 1) (2 * v) inf)) succs.(u)
+  done;
+  List.iter (fun s -> ignore (add_edge net source (2 * s) inf)) sources;
+  List.iter (fun s -> ignore (add_edge net ((2 * s) + 1) sink inf)) sinks;
+  { net; source; sink; node_arc }

@@ -14,6 +14,7 @@ type t = {
   nodes : node array;
   succs : int list array;
   preds : int list array;
+  group_ids : int array; (* node id -> group id, -1 for operators/constants *)
 }
 
 (* Construction walks the body statements in order, keeping per group the
@@ -83,13 +84,22 @@ let build analysis =
     preds.(b) <- a :: preds.(b)
   in
   List.iter add !edges;
-  { analysis; nodes = nodes_arr; succs; preds }
+  let group_ids =
+    Array.map
+      (fun nd ->
+        match nd.kind with
+        | Ref_node g -> g.Group.id
+        | Binary_node _ | Unary_node _ | Const_node _ -> -1)
+      nodes_arr
+  in
+  { analysis; nodes = nodes_arr; succs; preds; group_ids }
 
 let analysis t = t.analysis
 let nodes t = t.nodes
 let succs t id = t.succs.(id)
 let preds t id = t.preds.(id)
 let num_nodes t = Array.length t.nodes
+let group_id t id = t.group_ids.(id)
 
 let group_of_node nd =
   match nd.kind with

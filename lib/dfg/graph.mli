@@ -38,6 +38,10 @@ val ref_nodes : t -> node list
 
 val group_of_node : node -> Group.t option
 
+val group_id : t -> int -> int
+(** Group id of a reference node, [-1] for operator/constant nodes — an
+    allocation-free lookup for the hot cut-checking paths. *)
+
 val node_latency :
   t -> latency:Srfa_hw.Latency.t -> charged:(Group.t -> bool) -> node -> int
 (** Cycles this node contributes to a path: RAM latency for charged

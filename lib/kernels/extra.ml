@@ -46,6 +46,49 @@ let gradient_pair ?(size = 24) () =
       at gy [ r; c ] <-- (im2.%[ [ r +: cidx 1; c ] ] - im2.%[ [ r; c ] ]);
     ]
 
+(* An "unrolled" body: many independent statement copies with identical
+   critical-path length, so every reference group stays on the critical
+   graph. The decomposition into copies of 3 groups (two loads, one store)
+   and 2 groups (one squared load, one store) reaches any total >= 2; both
+   copy shapes have the same source-to-sink latency (load, multiply,
+   store), which is what keeps the whole body critical. The per-copy
+   minimal cuts compose multiplicatively across copies — precisely the
+   regime where subset enumeration explodes and the flow engine stays
+   polynomial. *)
+let synthetic_cut ?(groups = 16) ?(outer = 4) ?(inner = 8) () =
+  if groups < 2 then
+    invalid_arg "Extra.synthetic_cut: need at least 2 reference groups";
+  if outer < 2 || inner < 2 then
+    invalid_arg "Extra.synthetic_cut: loop counts must be at least 2";
+  let rec sizes g acc =
+    if g = 0 then List.rev acc
+    else if g = 2 then List.rev (2 :: acc)
+    else if g = 4 then List.rev (2 :: 2 :: acc)
+    else sizes Stdlib.(g - 3) (3 :: acc)
+  in
+  let i = idx "i" and j = idx "j" in
+  let nload = ref 0 in
+  let load () =
+    let x = input (Printf.sprintf "x%d" !nload) [ inner ] in
+    incr nload;
+    x.%[ [ j ] ]
+  in
+  let body =
+    List.mapi
+      (fun k size ->
+        let out = output (Printf.sprintf "o%d" k) [ outer; inner ] in
+        let rhs =
+          match size with
+          | 2 ->
+            let x = load () in
+            x * x
+          | _ -> load () * load ()
+        in
+        at out [ i; j ] <-- rhs)
+      (sizes groups [])
+  in
+  nest "synthetic-cut" ~loops:[ ("i", outer); ("j", inner) ] body
+
 let all () =
   [
     ("conv2d", conv2d ());
@@ -60,4 +103,5 @@ let find name =
   | "moving-average" | "movavg" -> Some (moving_average ())
   | "corner-turn" | "cornerturn" -> Some (corner_turn ())
   | "gradient-pair" | "gradient" -> Some (gradient_pair ())
+  | "synthetic-cut" | "synthetic" -> Some (synthetic_cut ())
   | _ -> None

@@ -23,5 +23,17 @@ val gradient_pair : ?size:int -> unit -> Nest.t
     with disjoint data flow): the DFG has two components and the critical
     graph covers only the slower one. Default 24 x 24. *)
 
+val synthetic_cut : ?groups:int -> ?outer:int -> ?inner:int -> unit -> Nest.t
+(** An unrolled-style body with exactly [groups] reference groups, all on
+    the critical graph: independent multiply statements of identical
+    critical-path length whose minimal cuts compose multiplicatively
+    across statement copies. Stress input for the cut engines — subset
+    enumeration is exponential in [groups] here while the flow engine
+    stays polynomial. Defaults: 16 groups, loops 4 x 8.
+    @raise Invalid_argument when [groups < 2] or a loop count is below 2. *)
+
 val all : unit -> (string * Nest.t) list
+(** The four showcase kernels ({!synthetic_cut} is reachable through
+    {!find} only, so the registry stays the generality-test set). *)
+
 val find : string -> Nest.t option

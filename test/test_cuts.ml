@@ -16,7 +16,7 @@ let names cut = List.map Group.name cut
 let test_example_cuts () =
   (* Fig. 2(b): cuts are {a,b}, {d}, {e}. *)
   let cg = cg_of (Helpers.example ()) (fun _ -> true) in
-  let cuts = List.map names (Cut.enumerate cg) in
+  let cuts = List.map names (Cut.enumerate_exhaustive cg) in
   Alcotest.(check int) "three cuts" 3 (List.length cuts);
   Alcotest.(check bool) "{d}" true (List.mem [ "d[i][k]" ] cuts);
   Alcotest.(check bool) "{e}" true (List.mem [ "e[i][j][k]" ] cuts);
@@ -29,7 +29,7 @@ let test_cuts_are_cuts () =
     (fun cut ->
       Alcotest.(check bool) "disconnects all critical paths" true
         (Cut.is_cut cg cut))
-    (Cut.enumerate cg)
+    (Cut.enumerate_exhaustive cg)
 
 let test_cuts_are_minimal () =
   let cg = cg_of (Helpers.example ()) (fun _ -> true) in
@@ -41,7 +41,7 @@ let test_cuts_are_minimal () =
           Alcotest.(check bool) "proper subsets are not cuts" false
             (Cut.is_cut cg smaller))
         (drop_one cut))
-    (Cut.enumerate cg)
+    (Cut.enumerate_exhaustive cg)
 
 let test_not_a_cut () =
   let cg = cg_of (Helpers.example ()) (fun _ -> true) in
@@ -56,14 +56,14 @@ let test_after_full_d () =
   let d = (Helpers.info_named an "d[i][k]").Analysis.group in
   let charged (g : Group.t) = g.Group.id <> d.Group.id in
   let cg = cg_of (Helpers.example ()) charged in
-  let cuts = List.map names (Cut.enumerate cg) in
+  let cuts = List.map names (Cut.enumerate_exhaustive cg) in
   Alcotest.(check bool) "{a,b} still a cut" true
     (List.mem [ "a[k]"; "b[k][j]" ] cuts);
   Alcotest.(check bool) "{d} gone" false (List.mem [ "d[i][k]" ] cuts)
 
 let test_fir_cuts () =
   let cg = cg_of (Helpers.small_fir ()) (fun _ -> true) in
-  let cuts = List.map names (Cut.enumerate cg) in
+  let cuts = List.map names (Cut.enumerate_exhaustive cg) in
   (* The multiply's operands form one cut; the accumulator's read and
      write are separate cut opportunities. *)
   Alcotest.(check bool) "{c,x} is a cut" true
@@ -75,13 +75,13 @@ let test_enumeration_guard () =
   Alcotest.(check bool)
     "guard rejects absurd limits" true
     (try
-       ignore (Cut.enumerate ~max_groups:1 cg);
+       ignore (Cut.enumerate_exhaustive ~max_groups:1 cg);
        false
      with Invalid_argument _ -> true)
 
 let test_sorted_by_size () =
   let cg = cg_of (Helpers.example ()) (fun _ -> true) in
-  let sizes = List.map List.length (Cut.enumerate cg) in
+  let sizes = List.map List.length (Cut.enumerate_exhaustive cg) in
   Alcotest.(check (list int)) "ascending sizes" [ 1; 1; 2 ] sizes
 
 let () =

@@ -55,7 +55,7 @@ let test_gradient_pair_two_components () =
       ~charged:(fun _ -> true)
   in
   (* Both components have equal path lengths, so cuts must hit both. *)
-  let cuts = Srfa_dfg.Cut.enumerate cg in
+  let cuts = Srfa_dfg.Cut.enumerate_exhaustive cg in
   Alcotest.(check bool) "cuts exist" true (cuts <> []);
   List.iter
     (fun cut ->

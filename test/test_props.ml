@@ -159,7 +159,7 @@ let prop_critical_and_cuts =
         Srfa_dfg.Critical.length cg
         = Srfa_dfg.Graph.path_length dfg ~latency ~charged
       in
-      let cuts = Srfa_dfg.Cut.enumerate cg in
+      let cuts = Srfa_dfg.Cut.enumerate_exhaustive cg in
       let all_are_cuts =
         List.for_all (fun cut -> Srfa_dfg.Cut.is_cut cg cut) cuts
       in
