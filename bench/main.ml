@@ -216,11 +216,27 @@ let table1_summary () =
 let budget_sweep () =
   section "budget-sweep: total cycles vs register budget (series per kernel)";
   let budgets = [ 8; 16; 24; 32; 48; 64; 96; 128; 192; 256 ] in
+  let algorithms =
+    [ Allocator.Fr_ra; Allocator.Pr_ra; Allocator.Cpa_ra; Allocator.Knapsack ]
+  in
+  (* One Flow.sweep pass over kernels x algorithms x budgets: each kernel
+     is analysed once and its CPA scratch reused across every budget; the
+     allocators' decision traces stream to a JSONL file as they run. *)
+  let oc = open_out "BENCH_sweep_trace.jsonl" in
+  let trace = Srfa_util.Trace.channel oc in
+  let points =
+    Flow.sweep ~algorithms ~budgets ~trace (Srfa_kernels.Kernels.all ())
+  in
+  close_out oc;
   List.iter
     (fun (name, nest) ->
-      let analysis = Flow.analyze nest in
-      let minimum = Srfa_core.Ordering.feasibility_minimum analysis in
+      let minimum =
+        Srfa_core.Ordering.feasibility_minimum (Flow.analyze nest)
+      in
       Printf.printf "%s (feasibility minimum %d registers)\n" name minimum;
+      let mine =
+        List.filter (fun p -> p.Flow.kernel = name) points
+      in
       let table =
         T.create
           ~headers:
@@ -232,10 +248,11 @@ let budget_sweep () =
       in
       List.iter
         (fun b ->
-          if b >= minimum then begin
+          let at = List.filter (fun p -> p.Flow.budget = b) mine in
+          if at <> [] then begin
             let cycles alg =
-              let alloc = Allocator.run alg analysis ~budget:b in
-              (Simulator.run alloc).Simulator.total_cycles
+              let p = List.find (fun p -> p.Flow.algorithm = alg) at in
+              p.Flow.report.Report.cycles
             in
             T.add_row table
               [
@@ -249,7 +266,9 @@ let budget_sweep () =
         budgets;
       T.print table;
       Printf.printf "\n")
-    (Srfa_kernels.Kernels.all ())
+    (Srfa_kernels.Kernels.all ());
+  Printf.printf "wrote BENCH_sweep_trace.jsonl (%d design points traced)\n"
+    (List.length points)
 
 (* ------------------------------------------------------------- ablations *)
 

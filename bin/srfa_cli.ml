@@ -73,23 +73,55 @@ let show_cmd =
     Term.(const run $ kernel_pos)
 
 (* alloc: run one allocator and print the design report *)
+let trace_arg =
+  let doc =
+    "Write the allocator's decision trace (one JSON object per event: \
+     budget checks, per-round cuts with max-flow statistics, full/partial \
+     assignments with their reasons) to $(docv) as JSON lines."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
 let alloc_cmd =
-  let run nest algorithm budget =
+  let run nest algorithm budget trace_file =
     let config = config_of_budget budget in
     let analysis = Srfa_core.Flow.analyze nest in
-    let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
+    let collect, events = Srfa_util.Trace.collector () in
+    let finish, sink =
+      match trace_file with
+      | None -> (ignore, collect)
+      | Some file ->
+        let oc = open_out file in
+        let chan = Srfa_util.Trace.channel oc in
+        let tee =
+          Srfa_util.Trace.make (fun e ->
+              Srfa_util.Trace.emit chan (fun () -> e);
+              Srfa_util.Trace.emit collect (fun () -> e))
+        in
+        let finish () =
+          close_out oc;
+          Format.printf "trace: %d events written to %s@."
+            (List.length (events ()))
+            file
+        in
+        (finish, tee)
+    in
+    let alloc =
+      Srfa_core.Flow.allocation ~config ~trace:sink algorithm analysis
+    in
     Format.printf "%a@.@." Srfa_reuse.Allocation.pp alloc;
     let report =
       Srfa_estimate.Report.build ~sim_config:config.Srfa_core.Flow.sim
         ~clock_params:config.Srfa_core.Flow.clock_params
+        ~trace_summary:(Srfa_util.Trace.summary (events ()))
         ~version:(Srfa_core.Allocator.version_label algorithm)
         alloc
     in
-    Format.printf "%a@." Srfa_estimate.Report.pp report
+    Format.printf "%a@." Srfa_estimate.Report.pp report;
+    finish ()
   in
   Cmd.v
     (Cmd.info "alloc" ~doc:"Allocate registers for a kernel and report.")
-    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg)
+    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg $ trace_arg)
 
 (* compare: all algorithms side by side *)
 let print_comparison nest budget =
@@ -237,40 +269,132 @@ let codegen_cmd =
        ~doc:"Emit the scalar-replaced kernel as C or behavioral VHDL.")
     Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg $ lang_arg)
 
-(* sweep: budgets *)
+(* sweep: kernels x algorithms x budgets batch driver *)
+let named_kernel_conv =
+  let parse s =
+    match Srfa_kernels.Kernels.find s with
+    | Some nest -> Ok (s, nest)
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown kernel %S (try: %s)" s
+             (String.concat ", " Srfa_kernels.Kernels.names)))
+  in
+  let print ppf (name, _) = Format.fprintf ppf "%s" name in
+  Arg.conv (parse, print)
+
+let json_of_point (p : Srfa_core.Flow.sweep_point) =
+  let r = p.Srfa_core.Flow.report in
+  Printf.sprintf
+    "{\"kernel\": %S, \"algorithm\": %S, \"version\": %S, \"budget\": %d, \
+     \"registers\": %d, \"cycles\": %d, \"memory_cycles\": %d, \
+     \"ram_accesses\": %d, \"exec_time_us\": %.3f}"
+    p.Srfa_core.Flow.kernel
+    (Srfa_core.Allocator.name p.Srfa_core.Flow.algorithm)
+    r.Srfa_estimate.Report.version p.Srfa_core.Flow.budget
+    r.Srfa_estimate.Report.total_registers r.Srfa_estimate.Report.cycles
+    r.Srfa_estimate.Report.memory_cycles r.Srfa_estimate.Report.ram_accesses
+    r.Srfa_estimate.Report.exec_time_us
+
 let sweep_cmd =
+  let kernels_pos =
+    Arg.(
+      value
+      & pos_all named_kernel_conv []
+      & info [] ~docv:"KERNEL"
+          ~doc:
+            "Kernels to sweep (default: the Fig. 1 example and the six \
+             Table 1 kernels).")
+  in
   let budgets_arg =
     let doc = "Comma-separated register budgets." in
     Arg.(
       value
-      & opt (list int) [ 8; 16; 32; 64; 128; 256 ]
+      & opt (list int) Srfa_core.Flow.default_budgets
       & info [ "budgets" ] ~docv:"N,N,..." ~doc)
   in
-  let run nest budgets =
-    let analysis = Srfa_core.Flow.analyze nest in
-    let minimum = Srfa_core.Ordering.feasibility_minimum analysis in
-    Format.printf "# budget cycles(v1) cycles(v2) cycles(v3) cycles(ks)@.";
-    let line budget =
-      if budget >= minimum then begin
-        let cycles alg =
-          let config = config_of_budget budget in
-          let alloc = Srfa_core.Flow.allocation ~config alg analysis in
-          (Srfa_sched.Simulator.run ~config:config.Srfa_core.Flow.sim alloc)
-            .Srfa_sched.Simulator.total_cycles
-        in
-        Format.printf "%6d %10d %10d %10d %10d@." budget
-          (cycles Srfa_core.Allocator.Fr_ra)
-          (cycles Srfa_core.Allocator.Pr_ra)
-          (cycles Srfa_core.Allocator.Cpa_ra)
-          (cycles Srfa_core.Allocator.Knapsack)
-      end
+  let algorithms_arg =
+    let doc = "Comma-separated algorithms (default: all five)." in
+    Arg.(
+      value
+      & opt (list algorithm_conv) Srfa_core.Allocator.all
+      & info [ "algorithms" ] ~docv:"ALG,ALG,..." ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one JSON object per design point instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run kernels budgets algorithms json trace_file =
+    let kernels =
+      match kernels with
+      | [] ->
+        ("example", Srfa_kernels.Kernels.example ())
+        :: Srfa_kernels.Kernels.all ()
+      | ks -> ks
     in
-    List.iter line budgets
+    let finish, trace =
+      match trace_file with
+      | None -> (ignore, None)
+      | Some file ->
+        let oc = open_out file in
+        ( (fun () -> close_out oc),
+          Some (Srfa_util.Trace.channel oc) )
+    in
+    let points =
+      Srfa_core.Flow.sweep ~algorithms ~budgets ?trace kernels
+    in
+    finish ();
+    if json then begin
+      print_endline "[";
+      List.iteri
+        (fun i p ->
+          Printf.printf "  %s%s\n" (json_of_point p)
+            (if i = List.length points - 1 then "" else ","))
+        points;
+      print_endline "]"
+    end
+    else begin
+      let table =
+        Srfa_util.Texttable.create
+          ~headers:
+            [
+              ("kernel", Srfa_util.Texttable.Left);
+              ("budget", Srfa_util.Texttable.Right);
+              ("version", Srfa_util.Texttable.Left);
+              ("algorithm", Srfa_util.Texttable.Left);
+              ("regs", Srfa_util.Texttable.Right);
+              ("cycles", Srfa_util.Texttable.Right);
+              ("mem cycles", Srfa_util.Texttable.Right);
+              ("time us", Srfa_util.Texttable.Right);
+            ]
+      in
+      List.iter
+        (fun (p : Srfa_core.Flow.sweep_point) ->
+          let r = p.Srfa_core.Flow.report in
+          Srfa_util.Texttable.add_row table
+            [
+              p.Srfa_core.Flow.kernel;
+              string_of_int p.Srfa_core.Flow.budget;
+              r.Srfa_estimate.Report.version;
+              r.Srfa_estimate.Report.algorithm;
+              string_of_int r.Srfa_estimate.Report.total_registers;
+              string_of_int r.Srfa_estimate.Report.cycles;
+              string_of_int r.Srfa_estimate.Report.memory_cycles;
+              Printf.sprintf "%.1f" r.Srfa_estimate.Report.exec_time_us;
+            ])
+        points;
+      Srfa_util.Texttable.print table
+    end
   in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Sweep register budgets and report cycle counts per algorithm.")
-    Term.(const run $ kernel_pos $ budgets_arg)
+       ~doc:
+         "Sweep kernels x algorithms x register budgets in one pass \
+          (analysis and CPA scratch reused across budgets) and report each \
+          design point as a table or JSON.")
+    Term.(
+      const run $ kernels_pos $ budgets_arg $ algorithms_arg $ json_arg
+      $ trace_arg)
 
 (* export: write generated artifacts to a directory *)
 let export_cmd =

@@ -16,7 +16,8 @@ let version_label = function
   | Cpa_plus -> "v3+"
   | Knapsack -> "ks"
 
-let of_name = function
+let of_name name =
+  match String.lowercase_ascii name with
   | "fr-ra" | "fr" -> Some Fr_ra
   | "pr-ra" | "pr" -> Some Pr_ra
   | "cpa-ra" | "cpa" -> Some Cpa_ra
@@ -24,10 +25,12 @@ let of_name = function
   | "ks-ra" | "ks" | "knapsack" -> Some Knapsack
   | _ -> None
 
-let run ?latency algorithm analysis ~budget =
+let run ?latency ?trace ?prepared algorithm analysis ~budget =
   match algorithm with
-  | Fr_ra -> Fr_ra.allocate analysis ~budget
-  | Pr_ra -> Pr_ra.allocate analysis ~budget
-  | Cpa_ra -> Cpa_ra.allocate ?latency analysis ~budget
-  | Cpa_plus -> Cpa_ra.allocate ?latency ~spend_leftover:true analysis ~budget
-  | Knapsack -> Knapsack.allocate analysis ~budget
+  | Fr_ra -> Fr_ra.allocate ?trace analysis ~budget
+  | Pr_ra -> Pr_ra.allocate ?trace analysis ~budget
+  | Cpa_ra -> Cpa_ra.allocate ?latency ?trace ?prepared analysis ~budget
+  | Cpa_plus ->
+    Cpa_ra.allocate ?latency ?trace ?prepared ~spend_leftover:true analysis
+      ~budget
+  | Knapsack -> Knapsack.allocate ?trace analysis ~budget

@@ -17,10 +17,17 @@ val version_label : algorithm -> string
     "ks". *)
 
 val of_name : string -> algorithm option
-(** Accepts the {!name} strings, e.g. ["cpa-ra"]. *)
+(** Accepts the {!name} strings, e.g. ["cpa-ra"], plus the short aliases
+    ("fr", "cpa+", "knapsack", ...), case-insensitively — ["CPA-RA"]
+    round-trips like ["cpa-ra"]. *)
 
 val run :
-  ?latency:Srfa_hw.Latency.t -> algorithm -> Analysis.t -> budget:int ->
+  ?latency:Srfa_hw.Latency.t -> ?trace:Srfa_util.Trace.sink ->
+  ?prepared:Cpa_ra.prepared -> algorithm -> Analysis.t -> budget:int ->
   Allocation.t
-(** @raise Invalid_argument when the budget is below one register per
+(** Every algorithm runs as a strategy over {!Engine}; [trace] observes
+    its decisions (see {!Engine} for the event vocabulary). [prepared] is
+    {!Cpa_ra.prepare} scratch, reused across budgets by {!Flow.sweep} and
+    ignored by the non-CPA algorithms.
+    @raise Invalid_argument when the budget is below one register per
     reference group. *)

@@ -2,6 +2,7 @@ open Srfa_reuse
 module Graph = Srfa_dfg.Graph
 module Critical = Srfa_dfg.Critical
 module Cut = Srfa_dfg.Cut
+module Trace = Srfa_util.Trace
 
 type trace_step = {
   cut : Group.t list;
@@ -10,29 +11,38 @@ type trace_step = {
   critical_length : int;
 }
 
-let allocate_traced ?(latency = Srfa_hw.Latency.default)
-    ?(spend_leftover = false) analysis ~budget =
-  Ordering.check_budget analysis ~budget;
-  let ngroups = Analysis.num_groups analysis in
-  let betas = Array.make ngroups 1 in
-  let remaining = ref (budget - ngroups) in
+type prepared = { dfg : Graph.t; scratch : Critical.scratch }
+
+let prepare analysis =
   let dfg = Graph.build analysis in
-  let info gid = Analysis.info analysis gid in
-  (* Steady-state view: a group stops hitting RAM once its reuse window is
-     fully covered; groups without reuse always hit RAM. *)
-  let charged (g : Group.t) =
-    let i = info g.Group.id in
-    (not i.Analysis.has_reuse) || betas.(g.Group.id) < i.Analysis.nu
+  { dfg; scratch = Critical.scratch dfg }
+
+let allocate_traced ?(latency = Srfa_hw.Latency.default)
+    ?(spend_leftover = false) ?trace ?prepared analysis ~budget =
+  let eng = Engine.create ?trace analysis ~budget in
+  let sink = Engine.trace eng in
+  let { dfg; scratch } =
+    match prepared with Some p -> p | None -> prepare analysis
   in
-  let improvable (g : Group.t) =
-    let i = info g.Group.id in
-    i.Analysis.has_reuse && betas.(g.Group.id) < i.Analysis.nu
+  let steps = ref [] in
+  let record ~cut ~required ~granted_full ~critical_length =
+    steps := { cut; required; granted_full; critical_length } :: !steps;
+    Trace.emit sink (fun () ->
+        Trace.event "round"
+          [
+            ("round", Trace.Int (Engine.round eng));
+            ( "cut",
+              Trace.List
+                (List.map (fun g -> Trace.String (Group.name g)) cut) );
+            ("required", Trace.Int required);
+            ("granted_full", Trace.Bool granted_full);
+            ("critical_length", Trace.Int critical_length);
+            ("remaining", Trace.Int (Engine.remaining eng));
+          ])
   in
-  let need g = (info g.Group.id).Analysis.nu - betas.(g.Group.id) in
-  let scratch = Critical.scratch dfg in
-  let trace = ref [] in
   let rec round () =
-    if !remaining > 0 then begin
+    if Engine.remaining eng > 0 then begin
+      let charged = Engine.charged eng in
       let cg = Critical.make ~scratch dfg ~latency ~charged in
       let mem_len = Graph.memory_path_length dfg ~latency ~charged in
       if mem_len > 0 then begin
@@ -40,19 +50,22 @@ let allocate_traced ?(latency = Srfa_hw.Latency.default)
            min-weight vertex cut over improvable groups is exactly the
            cheapest eligible cut, under the same tie-break the enumeration
            order used to impose. *)
-        match Cut.cheapest cg ~eligible:improvable ~weight:need with
+        match
+          Cut.cheapest ~trace:sink cg ~eligible:(Engine.improvable eng)
+            ~weight:(fun g -> Engine.need eng g.Group.id)
+        with
         | None -> ()
         | Some (cut, req) ->
+          ignore (Engine.next_round eng);
           let len = Critical.length cg in
-          if req <= !remaining then begin
-            let fill g =
-              betas.(g.Group.id) <- (info g.Group.id).Analysis.nu
-            in
-            List.iter fill cut;
-            remaining := !remaining - req;
-            trace :=
-              { cut; required = req; granted_full = true; critical_length = len }
-              :: !trace;
+          if req <= Engine.remaining eng then begin
+            List.iter
+              (fun (g : Group.t) ->
+                ignore
+                  (Engine.try_assign_full ~reason:"cut fully allocated" eng
+                     g.Group.id))
+              cut;
+            record ~cut ~required:req ~granted_full:true ~critical_length:len;
             round ()
           end
           else begin
@@ -60,24 +73,22 @@ let allocate_traced ?(latency = Srfa_hw.Latency.default)
                iterations improve on every critical path. Cut members cap
                at their window size; if some of the budget could not be
                absorbed, the paper's while-loop re-enters with it. *)
-            let share = !remaining / List.length cut in
+            let share = Engine.remaining eng / List.length cut in
             let progressed = ref false in
-            if share > 0 then begin
-              let top_up g =
-                let i = info g.Group.id in
-                let gid = g.Group.id in
-                let before = betas.(gid) in
-                betas.(gid) <- min i.Analysis.nu (before + share);
-                remaining := !remaining - (betas.(gid) - before);
-                if betas.(gid) > before then progressed := true
-              in
-              List.iter top_up cut
-            end;
-            trace :=
-              { cut; required = req; granted_full = false; critical_length = len }
-              :: !trace;
-            if !progressed && !remaining > 0 then round ()
-            else if not !progressed then remaining := 0
+            if share > 0 then
+              List.iter
+                (fun (g : Group.t) ->
+                  if
+                    Engine.assign_partial
+                      ~reason:"even split across the final cut" eng
+                      g.Group.id ~amount:share
+                    > 0
+                  then progressed := true)
+                cut;
+            record ~cut ~required:req ~granted_full:false ~critical_length:len;
+            if !progressed && Engine.remaining eng > 0 then round ()
+            else if not !progressed then
+              Engine.drain eng ~reason:"no cut member can absorb a share"
           end
       end
     end
@@ -86,33 +97,32 @@ let allocate_traced ?(latency = Srfa_hw.Latency.default)
   (* CPA+: hand out anything still stranded in benefit/cost order — full
      windows while they fit, then one partial candidate, like FR/PR do. *)
   if spend_leftover then begin
-    let try_full (i : Analysis.info) =
-      let gid = i.Analysis.group.Group.id in
-      let need = i.Analysis.nu - betas.(gid) in
-      if i.Analysis.has_reuse && need > 0 && need <= !remaining then begin
-        betas.(gid) <- i.Analysis.nu;
-        remaining := !remaining - need
-      end
-    in
-    List.iter try_full (Ordering.sorted_infos analysis);
-    let try_partial (i : Analysis.info) =
-      let gid = i.Analysis.group.Group.id in
-      if !remaining > 0 && i.Analysis.has_reuse
-         && betas.(gid) < i.Analysis.nu
-      then begin
-        let extra = min !remaining (i.Analysis.nu - betas.(gid)) in
-        betas.(gid) <- betas.(gid) + extra;
-        remaining := !remaining - extra
-      end
-    in
-    List.iter try_partial (Ordering.sorted_infos analysis)
+    let sorted = Ordering.sorted_infos analysis in
+    List.iter
+      (fun (i : Analysis.info) ->
+        let gid = i.Analysis.group.Group.id in
+        if i.Analysis.has_reuse && Engine.need eng gid > 0 then
+          ignore
+            (Engine.try_assign_full ~reason:"cpa+ spends stranded (full)" eng
+               gid))
+      sorted;
+    List.iter
+      (fun (i : Analysis.info) ->
+        let gid = i.Analysis.group.Group.id in
+        if
+          Engine.remaining eng > 0 && i.Analysis.has_reuse
+          && Engine.beta eng gid < i.Analysis.nu
+        then
+          ignore
+            (Engine.assign_partial ~reason:"cpa+ spends stranded (partial)"
+               eng gid ~amount:(Engine.remaining eng)))
+      sorted
   end;
-  let entries =
-    Array.map (fun beta -> { Allocation.beta; pinned = true }) betas
-  in
   let algorithm = if spend_leftover then "cpa-ra+" else "cpa-ra" in
-  let alloc = Allocation.make ~analysis ~budget ~algorithm entries in
-  (alloc, List.rev !trace)
+  let alloc = Engine.finalize ~pin_all:true eng ~algorithm in
+  (alloc, List.rev !steps)
 
-let allocate ?latency ?spend_leftover analysis ~budget =
-  fst (allocate_traced ?latency ?spend_leftover analysis ~budget)
+let allocate ?latency ?spend_leftover ?trace ?prepared analysis ~budget =
+  fst
+    (allocate_traced ?latency ?spend_leftover ?trace ?prepared analysis
+       ~budget)

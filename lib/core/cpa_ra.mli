@@ -21,8 +21,17 @@ type trace_step = {
   critical_length : int;     (** CP latency before the assignment *)
 }
 
+type prepared
+(** Budget-independent analysis scratch: the body's DFG and the critical
+    extraction state. Building it costs one {!Srfa_dfg.Graph.build} plus a
+    topological sort; {!Flow.sweep} builds it once per kernel and reuses
+    it across every budget and both CPA variants. *)
+
+val prepare : Analysis.t -> prepared
+
 val allocate :
-  ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool -> Analysis.t ->
+  ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool ->
+  ?trace:Srfa_util.Trace.sink -> ?prepared:prepared -> Analysis.t ->
   budget:int -> Allocation.t
 (** @raise Invalid_argument when [budget < feasibility_minimum].
 
@@ -30,10 +39,16 @@ val allocate :
     the CPA+ extension: once no critical-graph cut can be improved, the
     stranded registers are handed out in benefit/cost order like FR-RA /
     PR-RA would. Coverage is monotone in registers under the cycle model,
-    so CPA+ never executes more cycles than CPA-RA. *)
+    so CPA+ never executes more cycles than CPA-RA.
+
+    [prepared] (default: built on the spot) must come from {!prepare} on
+    the same analysis. [trace] receives the engine's assignment events,
+    one ["round"] event per cut round and the cut engine's ["cut.flow"]
+    statistics. *)
 
 val allocate_traced :
-  ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool -> Analysis.t ->
+  ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool ->
+  ?trace:Srfa_util.Trace.sink -> ?prepared:prepared -> Analysis.t ->
   budget:int -> Allocation.t * trace_step list
 (** Like {!allocate}, also returning the per-round decisions (used by the
     examples and the DOT dumper to narrate the algorithm). *)

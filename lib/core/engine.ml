@@ -1,0 +1,122 @@
+open Srfa_reuse
+module Trace = Srfa_util.Trace
+
+type t = {
+  analysis : Analysis.t;
+  entries : Allocation.entry array;
+  budget : int;
+  mutable remaining : int;
+  mutable round : int;
+  trace : Trace.sink;
+}
+
+let create ?(trace = Trace.null) analysis ~budget =
+  Ordering.check_budget analysis ~budget;
+  let ngroups = Analysis.num_groups analysis in
+  let t =
+    {
+      analysis;
+      entries = Array.make ngroups { Allocation.beta = 1; pinned = false };
+      budget;
+      remaining = budget - ngroups;
+      round = 0;
+      trace;
+    }
+  in
+  Trace.emit trace (fun () ->
+      Trace.event "engine.init"
+        [
+          ("budget", Trace.Int budget);
+          ("groups", Trace.Int ngroups);
+          ("remaining", Trace.Int t.remaining);
+        ]);
+  t
+
+let analysis t = t.analysis
+let budget t = t.budget
+let remaining t = t.remaining
+let round t = t.round
+let trace t = t.trace
+let beta t gid = t.entries.(gid).Allocation.beta
+let info t gid = Analysis.info t.analysis gid
+let need t gid = (info t gid).Analysis.nu - beta t gid
+
+let charged t (g : Group.t) =
+  let i = info t g.Group.id in
+  (not i.Analysis.has_reuse) || beta t g.Group.id < i.Analysis.nu
+
+let improvable t (g : Group.t) =
+  let i = info t g.Group.id in
+  i.Analysis.has_reuse && beta t g.Group.id < i.Analysis.nu
+
+let next_round t =
+  t.round <- t.round + 1;
+  t.round
+
+let group_name t gid = Group.name (info t gid).Analysis.group
+
+let emit_assign t kind gid ~granted ~reason =
+  Trace.emit t.trace (fun () ->
+      Trace.event kind
+        [
+          ("group", Trace.String (group_name t gid));
+          ("granted", Trace.Int granted);
+          ("beta", Trace.Int (beta t gid));
+          ("nu", Trace.Int (info t gid).Analysis.nu);
+          ("remaining", Trace.Int t.remaining);
+          ("round", Trace.Int t.round);
+          ("reason", Trace.String reason);
+        ])
+
+let try_assign_full ?(reason = "") t gid =
+  let n = need t gid in
+  if n <= t.remaining then begin
+    t.entries.(gid) <-
+      { Allocation.beta = (info t gid).Analysis.nu; pinned = true };
+    t.remaining <- t.remaining - n;
+    emit_assign t "assign.full" gid ~granted:n ~reason;
+    true
+  end
+  else false
+
+let assign_partial ?(reason = "") t gid ~amount =
+  if amount < 0 then invalid_arg "Engine.assign_partial: negative amount";
+  let granted = min amount (min (need t gid) t.remaining) in
+  if granted > 0 then begin
+    t.entries.(gid) <-
+      { Allocation.beta = beta t gid + granted; pinned = true };
+    t.remaining <- t.remaining - granted;
+    emit_assign t "assign.partial" gid ~granted ~reason
+  end;
+  granted
+
+let drain ?(reason = "") t =
+  let stranded = t.remaining in
+  t.remaining <- 0;
+  Trace.emit t.trace (fun () ->
+      Trace.event "engine.drain"
+        [
+          ("stranded", Trace.Int stranded);
+          ("round", Trace.Int t.round);
+          ("reason", Trace.String reason);
+        ])
+
+let finalize ?(pin_all = false) t ~algorithm =
+  if pin_all then
+    Array.iteri
+      (fun gid e ->
+        if not e.Allocation.pinned then
+          t.entries.(gid) <- { e with Allocation.pinned = true })
+      t.entries;
+  let alloc =
+    Allocation.make ~analysis:t.analysis ~budget:t.budget ~algorithm t.entries
+  in
+  Trace.emit t.trace (fun () ->
+      Trace.event "engine.finalize"
+        [
+          ("algorithm", Trace.String algorithm);
+          ("total", Trace.Int (Allocation.total_registers alloc));
+          ("remaining", Trace.Int t.remaining);
+          ("rounds", Trace.Int t.round);
+        ]);
+  alloc

@@ -15,22 +15,67 @@ let default_config =
 
 let analyze nest = Analysis.analyze nest
 
-let allocation ?(config = default_config) algorithm analysis =
-  Allocator.run ~latency:config.sim.Srfa_sched.Simulator.latency algorithm
-    analysis ~budget:config.budget
+let allocation ?(config = default_config) ?trace ?prepared algorithm analysis =
+  Allocator.run ~latency:config.sim.Srfa_sched.Simulator.latency ?trace
+    ?prepared algorithm analysis ~budget:config.budget
 
-let evaluate_analysis config algorithm analysis =
-  let alloc = allocation ~config algorithm analysis in
+let evaluate_analysis ?(trace = Srfa_util.Trace.null) ?prepared config
+    algorithm analysis =
+  (* Always collect the decision events so the report can summarise them;
+     the caller's sink (CLI --trace, bench) sees the same stream. *)
+  let collect, events = Srfa_util.Trace.collector () in
+  let sink =
+    if Srfa_util.Trace.enabled trace then
+      Srfa_util.Trace.make (fun e ->
+          Srfa_util.Trace.emit trace (fun () -> e);
+          Srfa_util.Trace.emit collect (fun () -> e))
+    else collect
+  in
+  let alloc = allocation ~config ~trace:sink ?prepared algorithm analysis in
   Srfa_estimate.Report.build ~sim_config:config.sim
     ~clock_params:config.clock_params
+    ~trace_summary:(Srfa_util.Trace.summary (events ()))
     ~version:(Allocator.version_label algorithm)
     alloc
 
-let evaluate ?(config = default_config) algorithm nest =
-  evaluate_analysis config algorithm (analyze nest)
+let evaluate ?(config = default_config) ?trace algorithm nest =
+  evaluate_analysis ?trace config algorithm (analyze nest)
 
-let evaluate_all ?(config = default_config)
-    ?(algorithms = [ Allocator.Fr_ra; Allocator.Pr_ra; Allocator.Cpa_ra ])
-    nest =
+let evaluate_all ?(config = default_config) ?(algorithms = Allocator.all)
+    ?trace nest =
   let analysis = analyze nest in
-  List.map (fun alg -> evaluate_analysis config alg analysis) algorithms
+  let prepared = Cpa_ra.prepare analysis in
+  List.map
+    (fun alg -> evaluate_analysis ?trace ~prepared config alg analysis)
+    algorithms
+
+type sweep_point = {
+  kernel : string;
+  algorithm : Allocator.algorithm;
+  budget : int;
+  report : Srfa_estimate.Report.t;
+}
+
+let default_budgets = [ 8; 16; 32; 64; 128 ]
+
+let sweep ?(config = default_config) ?(algorithms = Allocator.all)
+    ?(budgets = default_budgets) ?trace kernels =
+  List.concat_map
+    (fun (kernel, nest) ->
+      let analysis = analyze nest in
+      let minimum = Ordering.feasibility_minimum analysis in
+      let prepared = Cpa_ra.prepare analysis in
+      List.concat_map
+        (fun budget ->
+          if budget < minimum then []
+          else
+            List.map
+              (fun algorithm ->
+                let report =
+                  evaluate_analysis ?trace ~prepared { config with budget }
+                    algorithm analysis
+                in
+                { kernel; algorithm; budget; report })
+              algorithms)
+        budgets)
+    kernels

@@ -16,17 +16,47 @@ val default_config : config
 (** Budget 64, default simulator and clock parameters. *)
 
 val evaluate :
-  ?config:config -> Allocator.algorithm -> Nest.t -> Srfa_estimate.Report.t
-(** Analyse, allocate, simulate and estimate one design. *)
+  ?config:config -> ?trace:Srfa_util.Trace.sink -> Allocator.algorithm ->
+  Nest.t -> Srfa_estimate.Report.t
+(** Analyse, allocate, simulate and estimate one design. The allocation
+    runs under a trace collector either way, so the report's
+    [trace_summary] is always filled in; [trace] additionally forwards the
+    raw events (e.g. to {!Srfa_util.Trace.channel}). *)
 
 val evaluate_all :
-  ?config:config -> ?algorithms:Allocator.algorithm list -> Nest.t ->
-  Srfa_estimate.Report.t list
-(** One report per algorithm (default: the paper's v1, v2, v3), sharing a
-    single analysis of the nest. *)
+  ?config:config -> ?algorithms:Allocator.algorithm list ->
+  ?trace:Srfa_util.Trace.sink -> Nest.t -> Srfa_estimate.Report.t list
+(** One report per algorithm (default: {!Allocator.all} — v1, v2, v3, v3+
+    and the knapsack baseline), sharing a single analysis and one
+    {!Cpa_ra.prepare} of the nest. *)
+
+type sweep_point = {
+  kernel : string;
+  algorithm : Allocator.algorithm;
+  budget : int;
+  report : Srfa_estimate.Report.t;
+}
+
+val default_budgets : int list
+(** [[8; 16; 32; 64; 128]] — the differential-test grid; 64 is the
+    paper's budget. *)
+
+val sweep :
+  ?config:config -> ?algorithms:Allocator.algorithm list ->
+  ?budgets:int list -> ?trace:Srfa_util.Trace.sink ->
+  (string * Nest.t) list -> sweep_point list
+(** Batch driver: kernels × algorithms × budgets in one pass. Each kernel
+    is analysed once and its CPA scratch ({!Cpa_ra.prepare}) built once,
+    then reused across every budget and algorithm; [config.budget] is
+    superseded by [budgets]. Budgets below a kernel's feasibility minimum
+    (one register per reference group) are skipped rather than raising, so
+    a mixed-kernel sweep never aborts. Points are ordered kernel-major,
+    then budget, then algorithm. *)
 
 val analyze : Nest.t -> Analysis.t
 (** Re-exported for callers that drive the stages separately. *)
 
 val allocation :
-  ?config:config -> Allocator.algorithm -> Analysis.t -> Allocation.t
+  ?config:config -> ?trace:Srfa_util.Trace.sink ->
+  ?prepared:Cpa_ra.prepared -> Allocator.algorithm -> Analysis.t ->
+  Allocation.t

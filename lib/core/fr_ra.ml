@@ -1,19 +1,18 @@
 open Srfa_reuse
 
-let allocate analysis ~budget =
-  Ordering.check_budget analysis ~budget;
-  let ngroups = Analysis.num_groups analysis in
-  let entries =
-    Array.make ngroups { Allocation.beta = 1; pinned = false }
-  in
-  let remaining = ref (budget - ngroups) in
-  let try_assign (i : Analysis.info) =
-    let need = i.Analysis.nu - 1 in
-    if i.Analysis.has_reuse && need <= !remaining then begin
-      entries.(i.Analysis.group.Group.id) <-
-        { Allocation.beta = i.Analysis.nu; pinned = true };
-      remaining := !remaining - need
-    end
-  in
-  List.iter try_assign (Ordering.sorted_infos analysis);
-  Allocation.make ~analysis ~budget ~algorithm:"fr-ra" entries
+(* The FR-RA strategy body, shared with PR-RA (which runs it first): walk
+   the groups in benefit/cost order and cover each whole reuse window
+   while it fits. *)
+let spend_full_windows eng =
+  List.iter
+    (fun (i : Analysis.info) ->
+      if i.Analysis.has_reuse then
+        ignore
+          (Engine.try_assign_full ~reason:"full window, benefit/cost order"
+             eng i.Analysis.group.Group.id))
+    (Ordering.sorted_infos (Engine.analysis eng))
+
+let allocate ?trace analysis ~budget =
+  let eng = Engine.create ?trace analysis ~budget in
+  spend_full_windows eng;
+  Engine.finalize eng ~algorithm:"fr-ra"

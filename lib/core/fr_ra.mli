@@ -8,5 +8,11 @@
 
 open Srfa_reuse
 
-val allocate : Analysis.t -> budget:int -> Allocation.t
+val spend_full_windows : Engine.t -> unit
+(** The FR-RA strategy body over an allocation engine: cover whole reuse
+    windows in benefit/cost order while they fit. Exposed because PR-RA is
+    exactly this followed by its leftover rule. *)
+
+val allocate :
+  ?trace:Srfa_util.Trace.sink -> Analysis.t -> budget:int -> Allocation.t
 (** @raise Invalid_argument when [budget < feasibility_minimum]. *)

@@ -1,9 +1,8 @@
 open Srfa_reuse
 
-let allocate analysis ~budget =
-  Ordering.check_budget analysis ~budget;
-  let ngroups = Analysis.num_groups analysis in
-  let capacity = budget - ngroups in
+let allocate ?trace analysis ~budget =
+  let eng = Engine.create ?trace analysis ~budget in
+  let capacity = Engine.remaining eng in
   let items =
     Array.to_list analysis.Analysis.infos
     |> List.filter (fun (i : Analysis.info) ->
@@ -29,16 +28,14 @@ let allocate analysis ~budget =
       else best.(k).(c) <- skip
     done
   done;
-  let entries =
-    Array.make ngroups { Allocation.beta = 1; pinned = false }
-  in
   let c = ref capacity in
   for k = 0 to n - 1 do
     if take.(k).(!c) then begin
       let i = items.(k) in
-      entries.(i.Analysis.group.Group.id) <-
-        { Allocation.beta = i.Analysis.nu; pinned = true };
+      ignore
+        (Engine.try_assign_full ~reason:"knapsack optimum" eng
+           i.Analysis.group.Group.id);
       c := !c - (i.Analysis.nu - 1)
     end
   done;
-  Allocation.make ~analysis ~budget ~algorithm:"ks-ra" entries
+  Engine.finalize eng ~algorithm:"ks-ra"

@@ -11,5 +11,6 @@
 
 open Srfa_reuse
 
-val allocate : Analysis.t -> budget:int -> Allocation.t
+val allocate :
+  ?trace:Srfa_util.Trace.sink -> Analysis.t -> budget:int -> Allocation.t
 (** @raise Invalid_argument when [budget < feasibility_minimum]. *)

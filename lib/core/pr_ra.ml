@@ -1,21 +1,41 @@
 open Srfa_reuse
 
-let allocate analysis ~budget =
-  let base = Fr_ra.allocate analysis ~budget in
-  let entries =
-    Array.init (Analysis.num_groups analysis) (Allocation.entry base)
-  in
-  let leftover = ref (budget - Allocation.total_registers base) in
-  let give (i : Analysis.info) =
-    let gid = i.Analysis.group.Group.id in
-    let e = entries.(gid) in
-    if !leftover > 0 && i.Analysis.has_reuse && e.Allocation.beta < i.Analysis.nu
-    then begin
-      let extra = min !leftover (i.Analysis.nu - e.Allocation.beta) in
-      entries.(gid) <-
-        { Allocation.beta = e.Allocation.beta + extra; pinned = true };
-      leftover := 0 (* only the first partial candidate benefits *)
-    end
-  in
-  List.iter give (Ordering.sorted_infos analysis);
-  Allocation.make ~analysis ~budget ~algorithm:"pr-ra" entries
+(* PR-RA = FR-RA plus partial replacement of ONE more reference (paper
+   §2: "assign the remaining registers to the next array reference in the
+   sorted order" — singular). The first group in benefit/cost order whose
+   window is not fully covered receives the whole leftover; every later
+   candidate is deliberately skipped, which the pre-engine implementation
+   spelled [leftover := 0] after the first grant.
+
+   That single-recipient rule is load-bearing for the paper's worked
+   example (the 11 stranded registers all go to d[i][k], Fig. 2(c)), and
+   it never strands anything in practice, by an FR-RA invariant: FR-RA
+   considers every group in order and skips one only when its full need
+   exceeds the remaining budget at that moment; the budget only shrinks,
+   so at the end every uncovered group needs MORE than the leftover, and
+   the first partial candidate always absorbs all of it. The dedicated
+   regression test (test/test_pr_partial.ml) pins both facts. *)
+let give_leftover eng =
+  let stopped = ref false in
+  List.iter
+    (fun (i : Analysis.info) ->
+      let gid = i.Analysis.group.Group.id in
+      if
+        (not !stopped)
+        && Engine.remaining eng > 0
+        && i.Analysis.has_reuse
+        && Engine.beta eng gid < i.Analysis.nu
+      then begin
+        ignore
+          (Engine.assign_partial
+             ~reason:"leftover to the single partial candidate" eng gid
+             ~amount:(Engine.remaining eng));
+        stopped := true
+      end)
+    (Ordering.sorted_infos (Engine.analysis eng))
+
+let allocate ?trace analysis ~budget =
+  let eng = Engine.create ?trace analysis ~budget in
+  Fr_ra.spend_full_windows eng;
+  give_leftover eng;
+  Engine.finalize eng ~algorithm:"pr-ra"

@@ -2,9 +2,12 @@
 
     Runs FR-RA, then gives the stranded leftover registers to the first
     group in benefit/cost order that is not fully replaced, exploiting
-    partial data reuse for that one reference. *)
+    partial data reuse for that one reference. Exactly one group receives
+    leftover — the paper's single-partial-candidate rule; see the comment
+    in the implementation for why this never strands registers. *)
 
 open Srfa_reuse
 
-val allocate : Analysis.t -> budget:int -> Allocation.t
+val allocate :
+  ?trace:Srfa_util.Trace.sink -> Analysis.t -> budget:int -> Allocation.t
 (** @raise Invalid_argument when [budget < feasibility_minimum]. *)

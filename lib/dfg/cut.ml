@@ -75,7 +75,7 @@ let enumerate_exhaustive ?(max_groups = 16) cg =
    (NP-hard) group-labelled cut. The result is still a valid cut with the
    deterministic tie-break; only its weight can exceed the group-labelled
    optimum, and never on the paper's kernels. *)
-let cheapest cg ~eligible ~weight =
+let cheapest ?(trace = Srfa_util.Trace.null) cg ~eligible ~weight =
   let g = Critical.graph cg in
   let groups = Array.of_list (Critical.charged_ref_groups cg) in
   let k = Array.length groups in
@@ -155,5 +155,18 @@ let cheapest cg ~eligible ~weight =
     in
     assert (is_cut cg cut);
     let total = List.fold_left (fun acc grp -> acc + weight grp) 0 cut in
+    Srfa_util.Trace.emit trace (fun () ->
+        let open Srfa_util.Trace in
+        let stats = Flownet.stats split.Flownet.net in
+        event "cut.flow"
+          [
+            ("candidates", Int (List.length candidates));
+            ("cut", List (List.map (fun g -> String (Group.name g)) cut));
+            ("weight", Int total);
+            ("flow_value", Int best);
+            ("max_flow_runs", Int stats.Flownet.runs);
+            ("bfs_phases", Int stats.Flownet.phases);
+            ("augmenting_paths", Int stats.Flownet.augmenting_paths);
+          ]);
     Some (cut, total)
   end

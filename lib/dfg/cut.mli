@@ -19,6 +19,7 @@
 open Srfa_reuse
 
 val cheapest :
+  ?trace:Srfa_util.Trace.sink ->
   Critical.t ->
   eligible:(Group.t -> bool) ->
   weight:(Group.t -> int) ->
@@ -28,7 +29,12 @@ val cheapest :
     critical path carries no eligible group). The cut is minimal, listed in
     CG reference-group order, and deterministic under the tie-break above.
     Weights must be non-negative. Runs in O(V^2 E) per max-flow, with one
-    extra max-flow per candidate group for the tie-break. *)
+    extra max-flow per candidate group for the tie-break.
+
+    [trace] (default the no-op sink) receives one ["cut.flow"] event per
+    answered query: candidate count, chosen cut (group names) and weight,
+    and the {!Flownet.stats} delta the answer cost (max-flow runs, BFS
+    phases, augmenting paths). *)
 
 val enumerate_exhaustive :
   ?max_groups:int -> Critical.t -> Group.t list list

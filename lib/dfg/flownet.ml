@@ -21,6 +21,9 @@ type t = {
   level : int array;
   cursor : int array;
   queue : int array;
+  mutable stat_runs : int;
+  mutable stat_phases : int;
+  mutable stat_augmenting : int;
 }
 
 let create nodes =
@@ -37,6 +40,9 @@ let create nodes =
     level = Array.make nodes (-1);
     cursor = Array.make nodes 0;
     queue = Array.make nodes 0;
+    stat_runs = 0;
+    stat_phases = 0;
+    stat_augmenting = 0;
   }
 
 let grow t =
@@ -124,17 +130,32 @@ let max_flow ?(limit = max_int) t ~source ~sink =
   if source = sink then invalid_arg "Flownet.max_flow: source equals sink";
   freeze t;
   Array.blit t.base 0 t.residual 0 t.ecount;
+  t.stat_runs <- t.stat_runs + 1;
   let flow = ref 0 in
   let exceeded () = !flow > limit in
   while (not (exceeded ())) && bfs t source sink do
+    t.stat_phases <- t.stat_phases + 1;
     Array.fill t.cursor 0 t.nodes 0;
     let saturated = ref false in
     while (not !saturated) && not (exceeded ()) do
       let d = blocking t sink source inf in
-      if d > 0 then flow := !flow + d else saturated := true
+      if d > 0 then begin
+        flow := !flow + d;
+        t.stat_augmenting <- t.stat_augmenting + 1
+      end
+      else saturated := true
     done
   done;
   !flow
+
+type stats = { runs : int; phases : int; augmenting_paths : int }
+
+let stats t =
+  {
+    runs = t.stat_runs;
+    phases = t.stat_phases;
+    augmenting_paths = t.stat_augmenting;
+  }
 
 (* ---- node-split vertex cuts ------------------------------------------- *)
 

@@ -38,6 +38,17 @@ val max_flow : ?limit:int -> t -> source:int -> sink:int -> int
     still [limit] use this to keep intermediate values bounded (no
     overflow from {!inf} arcs) and to skip useless work. *)
 
+type stats = {
+  runs : int;           (** {!max_flow} invocations *)
+  phases : int;         (** BFS level-graph constructions across all runs *)
+  augmenting_paths : int;  (** successful blocking-flow pushes *)
+}
+
+val stats : t -> stats
+(** Cumulative work counters since {!create}. {!Cut.cheapest} reads them
+    before and after a query to report how much max-flow effort the cut
+    decision cost (the delta goes into the decision trace). *)
+
 (** A vertex-cut instance built by {!split_nodes}. [node_arc.(u)] is the
     edge id of the [in(u) -> out(u)] arc, whose capacity is the vertex
     weight — reassign it with {!set_cap} to force a vertex in or out of

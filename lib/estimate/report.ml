@@ -15,9 +15,10 @@ type t = {
   slices : int;
   slice_utilization : float;
   rams : int;
+  trace_summary : string option;
 }
 
-let of_result ?clock_params ~sim_config ~version alloc
+let of_result ?clock_params ?trace_summary ~sim_config ~version alloc
     (sim : Srfa_sched.Simulator.result) =
   let analysis = alloc.Allocation.analysis in
   let device = sim_config.Srfa_sched.Simulator.device in
@@ -56,12 +57,13 @@ let of_result ?clock_params ~sim_config ~version alloc
     slices = area.Area.total;
     slice_utilization = Area.utilization ~device area;
     rams = Srfa_hw.Ram_map.blocks_used ram_map;
+    trace_summary;
   }
 
 let build ?(sim_config = Srfa_sched.Simulator.default_config) ?clock_params
-    ~version alloc =
+    ?trace_summary ~version alloc =
   let sim = Srfa_sched.Simulator.run ~config:sim_config alloc in
-  of_result ?clock_params ~sim_config ~version alloc sim
+  of_result ?clock_params ?trace_summary ~sim_config ~version alloc sim
 
 let speedup ~base t = base.exec_time_us /. t.exec_time_us
 
@@ -78,4 +80,7 @@ let pp ppf t =
     t.kernel t.version t.algorithm t.total_registers t.cycles t.memory_cycles
     t.clock_ns t.exec_time_us t.slices
     (100.0 *. t.slice_utilization)
-    t.rams
+    t.rams;
+  match t.trace_summary with
+  | Some s -> Format.fprintf ppf "@,  trace: %s" s
+  | None -> ()

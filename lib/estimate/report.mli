@@ -20,11 +20,16 @@ type t = {
   slices : int;
   slice_utilization : float;
   rams : int;
+  trace_summary : string option;
+      (** compact digest of the allocator's decision trace (event counts
+          per kind, {!Srfa_util.Trace.summary}); [None] when the
+          allocation was not traced *)
 }
 
 val build :
   ?sim_config:Srfa_sched.Simulator.config ->
   ?clock_params:Clock.params ->
+  ?trace_summary:string ->
   version:string ->
   Allocation.t ->
   t
@@ -32,6 +37,7 @@ val build :
 
 val of_result :
   ?clock_params:Clock.params ->
+  ?trace_summary:string ->
   sim_config:Srfa_sched.Simulator.config ->
   version:string ->
   Allocation.t ->

@@ -1,0 +1,97 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+
+type event = { name : string; fields : (string * value) list }
+
+type sink = Null | Fn of (event -> unit)
+
+let null = Null
+let enabled = function Null -> false | Fn _ -> true
+let make f = Fn f
+let emit sink thunk = match sink with Null -> () | Fn f -> f (thunk ())
+let event name fields = { name; fields }
+
+let collector () =
+  let acc = ref [] in
+  (Fn (fun e -> acc := e :: !acc), fun () -> List.rev !acc)
+
+(* ---- JSON rendering --------------------------------------------------- *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec value_into buf = function
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.6g" f)
+    else Buffer.add_string buf "null"
+  | String s -> escape_into buf s
+  | List vs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun k v ->
+        if k > 0 then Buffer.add_string buf ", ";
+        value_into buf v)
+      vs;
+    Buffer.add_char buf ']'
+
+let to_json e =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"event\": ";
+  escape_into buf e.name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ", ";
+      escape_into buf k;
+      Buffer.add_string buf ": ";
+      value_into buf v)
+    e.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let channel oc =
+  Fn
+    (fun e ->
+      output_string oc (to_json e);
+      output_char oc '\n')
+
+let summary events =
+  match events with
+  | [] -> "no events"
+  | _ ->
+    (* Count by name, preserving first-appearance order. *)
+    let order = ref [] in
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        match Hashtbl.find_opt counts e.name with
+        | Some n -> Hashtbl.replace counts e.name (n + 1)
+        | None ->
+          Hashtbl.add counts e.name 1;
+          order := e.name :: !order)
+      events;
+    let parts =
+      List.rev_map
+        (fun name -> Printf.sprintf "%d %s" (Hashtbl.find counts name) name)
+        !order
+    in
+    Printf.sprintf "%d events: %s" (List.length events)
+      (String.concat ", " parts)

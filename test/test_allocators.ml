@@ -222,6 +222,28 @@ let test_version_labels () =
     (List.for_all
        (fun alg -> Allocator.of_name (Allocator.name alg) = Some alg)
        Allocator.all);
+  (* of_name is case-insensitive: the round trip survives any casing of
+     the canonical name and of the version label aliases. *)
+  Alcotest.(check bool) "of_name roundtrip, upper case" true
+    (List.for_all
+       (fun alg ->
+         Allocator.of_name (String.uppercase_ascii (Allocator.name alg))
+         = Some alg)
+       Allocator.all);
+  Alcotest.(check bool) "of_name roundtrip, mixed case" true
+    (List.for_all
+       (fun alg ->
+         Allocator.of_name (String.capitalize_ascii (Allocator.name alg))
+         = Some alg)
+       Allocator.all);
+  Alcotest.(check bool) "short aliases, any case" true
+    (List.for_all
+       (fun (s, alg) -> Allocator.of_name s = Some alg)
+       [
+         ("FR", Allocator.Fr_ra); ("Pr", Allocator.Pr_ra);
+         ("CPA", Allocator.Cpa_ra); ("CPA+", Allocator.Cpa_plus);
+         ("Knapsack", Allocator.Knapsack); ("KS-RA", Allocator.Knapsack);
+       ]);
   Alcotest.(check bool) "unknown name" true (Allocator.of_name "zz" = None)
 
 let () =

@@ -11,9 +11,18 @@ let small_config budget =
 let test_evaluate_all_versions () =
   let nest = Helpers.small_fir () in
   let reports = Flow.evaluate_all ~config:(small_config 10) nest in
-  Alcotest.(check int) "three versions by default" 3 (List.length reports);
-  Alcotest.(check (list string)) "labels" [ "v1"; "v2"; "v3" ]
-    (List.map (fun r -> r.Report.version) reports)
+  Alcotest.(check int) "all algorithms by default" 5 (List.length reports);
+  Alcotest.(check (list string)) "labels" [ "v1"; "v2"; "v3"; "v3+"; "ks" ]
+    (List.map (fun r -> r.Report.version) reports);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.Report.version ^ " carries a trace summary")
+        true
+        (match r.Report.trace_summary with
+        | Some s -> String.length s > 0
+        | None -> false))
+    reports
 
 let test_evaluate_consistent_with_parts () =
   let nest = Helpers.small_mat () in

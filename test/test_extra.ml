@@ -67,6 +67,10 @@ let test_extra_kernels_full_pipeline () =
   List.iter
     (fun (name, nest) ->
       let reports = Srfa_core.Flow.evaluate_all nest in
+      Alcotest.(check int)
+        (name ^ " one report per algorithm")
+        (List.length Srfa_core.Allocator.all)
+        (List.length reports);
       let base = List.hd reports in
       List.iter
         (fun r ->
@@ -74,7 +78,13 @@ let test_extra_kernels_full_pipeline () =
             (name ^ " " ^ r.Srfa_estimate.Report.version ^ " never slower in cycles")
             true
             (r.Srfa_estimate.Report.cycles <= base.Srfa_estimate.Report.cycles))
-        reports)
+        (* The paper's three algorithms plus CPA+ never execute more cycles
+           than the scalar base; the knapsack baseline optimises memory
+           accesses, not the schedule, so it is excluded from the
+           monotonicity claim. *)
+        (List.filter
+           (fun r -> r.Srfa_estimate.Report.version <> "ks")
+           reports))
     [
       ("conv2d", Extra.conv2d ~mask:2 ~image:8 ());
       ("moving-average", Extra.moving_average ~window:4 ~samples:24 ());

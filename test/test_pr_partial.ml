@@ -1,0 +1,141 @@
+(* PR-RA's single-partial-candidate rule (paper §2: "assign the remaining
+   registers to the NEXT array reference in the sorted order" — singular),
+   pinned as a dedicated regression test. The rule is documented at length
+   in lib/core/pr_ra.ml; these tests pin the two facts that document
+   relies on:
+
+   1. PR-RA differs from FR-RA on AT MOST ONE group — the first group in
+      benefit/cost order whose window FR-RA could not fully cover — and
+      that group receives min(leftover, its residual need).
+
+   2. The FR-RA invariant that makes the rule strand-free: after the
+      greedy pass, every group FR-RA skipped needs strictly more than the
+      final leftover (the budget only shrinks during the pass), so the
+      single recipient always absorbs the whole leftover. *)
+
+open Srfa_test_helpers
+module Allocator = Srfa_core.Allocator
+module Ordering = Srfa_core.Ordering
+module Analysis = Srfa_reuse.Analysis
+module Allocation = Srfa_reuse.Allocation
+
+let budgets_for an =
+  let minimum = Ordering.feasibility_minimum an in
+  [ minimum; minimum + 3; minimum + 9; 32; 64; 128 ]
+  |> List.filter (fun b -> b >= minimum)
+  |> List.sort_uniq compare
+
+let leftover_after_fr fr =
+  let spent = Allocation.total_registers fr in
+  fr.Allocation.budget - spent
+
+(* Fact 1: one recipient, and it is the first partial candidate in the
+   benefit/cost order; everything else is bit-identical to FR-RA. *)
+let test_single_recipient () =
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      List.iter
+        (fun budget ->
+          let fr = Allocator.run Allocator.Fr_ra an ~budget in
+          let pr = Allocator.run Allocator.Pr_ra an ~budget in
+          let leftover = leftover_after_fr fr in
+          let first_candidate =
+            List.find_opt
+              (fun (i : Analysis.info) ->
+                i.Analysis.has_reuse
+                && Allocation.beta fr i.Analysis.group.Srfa_reuse.Group.id
+                   < i.Analysis.nu)
+              (Ordering.sorted_infos an)
+          in
+          let diffs =
+            List.filter
+              (fun gid -> Allocation.beta pr gid <> Allocation.beta fr gid)
+              (List.init (Analysis.num_groups an) Fun.id)
+          in
+          match (first_candidate, diffs) with
+          | _ when leftover = 0 ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s b=%d: no leftover, pr = fr" name budget)
+              [] diffs
+          | None, _ ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "%s b=%d: no candidate, pr = fr" name budget)
+              [] diffs
+          | Some i, [ gid ] ->
+            let cid = i.Analysis.group.Srfa_reuse.Group.id in
+            Alcotest.(check int)
+              (Printf.sprintf
+                 "%s b=%d: the one changed group is the first sorted \
+                  partial candidate"
+                 name budget)
+              cid gid;
+            Alcotest.(check int)
+              (Printf.sprintf "%s b=%d: it gets min(leftover, need)" name
+                 budget)
+              (min leftover (i.Analysis.nu - Allocation.beta fr gid))
+              (Allocation.beta pr gid - Allocation.beta fr gid)
+          | Some _, diffs ->
+            Alcotest.failf "%s b=%d: %d groups changed, want exactly 1" name
+              budget (List.length diffs))
+        (budgets_for an))
+    (("example", Helpers.example ()) :: Helpers.small_kernels ())
+
+(* Fact 2: the FR-RA invariant. Every group with reuse that FR-RA left
+   uncovered needs strictly more than the final leftover, hence the first
+   candidate's grant always equals the whole leftover (never a prefix). *)
+let test_fr_skip_invariant () =
+  List.iter
+    (fun (name, nest) ->
+      let an = Helpers.analyze nest in
+      List.iter
+        (fun budget ->
+          let fr = Allocator.run Allocator.Fr_ra an ~budget in
+          let leftover = leftover_after_fr fr in
+          List.iter
+            (fun (i : Analysis.info) ->
+              let gid = i.Analysis.group.Srfa_reuse.Group.id in
+              if i.Analysis.has_reuse && Allocation.beta fr gid < i.Analysis.nu
+              then
+                Alcotest.(check bool)
+                  (Printf.sprintf
+                     "%s b=%d %s: skipped group needs more than the leftover"
+                     name budget
+                     (Srfa_reuse.Group.name i.Analysis.group))
+                  true
+                  (i.Analysis.nu - Allocation.beta fr gid > leftover))
+            (Ordering.sorted_infos an))
+        (budgets_for an))
+    (("example", Helpers.example ()) :: Helpers.small_kernels ())
+
+(* The paper's worked example, Fig. 2(c): at budget 64 FR-RA strands 11
+   registers; PR-RA hands all 11 to d[i][k] (beta 1 -> 12) and changes
+   nothing else. *)
+let test_fig2_leftover_goes_to_d () =
+  let an = Helpers.analyze (Helpers.example ()) in
+  let fr = Allocator.run Allocator.Fr_ra an ~budget:64 in
+  let pr = Allocator.run Allocator.Pr_ra an ~budget:64 in
+  Alcotest.(check int) "fr strands 11" 11 (leftover_after_fr fr);
+  Alcotest.(check int) "d gets the whole leftover" 12
+    (Helpers.beta_named pr "d[i][k]");
+  Alcotest.(check int) "d was at 1 under fr" 1
+    (Helpers.beta_named fr "d[i][k]");
+  List.iter
+    (fun g ->
+      Alcotest.(check int) (g ^ " unchanged") (Helpers.beta_named fr g)
+        (Helpers.beta_named pr g))
+    [ "a[k]"; "b[k][j]"; "c[j]"; "e[i][j][k]" ]
+
+let () =
+  Alcotest.run "pr-partial"
+    [
+      ( "single-partial-candidate rule",
+        [
+          Alcotest.test_case "one recipient, first in order" `Quick
+            test_single_recipient;
+          Alcotest.test_case "fr skip invariant (no stranding)" `Quick
+            test_fr_skip_invariant;
+          Alcotest.test_case "fig2: 11 leftover to d" `Quick
+            test_fig2_leftover_goes_to_d;
+        ] );
+    ]
