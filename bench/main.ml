@@ -21,7 +21,9 @@
      ablation-pipelining   serial vs pipelined execution regimes
      perf                  Bechamel micro-benchmarks of the allocators
      perf-cuts             flow min-vertex-cut vs exhaustive enumeration
-                           on synthetic unrolled kernels (BENCH_cuts.json) *)
+                           on synthetic unrolled kernels (BENCH_cuts.json)
+     perf-fuzz             hardened run_checked vs raw evaluate, and
+                           fuzz-harness case throughput *)
 
 module Allocator = Srfa_core.Allocator
 module Flow = Srfa_core.Flow
@@ -878,6 +880,57 @@ let perf_cuts () =
   close_out oc;
   Printf.printf "wrote BENCH_cuts.json\n"
 
+(* ------------------------------------------------------------- perf-fuzz *)
+
+(* The robustness layer must be close to free on the happy path:
+   run_checked adds guard bookkeeping, the event-model second opinion and
+   warning synthesis on top of evaluate. Measure both on the Fig. 1
+   example, plus the fuzz harness's generate-and-judge throughput (a mix
+   of valid, mask-stress and broken kernels). *)
+let perf_fuzz () =
+  section "perf-fuzz: hardened-pipeline overhead and fuzz throughput";
+  let open Bechamel in
+  let nest = Srfa_kernels.Kernels.example () in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let case_id = ref 0 in
+  let tests =
+    [
+      stage "evaluate (raw)" (fun () ->
+          ignore (Flow.evaluate Allocator.Cpa_ra nest));
+      stage "run_checked (hardened)" (fun () ->
+          ignore (Flow.run_checked nest));
+      stage "fuzz case (generate+judge)" (fun () ->
+          let id = !case_id in
+          case_id := (id + 1) mod 200;
+          ignore
+            (Srfa_fuzzer.Harness.run_case
+               (Srfa_fuzzer.Gen.generate ~seed:42 ~id)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"srfa" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      let est =
+        match Analyze.OLS.estimates result with
+        | Some [ e ] -> Printf.sprintf "%12.1f ns/run" e
+        | Some _ | None -> "(no estimate)"
+      in
+      rows := (name, est) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-32s %s\n" name est)
+    (List.sort compare !rows)
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -898,6 +951,7 @@ let sections =
     ("ablation-pipelining", ablation_pipelining);
     ("perf", perf);
     ("perf-cuts", perf_cuts);
+    ("perf-fuzz", perf_fuzz);
   ]
 
 let () =

@@ -45,6 +45,35 @@ let algorithm_arg =
 let config_of_budget budget =
   { Srfa_core.Flow.default_config with Srfa_core.Flow.budget }
 
+(* ---- diagnostics ------------------------------------------------------- *)
+
+(* One rendering and one exit-code policy for every subcommand:
+   [severity[CODE] line L, column C: message], warnings exit 0, input
+   errors exit 2, internal/fatal errors exit 3 (see Diag.exit_code). *)
+let report_diags ?file diags =
+  List.iter
+    (fun d ->
+      (match file with
+      | Some f -> Format.eprintf "%s: " f
+      | None -> ());
+      Format.eprintf "%a@." Srfa_util.Diag.pp d)
+    diags
+
+let fail_diags ?file diags =
+  report_diags ?file diags;
+  exit (Srfa_util.Diag.exit_code diags)
+
+(* Last-resort exception boundary around a subcommand body. Commands that
+   read files or run the pipeline can fail deep inside the libraries; the
+   classifier turns any escape into one coded diagnostic instead of an
+   uncaught-exception crash. *)
+let guarded f =
+  try f ()
+  with
+  | ( Srfa_frontend.Parser.Error _ | Srfa_frontend.Lexer.Error _
+    | Sys_error _ | Invalid_argument _ | Failure _ | Not_found ) as exn ->
+    fail_diags [ Srfa_frontend.Parser.diag_of_exn exn ]
+
 (* kernels *)
 let kernels_cmd =
   let run () =
@@ -62,6 +91,7 @@ let kernels_cmd =
 (* show: pretty-print a kernel and its reuse analysis *)
 let show_cmd =
   let run nest =
+    guarded @@ fun () ->
     Format.printf "%a@." Srfa_ir.Nest.pp nest;
     let analysis = Srfa_core.Flow.analyze nest in
     Array.iter
@@ -83,6 +113,7 @@ let trace_arg =
 
 let alloc_cmd =
   let run nest algorithm budget trace_file =
+    guarded @@ fun () ->
     let config = config_of_budget budget in
     let analysis = Srfa_core.Flow.analyze nest in
     let collect, events = Srfa_util.Trace.collector () in
@@ -166,30 +197,24 @@ let print_comparison nest budget =
     Srfa_util.Texttable.print table
 
 let compare_cmd =
+  let run nest budget = guarded @@ fun () -> print_comparison nest budget in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all allocation algorithms on a kernel.")
-    Term.(const print_comparison $ kernel_pos $ budget_arg)
+    Term.(const run $ kernel_pos $ budget_arg)
 
 (* compile: parse a kernel source file and evaluate it *)
 let compile_cmd =
   let file_arg =
     Arg.(
       required
-      & pos 0 (some file) None
+      & pos 0 (some string) None
       & info [] ~docv:"FILE" ~doc:"Kernel source file (see kernels_src/).")
   in
   let run file budget =
-    match Srfa_frontend.Parser.parse_file file with
-    | exception Srfa_frontend.Parser.Error msg ->
-      Format.eprintf "%s: %s@." file msg;
-      exit 1
-    | exception Srfa_frontend.Lexer.Error msg ->
-      Format.eprintf "%s: %s@." file msg;
-      exit 1
-    | exception Invalid_argument msg ->
-      Format.eprintf "%s: %s@." file msg;
-      exit 1
-    | nest ->
+    guarded @@ fun () ->
+    match Srfa_frontend.Parser.parse_file_result file with
+    | Result.Error diags -> fail_diags ~file diags
+    | Ok nest ->
       Format.printf "%a@.@." Srfa_ir.Nest.pp nest;
       let analysis = Srfa_core.Flow.analyze nest in
       Array.iter
@@ -203,9 +228,40 @@ let compile_cmd =
        ~doc:"Parse a kernel source file, analyse it and compare all              allocation algorithms on it.")
     Term.(const run $ file_arg $ budget_arg)
 
+(* check: total pipeline over a source file — report or diagnostics *)
+let check_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Kernel source file (see kernels_src/).")
+  in
+  let run file algorithm budget =
+    guarded @@ fun () ->
+    match Srfa_frontend.Parser.parse_file_result file with
+    | Result.Error diags -> fail_diags ~file diags
+    | Ok nest -> (
+      let config = config_of_budget budget in
+      match Srfa_core.Flow.run_checked ~config ~algorithm nest with
+      | Result.Error diags -> fail_diags ~file diags
+      | Ok (report, warnings) ->
+        report_diags ~file warnings;
+        Format.printf "%a@." Srfa_estimate.Report.pp report;
+        exit (Srfa_util.Diag.exit_code warnings))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the checked pipeline on a kernel source file: print a design \
+          report (with warnings for any degraded stage) or coded \
+          diagnostics. Exit 0 on success or warnings, 2 on input errors, 3 \
+          on internal errors.")
+    Term.(const run $ file_arg $ algorithm_arg $ budget_arg)
+
 (* dfg: DOT dump *)
 let dfg_cmd =
   let run nest algorithm budget =
+    guarded @@ fun () ->
     let config = config_of_budget budget in
     let analysis = Srfa_core.Flow.analyze nest in
     let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
@@ -231,6 +287,7 @@ let dfg_cmd =
 (* cuts: show CG cuts *)
 let cuts_cmd =
   let run nest =
+    guarded @@ fun () ->
     let analysis = Srfa_core.Flow.analyze nest in
     let dfg = Srfa_dfg.Graph.build analysis in
     let charged _ = true in
@@ -256,6 +313,7 @@ let codegen_cmd =
          & info [ "l"; "lang" ] ~docv:"LANG" ~doc)
   in
   let run nest algorithm budget lang =
+    guarded @@ fun () ->
     let config = config_of_budget budget in
     let analysis = Srfa_core.Flow.analyze nest in
     let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
@@ -325,6 +383,7 @@ let sweep_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run kernels budgets algorithms json trace_file =
+    guarded @@ fun () ->
     let kernels =
       match kernels with
       | [] ->
@@ -403,6 +462,7 @@ let export_cmd =
     Arg.(value & opt string "srfa-out" & info [ "o"; "output" ] ~docv:"DIR" ~doc)
   in
   let run nest algorithm budget dir =
+    guarded @@ fun () ->
     let config = config_of_budget budget in
     let analysis = Srfa_core.Flow.analyze nest in
     let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
@@ -437,6 +497,7 @@ let export_cmd =
 (* profile: per-iteration cycle-cost histogram *)
 let profile_cmd =
   let run nest algorithm budget =
+    guarded @@ fun () ->
     let config = config_of_budget budget in
     let analysis = Srfa_core.Flow.analyze nest in
     let alloc = Srfa_core.Flow.allocation ~config algorithm analysis in
@@ -459,6 +520,7 @@ let profile_cmd =
 (* orders: loop-interchange exploration *)
 let orders_cmd =
   let run nest algorithm budget =
+    guarded @@ fun () ->
     match Srfa_ir.Permute.illegality nest with
     | Some why -> Format.printf "not fully permutable: %s@." why
     | None ->
@@ -489,6 +551,7 @@ let main_cmd =
       kernels_cmd;
       show_cmd;
       compile_cmd;
+      check_cmd;
       alloc_cmd;
       compare_cmd;
       dfg_cmd;

@@ -25,12 +25,37 @@ let of_name name =
   | "ks-ra" | "ks" | "knapsack" -> Some Knapsack
   | _ -> None
 
-let run ?latency ?trace ?prepared algorithm analysis ~budget =
+let run ?latency ?trace ?cut_work_limit ?prepared algorithm analysis ~budget =
+  (* The paper's graceful-degradation rule: when the cut machinery cannot
+     be applied (here: the max-flow work guard tripped), answer with PR-RA
+     rather than abort. The fallback is announced on the trace so reports
+     and diagnostics can surface it. *)
+  let with_pr_fallback allocate =
+    try allocate () with
+    | Srfa_dfg.Cut.Work_limit { phases; paths; limit } ->
+      (match trace with
+      | Some sink ->
+        Srfa_util.Trace.emit sink (fun () ->
+            let open Srfa_util.Trace in
+            event "fallback.pr_ra"
+              [
+                ("reason", String "cut work limit exceeded");
+                ("work_limit", Int limit);
+                ("bfs_phases", Int phases);
+                ("augmenting_paths", Int paths);
+              ])
+      | None -> ());
+      Pr_ra.allocate ?trace analysis ~budget
+  in
   match algorithm with
   | Fr_ra -> Fr_ra.allocate ?trace analysis ~budget
   | Pr_ra -> Pr_ra.allocate ?trace analysis ~budget
-  | Cpa_ra -> Cpa_ra.allocate ?latency ?trace ?prepared analysis ~budget
+  | Cpa_ra ->
+    with_pr_fallback (fun () ->
+        Cpa_ra.allocate ?latency ?trace ?cut_work_limit ?prepared analysis
+          ~budget)
   | Cpa_plus ->
-    Cpa_ra.allocate ?latency ?trace ?prepared ~spend_leftover:true analysis
-      ~budget
+    with_pr_fallback (fun () ->
+        Cpa_ra.allocate ?latency ?trace ?cut_work_limit ?prepared
+          ~spend_leftover:true analysis ~budget)
   | Knapsack -> Knapsack.allocate ?trace analysis ~budget

@@ -23,11 +23,18 @@ val of_name : string -> algorithm option
 
 val run :
   ?latency:Srfa_hw.Latency.t -> ?trace:Srfa_util.Trace.sink ->
-  ?prepared:Cpa_ra.prepared -> algorithm -> Analysis.t -> budget:int ->
-  Allocation.t
+  ?cut_work_limit:int -> ?prepared:Cpa_ra.prepared -> algorithm ->
+  Analysis.t -> budget:int -> Allocation.t
 (** Every algorithm runs as a strategy over {!Engine}; [trace] observes
     its decisions (see {!Engine} for the event vocabulary). [prepared] is
     {!Cpa_ra.prepare} scratch, reused across budgets by {!Flow.sweep} and
     ignored by the non-CPA algorithms.
+
+    [cut_work_limit] (default unlimited) caps the max-flow effort of every
+    CPA cut query (see {!Srfa_dfg.Cut.cheapest}). When the guard trips,
+    the CPA variants degrade to PR-RA on the same analysis and budget — a
+    ["fallback.pr_ra"] event is emitted on [trace] and the PR-RA
+    allocation is returned; no exception escapes. The guard is ignored by
+    the non-CPA algorithms, which ask no cut queries.
     @raise Invalid_argument when the budget is below one register per
     reference group. *)

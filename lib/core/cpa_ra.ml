@@ -18,7 +18,8 @@ let prepare analysis =
   { dfg; scratch = Critical.scratch dfg }
 
 let allocate_traced ?(latency = Srfa_hw.Latency.default)
-    ?(spend_leftover = false) ?trace ?prepared analysis ~budget =
+    ?(spend_leftover = false) ?trace ?cut_work_limit ?prepared analysis
+    ~budget =
   let eng = Engine.create ?trace analysis ~budget in
   let sink = Engine.trace eng in
   let { dfg; scratch } =
@@ -51,7 +52,8 @@ let allocate_traced ?(latency = Srfa_hw.Latency.default)
            cheapest eligible cut, under the same tie-break the enumeration
            order used to impose. *)
         match
-          Cut.cheapest ~trace:sink cg ~eligible:(Engine.improvable eng)
+          Cut.cheapest ~trace:sink ?work_limit:cut_work_limit cg
+            ~eligible:(Engine.improvable eng)
             ~weight:(fun g -> Engine.need eng g.Group.id)
         with
         | None -> ()
@@ -122,7 +124,8 @@ let allocate_traced ?(latency = Srfa_hw.Latency.default)
   let alloc = Engine.finalize ~pin_all:true eng ~algorithm in
   (alloc, List.rev !steps)
 
-let allocate ?latency ?spend_leftover ?trace ?prepared analysis ~budget =
+let allocate ?latency ?spend_leftover ?trace ?cut_work_limit ?prepared
+    analysis ~budget =
   fst
-    (allocate_traced ?latency ?spend_leftover ?trace ?prepared analysis
-       ~budget)
+    (allocate_traced ?latency ?spend_leftover ?trace ?cut_work_limit
+       ?prepared analysis ~budget)

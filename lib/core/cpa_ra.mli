@@ -31,9 +31,12 @@ val prepare : Analysis.t -> prepared
 
 val allocate :
   ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool ->
-  ?trace:Srfa_util.Trace.sink -> ?prepared:prepared -> Analysis.t ->
-  budget:int -> Allocation.t
+  ?trace:Srfa_util.Trace.sink -> ?cut_work_limit:int ->
+  ?prepared:prepared -> Analysis.t -> budget:int -> Allocation.t
 (** @raise Invalid_argument when [budget < feasibility_minimum].
+    @raise Srfa_dfg.Cut.Work_limit when [cut_work_limit] (default
+    unlimited) is exhausted by a cut query — {!Allocator.run} catches it
+    and falls back to PR-RA.
 
     [spend_leftover] (default [false], the paper's algorithm) switches on
     the CPA+ extension: once no critical-graph cut can be improved, the
@@ -48,7 +51,8 @@ val allocate :
 
 val allocate_traced :
   ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool ->
-  ?trace:Srfa_util.Trace.sink -> ?prepared:prepared -> Analysis.t ->
+  ?trace:Srfa_util.Trace.sink -> ?cut_work_limit:int ->
+  ?prepared:prepared -> Analysis.t ->
   budget:int -> Allocation.t * trace_step list
 (** Like {!allocate}, also returning the per-round decisions (used by the
     examples and the DOT dumper to narrate the algorithm). *)

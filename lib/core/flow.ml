@@ -1,9 +1,16 @@
 open Srfa_reuse
+module Diag = Srfa_util.Diag
+module Trace = Srfa_util.Trace
+
+type guards = { cut_work_limit : int option; event_model_cap : int }
+
+let default_guards = { cut_work_limit = Some 200_000; event_model_cap = 100_000 }
 
 type config = {
   budget : int;
   sim : Srfa_sched.Simulator.config;
   clock_params : Srfa_estimate.Clock.params;
+  guards : guards;
 }
 
 let default_config =
@@ -11,30 +18,38 @@ let default_config =
     budget = 64;
     sim = Srfa_sched.Simulator.default_config;
     clock_params = Srfa_estimate.Clock.default_params;
+    guards = default_guards;
   }
 
 let analyze nest = Analysis.analyze nest
 
 let allocation ?(config = default_config) ?trace ?prepared algorithm analysis =
   Allocator.run ~latency:config.sim.Srfa_sched.Simulator.latency ?trace
-    ?prepared algorithm analysis ~budget:config.budget
+    ?cut_work_limit:config.guards.cut_work_limit ?prepared algorithm analysis
+    ~budget:config.budget
 
-let evaluate_analysis ?(trace = Srfa_util.Trace.null) ?prepared config
-    algorithm analysis =
-  (* Always collect the decision events so the report can summarise them;
-     the caller's sink (CLI --trace, bench) sees the same stream. *)
-  let collect, events = Srfa_util.Trace.collector () in
+(* The caller's sink (CLI --trace, bench) tees with an in-memory collector
+   so the report can summarise the decision stream either way. *)
+let tee_collector trace =
+  let collect, events = Trace.collector () in
   let sink =
-    if Srfa_util.Trace.enabled trace then
-      Srfa_util.Trace.make (fun e ->
-          Srfa_util.Trace.emit trace (fun () -> e);
-          Srfa_util.Trace.emit collect (fun () -> e))
+    if Trace.enabled trace then
+      Trace.make (fun e ->
+          Trace.emit trace (fun () -> e);
+          Trace.emit collect (fun () -> e))
     else collect
   in
+  (sink, events)
+
+let evaluate_analysis ?(trace = Trace.null) ?prepared config algorithm
+    analysis =
+  let sink, events = tee_collector trace in
   let alloc = allocation ~config ~trace:sink ?prepared algorithm analysis in
+  (* Summarise the allocation decisions only (fixed before the simulator
+     appends its own guard events to the same stream). *)
+  let trace_summary = Trace.summary (events ()) in
   Srfa_estimate.Report.build ~sim_config:config.sim
-    ~clock_params:config.clock_params
-    ~trace_summary:(Srfa_util.Trace.summary (events ()))
+    ~clock_params:config.clock_params ~trace:sink ~trace_summary
     ~version:(Allocator.version_label algorithm)
     alloc
 
@@ -57,6 +72,98 @@ type sweep_point = {
 }
 
 let default_budgets = [ 8; 16; 32; 64; 128 ]
+
+(* ---- checked pipeline -------------------------------------------------- *)
+
+(* Guard trips announce themselves on the trace; translating the collected
+   events into warning diagnostics here keeps the guard sites free of any
+   Diag dependency. *)
+let warnings_of_events events =
+  let field name (e : Trace.event) =
+    match List.assoc_opt name e.Trace.fields with
+    | Some (Trace.Int v) -> string_of_int v
+    | Some (Trace.String s) -> s
+    | Some (Trace.Bool b) -> string_of_bool b
+    | Some (Trace.Float f) -> string_of_float f
+    | Some (Trace.List _) | None -> "?"
+  in
+  List.filter_map
+    (fun (e : Trace.event) ->
+      match e.Trace.name with
+      | "fallback.pr_ra" ->
+        Some
+          (Diag.warning ~code:"W-GUARD-CUT"
+             "cut work limit exceeded; CPA-RA fell back to PR-RA"
+             ~context:
+               [
+                 ("work_limit", field "work_limit" e);
+                 ("bfs_phases", field "bfs_phases" e);
+                 ("augmenting_paths", field "augmenting_paths" e);
+               ])
+      | "guard.mask" ->
+        Some
+          (Diag.warning ~code:"W-GUARD-MASK"
+             "group count exceeds the bitmask memo cap; simulator degraded \
+              to the string-keyed memo"
+             ~context:
+               [ ("groups", field "groups" e); ("cap", field "cap" e) ])
+      | _ -> None)
+    events
+
+(* Second-opinion schedule check: re-time the steady-state body with the
+   cycle-stepped event model. A divergence is not an error — the report
+   keeps the (agreeing-by-construction) Cycle_model numbers — but it is
+   worth a warning and a trace event. *)
+let event_model_warning ~sink ~guards ~sim_config analysis alloc =
+  let dfg = Srfa_dfg.Graph.build analysis in
+  let ram_map = Srfa_sched.Simulator.ram_map_for sim_config alloc in
+  let residual = Allocation.residual_ram_groups alloc in
+  let charged (g : Group.t) = List.mem g.Group.id residual in
+  match
+    Srfa_sched.Event_model.makespan ~cap:guards.event_model_cap ~dfg
+      ~latency:sim_config.Srfa_sched.Simulator.latency ~ram_map ~charged ()
+  with
+  | _ -> None
+  | exception Srfa_sched.Event_model.Diverged { cycles; cap } ->
+    Trace.emit sink (fun () ->
+        Trace.event "fallback.cycle_model"
+          [
+            ("reason", Trace.String "event model diverged");
+            ("cycles", Trace.Int cycles);
+            ("cap", Trace.Int cap);
+          ]);
+    Some
+      (Diag.warning ~code:"W-GUARD-EVENT"
+         "event model failed to converge; report keeps the coarse \
+          Cycle_model timing"
+         ~context:
+           [ ("cycles", string_of_int cycles); ("cap", string_of_int cap) ])
+
+let run_checked ?(config = default_config) ?(algorithm = Allocator.Cpa_ra)
+    ?(trace = Trace.null) nest =
+  let sink, events = tee_collector trace in
+  match
+    let analysis = analyze nest in
+    let alloc = allocation ~config ~trace:sink algorithm analysis in
+    let trace_summary = Trace.summary (events ()) in
+    let report =
+      Srfa_estimate.Report.build ~sim_config:config.sim
+        ~clock_params:config.clock_params ~trace:sink ~trace_summary
+        ~version:(Allocator.version_label algorithm)
+        alloc
+    in
+    let event_warning =
+      event_model_warning ~sink ~guards:config.guards ~sim_config:config.sim
+        analysis alloc
+    in
+    (report, event_warning)
+  with
+  | report, event_warning ->
+    let warnings =
+      warnings_of_events (events ()) @ Option.to_list event_warning
+    in
+    Ok (report, warnings)
+  | exception exn -> Result.Error [ Diag.of_exn exn ]
 
 let sweep ?(config = default_config) ?(algorithms = Allocator.all)
     ?(budgets = default_budgets) ?trace kernels =

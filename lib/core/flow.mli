@@ -6,14 +6,29 @@
 open Srfa_ir
 open Srfa_reuse
 
+type guards = {
+  cut_work_limit : int option;
+      (** max-flow work budget per CPA cut query ([None] = unlimited); a
+          trip degrades CPA-RA to PR-RA (see {!Allocator.run}) *)
+  event_model_cap : int;
+      (** clock cap for the {!Srfa_sched.Event_model} second opinion in
+          {!run_checked}; a trip keeps the Cycle_model timing *)
+}
+
+val default_guards : guards
+(** [cut_work_limit = Some 200_000] (far beyond any of the paper kernels'
+    needs — the fir kernel's full allocation costs under a hundred work
+    units), [event_model_cap = 100_000]. *)
+
 type config = {
   budget : int;                              (** register budget (paper: 64) *)
   sim : Srfa_sched.Simulator.config;
   clock_params : Srfa_estimate.Clock.params;
+  guards : guards;
 }
 
 val default_config : config
-(** Budget 64, default simulator and clock parameters. *)
+(** Budget 64, default simulator, clock parameters and guards. *)
 
 val evaluate :
   ?config:config -> ?trace:Srfa_util.Trace.sink -> Allocator.algorithm ->
@@ -52,6 +67,23 @@ val sweep :
     (one register per reference group) are skipped rather than raising, so
     a mixed-kernel sweep never aborts. Points are ordered kernel-major,
     then budget, then algorithm. *)
+
+val run_checked :
+  ?config:config -> ?algorithm:Allocator.algorithm ->
+  ?trace:Srfa_util.Trace.sink -> Nest.t ->
+  (Srfa_estimate.Report.t * Srfa_util.Diag.t list, Srfa_util.Diag.t list)
+  result
+(** Total pipeline: analyse, allocate (default {!Allocator.Cpa_ra}),
+    simulate and estimate — never raising. Any library-boundary exception
+    (semantic validation, infeasible budget, internal invariant) comes
+    back as [Error diags] via {!Srfa_util.Diag.of_exn}. [Ok (report,
+    warnings)] carries one warning diagnostic per tripped resource guard:
+    [W-GUARD-CUT] (CPA fell back to PR-RA on an exhausted cut work
+    budget), [W-GUARD-MASK] (simulator degraded past the bitmask memo
+    cap), [W-GUARD-EVENT] (the event-model second opinion diverged; the
+    report keeps the Cycle_model timing). Every trip is also visible as a
+    trace event ([fallback.pr_ra], [guard.mask], [fallback.cycle_model])
+    on [trace]. *)
 
 val analyze : Nest.t -> Analysis.t
 (** Re-exported for callers that drive the stages separately. *)

@@ -28,7 +28,7 @@ let scratch g =
   let n = Graph.num_nodes g in
   {
     sgraph = g;
-    order = Srfa_util.Toposort.sort ~n ~succs:(Graph.succs g);
+    order = Graph.topo_order ~what:"Critical.scratch" g;
     fwd = Array.make n 0;
     bwd = Array.make n 0;
   }

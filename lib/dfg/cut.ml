@@ -75,7 +75,10 @@ let enumerate_exhaustive ?(max_groups = 16) cg =
    (NP-hard) group-labelled cut. The result is still a valid cut with the
    deterministic tie-break; only its weight can exceed the group-labelled
    optimum, and never on the paper's kernels. *)
-let cheapest ?(trace = Srfa_util.Trace.null) cg ~eligible ~weight =
+exception Work_limit of { phases : int; paths : int; limit : int }
+
+let cheapest ?(trace = Srfa_util.Trace.null) ?(work_limit = max_int) cg
+    ~eligible ~weight =
   let g = Critical.graph cg in
   let groups = Array.of_list (Critical.charged_ref_groups cg) in
   let k = Array.length groups in
@@ -130,24 +133,47 @@ let cheapest ?(trace = Srfa_util.Trace.null) cg ~eligible ~weight =
         0 candidates
     in
     let solve limit =
-      Flownet.max_flow ~limit split.Flownet.net ~source:split.Flownet.source
-        ~sink:split.Flownet.sink
+      Flownet.max_flow ~limit ~work_limit split.Flownet.net
+        ~source:split.Flownet.source ~sink:split.Flownet.sink
+    in
+    let guard_tripped (stats : Flownet.stats) =
+      Srfa_util.Trace.emit trace (fun () ->
+          let open Srfa_util.Trace in
+          event "cut.guard"
+            [
+              ("work_limit", Int work_limit);
+              ("bfs_phases", Int stats.Flownet.phases);
+              ("augmenting_paths", Int stats.Flownet.augmenting_paths);
+            ]);
+      raise
+        (Work_limit
+           {
+             phases = stats.Flownet.phases;
+             paths = stats.Flownet.augmenting_paths;
+             limit = work_limit;
+           })
     in
     (* The all-candidates cut is finite, so the optimum is <= sum_caps and
-       the first run can never hit its limit. *)
-    let best = solve sum_caps in
+       the first run can never hit its flow limit (the work limit still
+       applies — the network is fresh, so the budget is per query). *)
+    let best =
+      try solve sum_caps
+      with Flownet.Work_limit_exceeded stats -> guard_tripped stats
+    in
     let excluded = Bitset.create (max k 1) in
-    List.iter
-      (fun i ->
-        List.iter (fun e -> Flownet.set_cap split.Flownet.net e Flownet.inf)
-          arcs.(i);
-        if solve best > best then
-          (* Every optimal cut still available contains this candidate. *)
-          List.iter
-            (fun e -> Flownet.set_cap split.Flownet.net e (scaled i))
-            arcs.(i)
-        else Bitset.add excluded i)
-      (List.rev candidates);
+    (try
+       List.iter
+         (fun i ->
+           List.iter (fun e -> Flownet.set_cap split.Flownet.net e Flownet.inf)
+             arcs.(i);
+           if solve best > best then
+             (* Every optimal cut still available contains this candidate. *)
+             List.iter
+               (fun e -> Flownet.set_cap split.Flownet.net e (scaled i))
+               arcs.(i)
+           else Bitset.add excluded i)
+         (List.rev candidates)
+     with Flownet.Work_limit_exceeded stats -> guard_tripped stats);
     let cut =
       List.filter_map
         (fun i -> if Bitset.mem excluded i then None else Some groups.(i))

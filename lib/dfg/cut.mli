@@ -18,8 +18,15 @@
 
 open Srfa_reuse
 
+exception Work_limit of { phases : int; paths : int; limit : int }
+(** Raised by {!cheapest} when its max-flow work budget runs out; carries
+    the BFS-phase and augmenting-path counts at the trip point and the
+    budget that was exceeded. The caller is expected to degrade (CPA-RA
+    falls back to PR-RA) rather than abort. *)
+
 val cheapest :
   ?trace:Srfa_util.Trace.sink ->
+  ?work_limit:int ->
   Critical.t ->
   eligible:(Group.t -> bool) ->
   weight:(Group.t -> int) ->
@@ -34,7 +41,14 @@ val cheapest :
     [trace] (default the no-op sink) receives one ["cut.flow"] event per
     answered query: candidate count, chosen cut (group names) and weight,
     and the {!Flownet.stats} delta the answer cost (max-flow runs, BFS
-    phases, augmenting paths). *)
+    phases, augmenting paths).
+
+    [work_limit] (default unlimited) bounds the max-flow effort spent on
+    this query, counted as BFS phases plus augmenting paths across every
+    run the query needs (first solve plus the per-candidate tie-break).
+    When it trips, a ["cut.guard"] trace event is emitted and
+    {!Work_limit} is raised.
+    @raise Work_limit when the work budget is exhausted. *)
 
 val enumerate_exhaustive :
   ?max_groups:int -> Critical.t -> Group.t list list

@@ -126,28 +126,6 @@ let rec blocking t sink u budget =
     !pushed
   end
 
-let max_flow ?(limit = max_int) t ~source ~sink =
-  if source = sink then invalid_arg "Flownet.max_flow: source equals sink";
-  freeze t;
-  Array.blit t.base 0 t.residual 0 t.ecount;
-  t.stat_runs <- t.stat_runs + 1;
-  let flow = ref 0 in
-  let exceeded () = !flow > limit in
-  while (not (exceeded ())) && bfs t source sink do
-    t.stat_phases <- t.stat_phases + 1;
-    Array.fill t.cursor 0 t.nodes 0;
-    let saturated = ref false in
-    while (not !saturated) && not (exceeded ()) do
-      let d = blocking t sink source inf in
-      if d > 0 then begin
-        flow := !flow + d;
-        t.stat_augmenting <- t.stat_augmenting + 1
-      end
-      else saturated := true
-    done
-  done;
-  !flow
-
 type stats = { runs : int; phases : int; augmenting_paths : int }
 
 let stats t =
@@ -156,6 +134,40 @@ let stats t =
     phases = t.stat_phases;
     augmenting_paths = t.stat_augmenting;
   }
+
+exception Work_limit_exceeded of stats
+
+let max_flow ?(limit = max_int) ?(work_limit = max_int) t ~source ~sink =
+  if source = sink then invalid_arg "Flownet.max_flow: source equals sink";
+  if work_limit < 0 then invalid_arg "Flownet.max_flow: negative work limit";
+  freeze t;
+  Array.blit t.base 0 t.residual 0 t.ecount;
+  t.stat_runs <- t.stat_runs + 1;
+  (* The work budget charges one unit per BFS phase and one per augmenting
+     path, cumulatively over the network's lifetime (a Cut query builds a
+     fresh network, so for cuts this is per-query effort). *)
+  let charge () =
+    if t.stat_phases + t.stat_augmenting > work_limit then
+      raise (Work_limit_exceeded (stats t))
+  in
+  let flow = ref 0 in
+  let exceeded () = !flow > limit in
+  while (not (exceeded ())) && bfs t source sink do
+    t.stat_phases <- t.stat_phases + 1;
+    charge ();
+    Array.fill t.cursor 0 t.nodes 0;
+    let saturated = ref false in
+    while (not !saturated) && not (exceeded ()) do
+      let d = blocking t sink source inf in
+      if d > 0 then begin
+        flow := !flow + d;
+        t.stat_augmenting <- t.stat_augmenting + 1;
+        charge ()
+      end
+      else saturated := true
+    done
+  done;
+  !flow
 
 (* ---- node-split vertex cuts ------------------------------------------- *)
 

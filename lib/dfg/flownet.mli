@@ -31,13 +31,6 @@ val set_cap : t -> int -> int -> unit
     {!max_flow} run (runs always restart from the configured capacities,
     so a network can be re-solved under many assignments). *)
 
-val max_flow : ?limit:int -> t -> source:int -> sink:int -> int
-(** Maximum [source]-to-[sink] flow value. When [limit] is given the run
-    stops as soon as the accumulated flow exceeds it and returns that
-    partial value — callers that only need to know whether the min cut is
-    still [limit] use this to keep intermediate values bounded (no
-    overflow from {!inf} arcs) and to skip useless work. *)
-
 type stats = {
   runs : int;           (** {!max_flow} invocations *)
   phases : int;         (** BFS level-graph constructions across all runs *)
@@ -48,6 +41,24 @@ val stats : t -> stats
 (** Cumulative work counters since {!create}. {!Cut.cheapest} reads them
     before and after a query to report how much max-flow effort the cut
     decision cost (the delta goes into the decision trace). *)
+
+exception Work_limit_exceeded of stats
+(** Raised by {!max_flow} when [work_limit] is exhausted; carries the
+    counters at the moment the guard tripped. *)
+
+val max_flow : ?limit:int -> ?work_limit:int -> t -> source:int -> sink:int -> int
+(** Maximum [source]-to-[sink] flow value. When [limit] is given the run
+    stops as soon as the accumulated flow exceeds it and returns that
+    partial value — callers that only need to know whether the min cut is
+    still [limit] use this to keep intermediate values bounded (no
+    overflow from {!inf} arcs) and to skip useless work.
+
+    [work_limit] is a resource guard: a budget of work units (one per BFS
+    phase plus one per augmenting path, measured cumulatively on this
+    network's {!stats} counters) beyond which the run abandons the
+    computation with {!Work_limit_exceeded} instead of running away on a
+    pathological instance. Default: unlimited.
+    @raise Work_limit_exceeded when the budget runs out. *)
 
 (** A vertex-cut instance built by {!split_nodes}. [node_arc.(u)] is the
     edge id of the [in(u) -> out(u)] arc, whose capacity is the vertex

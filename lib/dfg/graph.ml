@@ -122,11 +122,28 @@ let node_latency _t ~latency ~charged nd =
   | Unary_node op -> latency.Srfa_hw.Latency.unary op
   | Const_node _ -> 0
 
+let node_name nd =
+  match nd.kind with
+  | Ref_node g -> Group.name g
+  | Binary_node op -> Op.binary_name op
+  | Unary_node op -> Op.unary_name op
+  | Const_node c -> string_of_int c
+
+(* All topological orderings of a DFG go through here so a cycle (which
+   [build] cannot produce, but hand-built or future graph sources could)
+   surfaces as an error naming the offending node, not a raw int id. *)
+let topo_order ?(what = "Graph.topo_order") t =
+  let n = num_nodes t in
+  Srfa_util.Toposort.sort_labeled ~what ~n
+    ~succs:(fun u -> t.succs.(u))
+    ~label:(fun u -> Printf.sprintf "node %d (%s)" u (node_name t.nodes.(u)))
+    ()
+
 let longest_path t weight =
   let n = num_nodes t in
   if n = 0 then 0
   else begin
-    let order = Srfa_util.Toposort.sort ~n ~succs:(fun u -> t.succs.(u)) in
+    let order = topo_order ~what:"Graph.longest_path" t in
     let dist = Array.make n 0 in
     let visit u =
       let du = dist.(u) + weight t.nodes.(u) in
@@ -152,13 +169,6 @@ let memory_path_length t ~latency ~charged =
     | Binary_node _ | Unary_node _ | Const_node _ -> 0
   in
   longest_path t weight
-
-let node_name nd =
-  match nd.kind with
-  | Ref_node g -> Group.name g
-  | Binary_node op -> Op.binary_name op
-  | Unary_node op -> Op.unary_name op
-  | Const_node c -> string_of_int c
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>dfg (%d nodes):@," (num_nodes t);

@@ -59,4 +59,13 @@ val memory_path_length :
     memory portion of the critical path. *)
 
 val node_name : node -> string
+
+val topo_order : ?what:string -> t -> int list
+(** Topological order of the node ids. [build] only produces DAGs, but any
+    other graph source goes through the same ordering; a cycle raises
+    [Invalid_argument] naming the offending node (["<what>: dependency
+    cycle through node 3 (d[i][k])"]) rather than escaping as a raw
+    {!Srfa_util.Toposort.Cycle} int. [what] names the computation being
+    attempted (default ["Graph.topo_order"]). *)
+
 val pp : Format.formatter -> t -> unit

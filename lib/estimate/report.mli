@@ -29,6 +29,7 @@ type t = {
 val build :
   ?sim_config:Srfa_sched.Simulator.config ->
   ?clock_params:Clock.params ->
+  ?trace:Srfa_util.Trace.sink ->
   ?trace_summary:string ->
   version:string ->
   Allocation.t ->

@@ -360,6 +360,25 @@ let parse_file path =
   close_in ic;
   parse src
 
+(* --- checked entry points ------------------------------------------------ *)
+
+module Diag = Srfa_util.Diag
+
+let diag_of_exn = function
+  | Error msg -> Diag.of_parser_error msg
+  | Lexer.Error msg -> Diag.of_lexer_error msg
+  | exn -> Diag.of_exn exn
+
+let parse_result src =
+  match parse src with
+  | nest -> Ok nest
+  | exception exn -> Result.Error [ diag_of_exn exn ]
+
+let parse_file_result path =
+  match parse_file path with
+  | nest -> Ok nest
+  | exception exn -> Result.Error [ diag_of_exn exn ]
+
 (* --- printing ------------------------------------------------------------ *)
 
 let print nest =

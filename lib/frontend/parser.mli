@@ -36,6 +36,23 @@ val parse_file : string -> Srfa_ir.Nest.t
 (** Reads the file, then {!parse}.
     @raise Sys_error when the file cannot be read. *)
 
+val parse_result :
+  string -> (Srfa_ir.Nest.t, Srfa_util.Diag.t list) result
+(** Never-raising {!parse}: lexer, parser and semantic-validation failures
+    come back as coded diagnostics ([E-LEX-...], [E-PARSE-...],
+    [E-SEM-...]) with the source span extracted from the message where
+    available. *)
+
+val parse_file_result :
+  string -> (Srfa_ir.Nest.t, Srfa_util.Diag.t list) result
+(** Never-raising {!parse_file}; an unreadable file is an [E-IO-001]. *)
+
+val diag_of_exn : exn -> Srfa_util.Diag.t
+(** The frontend's exception classifier: {!Error} and {!Lexer.Error} get
+    their positioned [E-PARSE-...]/[E-LEX-...] codes, everything else
+    falls through to {!Srfa_util.Diag.of_exn}. Exposed for callers (CLI,
+    fuzz harness) that catch exceptions around a larger pipeline span. *)
+
 val print : Srfa_ir.Nest.t -> string
 (** Renders a nest back into parseable source. Round trips preserve the
     analysis (groups, windows, semantics); unary operators are lowered to

@@ -1,0 +1,225 @@
+module Prng = Srfa_util.Prng
+
+type kind = Valid | Mask_stress | Broken of string
+
+type case = {
+  id : int;
+  seed : int;
+  kind : kind;
+  budget : int;
+  source : string;
+}
+
+let kind_name = function
+  | Valid -> "valid"
+  | Mask_stress -> "mask-stress"
+  | Broken label -> "broken:" ^ label
+
+(* A kernel kept in structured form until rendering, so defect injection
+   can target the right piece (a trip count, a statement, a declaration)
+   instead of guessing at character offsets. *)
+type spec = {
+  loops : (string * int) array;
+  decls : string list;   (* rendered declaration lines *)
+  stmts : string array;  (* rendered statements, ';'-terminated *)
+}
+
+(* One extent for every array dimension. Indices are [c*v + off] with
+   [c <= 2], [v <= trip-1 <= 3] and [off <= 2], so 12 covers them all and
+   generated kernels pass Nest.make's bounds check by construction. *)
+let extent = 12
+
+let render { loops; decls; stmts } =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "kernel fuzz {\n";
+  List.iter (fun d -> Buffer.add_string b ("  " ^ d ^ "\n")) decls;
+  Buffer.add_char b '\n';
+  Array.iteri
+    (fun k (v, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "%sfor (%s = 0; %s < %d; %s++)\n"
+           (String.make (2 * (k + 1)) ' ')
+           v v n v))
+    loops;
+  let pad = String.make (2 * (Array.length loops + 1)) ' ' in
+  if Array.length stmts = 1 then Buffer.add_string b (pad ^ stmts.(0) ^ "\n")
+  else begin
+    Buffer.add_string b (pad ^ "{\n");
+    Array.iter (fun s -> Buffer.add_string b (pad ^ "  " ^ s ^ "\n")) stmts;
+    Buffer.add_string b (pad ^ "}\n")
+  end;
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let gen_index rng vars =
+  match Prng.int rng 4 with
+  | 0 -> Prng.pick rng vars
+  | 1 -> Printf.sprintf "%s + %d" (Prng.pick rng vars) (1 + Prng.int rng 2)
+  | 2 -> Printf.sprintf "2*%s" (Prng.pick rng vars)
+  | _ -> string_of_int (Prng.int rng 4)
+
+let gen_ref rng vars name rank =
+  name
+  ^ String.concat ""
+      (List.init rank (fun _ -> "[" ^ gen_index rng vars ^ "]"))
+
+(* [force_x0] pins the first leaf to the first input array, which the
+   undeclared-array mutation later renames — a guaranteed defect site. *)
+let gen_expr rng inputs vars ~force_x0 =
+  let leaf k =
+    if k = 0 && force_x0 then
+      let name, rank = List.hd inputs in
+      gen_ref rng vars name rank
+    else if Prng.int rng 10 < 6 then
+      let name, rank = Prng.pick rng inputs in
+      gen_ref rng vars name rank
+    else string_of_int (Prng.int rng 10)
+  in
+  let e = ref (leaf 0) in
+  for k = 1 to Prng.int rng 3 do
+    let op = Prng.pick rng [ "+"; "-"; "*" ] in
+    e := Printf.sprintf "(%s %s %s)" !e op (leaf k)
+  done;
+  if Prng.int rng 8 = 0 then
+    Printf.sprintf "%s(%s, %d)"
+      (Prng.pick rng [ "min"; "max" ])
+      !e (Prng.int rng 16)
+  else !e
+
+let gen_valid rng =
+  let depth = 1 + Prng.int rng 3 in
+  let vars = Array.to_list (Array.sub [| "i"; "j"; "k" |] 0 depth) in
+  let loops =
+    Array.of_list (List.map (fun v -> (v, 2 + Prng.int rng 3)) vars)
+  in
+  let inputs =
+    List.init
+      (1 + Prng.int rng 3)
+      (fun k -> (Printf.sprintf "x%d" k, 1 + Prng.int rng 2))
+  in
+  let decls =
+    List.map
+      (fun (name, rank) ->
+        Printf.sprintf "input  int %s%s;" name
+          (String.concat ""
+             (List.init rank (fun _ -> Printf.sprintf "[%d]" extent))))
+      inputs
+    @ [ Printf.sprintf "output int y[%d];" extent ]
+  in
+  let stmts =
+    Array.init
+      (1 + Prng.int rng 3)
+      (fun s ->
+        Printf.sprintf "%s %s %s;" (gen_ref rng vars "y" 1)
+          (if Prng.bool rng then "=" else "+=")
+          (gen_expr rng inputs vars ~force_x0:(s = 0)))
+  in
+  { loops; decls; stmts }
+
+(* More reference groups than the simulator's bitmask cap (60), over a
+   tiny iteration space: every x[k] is its own group. *)
+let gen_mask rng =
+  let n = 64 + Prng.int rng 8 in
+  let sum =
+    let term k = Printf.sprintf "x[%d]" k in
+    let rec fold acc k =
+      if k = n then acc
+      else fold (Printf.sprintf "(%s + %s)" acc (term k)) (k + 1)
+    in
+    fold (term 0) 1
+  in
+  ( Printf.sprintf
+      "kernel wide {\n\
+      \  input  int x[%d];\n\
+      \  output int y[2];\n\n\
+      \  for (i = 0; i < 2; i++)\n\
+      \    y[i] = %s;\n\
+       }\n"
+      n sum,
+    n + 4 )
+
+let replace_first s pat repl =
+  let n = String.length s and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i -> String.sub s 0 i ^ repl ^ String.sub s (i + m) (n - i - m)
+
+let mutate rng spec =
+  let labels =
+    [
+      "zero-trip"; "oob-index"; "undeclared-array"; "rank-mismatch";
+      "garbage-char"; "truncate"; "unterminated-comment"; "starved-budget";
+    ]
+    @ (if Array.length spec.loops >= 2 then [ "dup-var" ] else [])
+  in
+  let label = Prng.pick rng labels in
+  let pick_stmt () = Prng.int rng (Array.length spec.stmts) in
+  let with_stmt k f =
+    let stmts = Array.copy spec.stmts in
+    stmts.(k) <- f stmts.(k);
+    render { spec with stmts }
+  in
+  let source, budget =
+    match label with
+    | "zero-trip" ->
+      let loops = Array.copy spec.loops in
+      let k = Prng.int rng (Array.length loops) in
+      loops.(k) <- (fst loops.(k), 0);
+      (render { spec with loops }, 64)
+    | "oob-index" ->
+      (* push the first index of some statement past every extent *)
+      ( with_stmt (pick_stmt ()) (fun stmt ->
+            let close = String.index stmt ']' in
+            String.sub stmt 0 close ^ " + 100"
+            ^ String.sub stmt close (String.length stmt - close)),
+        64 )
+    | "undeclared-array" ->
+      (with_stmt 0 (fun stmt -> replace_first stmt "x0" "zz"), 64)
+    | "rank-mismatch" ->
+      (* y is rank 1; the written ref becomes y[...][0] *)
+      ( with_stmt (pick_stmt ()) (fun stmt ->
+            let close = String.index stmt ']' in
+            String.sub stmt 0 (close + 1)
+            ^ "[0]"
+            ^ String.sub stmt (close + 1) (String.length stmt - close - 1)),
+        64 )
+    | "dup-var" ->
+      let loops = Array.copy spec.loops in
+      loops.(1) <- (fst loops.(0), snd loops.(1));
+      (render { spec with loops }, 64)
+    | "garbage-char" ->
+      let src = render spec in
+      let pos = 1 + Prng.int rng (String.length src - 1) in
+      ( String.sub src 0 pos
+        ^ String.make 1 (Prng.pick rng [ '?'; '$'; '@' ])
+        ^ String.sub src pos (String.length src - pos),
+        64 )
+    | "truncate" ->
+      let src = render spec in
+      (String.sub src 0 (1 + Prng.int rng (String.length src - 1)), 64)
+    | "unterminated-comment" -> (render spec ^ "/* dangling", 64)
+    | _ -> (render spec, 1) (* starved-budget: valid source, budget 1 *)
+  in
+  (label, source, budget)
+
+let generate ~seed ~id =
+  let case_seed = seed lxor ((id + 1) * 2654435761) in
+  let rng = Prng.create ~seed:case_seed in
+  let roll = Prng.int rng 10 in
+  let kind, source, budget =
+    if roll < 5 then
+      let spec = gen_valid rng in
+      (Valid, render spec, Prng.pick rng [ 16; 32; 64 ])
+    else if roll = 5 then
+      let source, budget = gen_mask rng in
+      (Mask_stress, source, budget)
+    else
+      let label, source, budget = mutate rng (gen_valid rng) in
+      (Broken label, source, budget)
+  in
+  { id; seed = case_seed; kind; budget; source }

@@ -1,0 +1,36 @@
+(** Deterministic kernel-source generation for the fuzz harness.
+
+    Every case is derived from [(campaign seed, case id)] alone, so any
+    failure replays with [srfa_fuzz --seed S --replay ID]. Three families:
+
+    - {e valid} kernels — random nests (depth 1–3, several input arrays,
+      1–3 statements of affine references) that the frontend must accept
+      and the pipeline must evaluate;
+    - {e mask-stress} kernels — valid, but with more reference groups than
+      the simulator's bitmask memoisation cap, forcing the [guard.mask]
+      degradation path;
+    - {e broken} kernels — a valid kernel with one labelled defect
+      injected (zero trip count, out-of-bounds index, undeclared array,
+      rank mismatch, duplicated loop variable, lexical garbage, truncated
+      source, unterminated comment, or a starved register budget), which
+      the pipeline must reject with a coded diagnostic, never a crash. *)
+
+type kind =
+  | Valid
+  | Mask_stress
+  | Broken of string  (** defect label, e.g. ["oob-index"] *)
+
+type case = {
+  id : int;         (** case index within the campaign *)
+  seed : int;       (** derived PRNG seed (replays independently) *)
+  kind : kind;
+  budget : int;     (** register budget the harness evaluates under *)
+  source : string;  (** kernel source text *)
+}
+
+val generate : seed:int -> id:int -> case
+(** [generate ~seed ~id] is the [id]-th case of campaign [seed];
+    deterministic in both arguments. *)
+
+val kind_name : kind -> string
+(** ["valid"], ["mask-stress"] or ["broken:<label>"]. *)

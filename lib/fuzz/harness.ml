@@ -1,0 +1,207 @@
+open Srfa_util
+module Flow = Srfa_core.Flow
+module Allocator = Srfa_core.Allocator
+module Parser = Srfa_frontend.Parser
+module Group = Srfa_reuse.Group
+module Report = Srfa_estimate.Report
+
+type outcome =
+  | Accepted of {
+      warnings : Diag.t list;
+      events : Trace.event list;
+      regression : string option;
+    }
+  | Rejected of Diag.t list
+  | Violation of string
+  | Crash of string
+
+exception Violated of string
+
+let violated fmt = Printf.ksprintf (fun m -> raise (Violated m)) fmt
+
+let guard_event = function
+  | "W-GUARD-CUT" -> Some "fallback.pr_ra"
+  | "W-GUARD-MASK" -> Some "guard.mask"
+  | "W-GUARD-EVENT" -> Some "fallback.cycle_model"
+  | _ -> None
+
+let evaluate ~algorithm ~budget nest =
+  let config = { Flow.default_config with budget } in
+  let sink, events = Trace.collector () in
+  let result = Flow.run_checked ~config ~algorithm ~trace:sink nest in
+  (result, events ())
+
+(* Upper bound on simulated RAM traffic: every reference touching RAM on
+   every iteration. Any allocation can only save accesses against it. *)
+let baseline_accesses nest =
+  let groups = Group.collect nest in
+  Srfa_ir.Nest.iterations nest
+  * Array.fold_left
+      (fun acc g -> acc + g.Group.reads + g.Group.writes)
+      0 groups
+
+let check_report ~budget ~baseline (r : Report.t) =
+  if r.total_registers > budget then
+    violated "%s allocated %d registers over budget %d" r.algorithm
+      r.total_registers budget;
+  if r.ram_accesses < 0 || r.ram_accesses > baseline then
+    violated "%s: %d RAM accesses outside [0, %d] (negative savings)"
+      r.algorithm r.ram_accesses baseline;
+  if r.memory_cycles < 0 || r.cycles < r.memory_cycles then
+    violated "%s: cycle accounting broken (%d total < %d memory)"
+      r.algorithm r.cycles r.memory_cycles
+
+let check_warning_events warnings events =
+  List.iter
+    (fun (d : Diag.t) ->
+      match guard_event d.code with
+      | None -> ()
+      | Some name ->
+        if
+          not (List.exists (fun (e : Trace.event) -> e.Trace.name = name) events)
+        then violated "warning %s without its %s trace event" d.code name)
+    warnings
+
+let first_diag = function
+  | d :: _ -> Diag.to_string d
+  | [] -> "(no diagnostic)"
+
+let known_valid (case : Gen.case) =
+  match case.kind with
+  | Gen.Valid | Gen.Mask_stress -> true
+  | Gen.Broken _ -> false
+
+let run_case (case : Gen.case) : outcome =
+  try
+    match Parser.parse_result case.source with
+    | Error [] -> Violation "rejected with an empty diagnostic list"
+    | Error diags ->
+      if known_valid case then
+        Violation
+          (Printf.sprintf "valid kernel rejected: %s" (first_diag diags))
+      else if List.exists (fun (d : Diag.t) -> d.Diag.code = "") diags then
+        Violation "rejection carries an uncoded diagnostic"
+      else Rejected diags
+    | Ok nest -> (
+      let baseline = baseline_accesses nest in
+      match evaluate ~algorithm:Allocator.Cpa_ra ~budget:case.budget nest with
+      | Error [], _ -> Violation "pipeline failed with an empty diagnostic list"
+      | Error diags, _ ->
+        if known_valid case then
+          Violation
+            (Printf.sprintf "valid kernel failed: %s" (first_diag diags))
+        else Rejected diags
+      | Ok (cpa, warnings), events ->
+        check_report ~budget:case.budget ~baseline cpa;
+        check_warning_events warnings events;
+        (match case.kind with
+        | Gen.Mask_stress ->
+          if
+            not
+              (List.exists
+                 (fun (d : Diag.t) -> d.Diag.code = "W-GUARD-MASK")
+                 warnings)
+          then violated "mask-stress kernel evaluated without W-GUARD-MASK"
+        | _ -> ());
+        let regression =
+          match
+            evaluate ~algorithm:Allocator.Fr_ra ~budget:case.budget nest
+          with
+          | Ok (fr, _), _ ->
+            check_report ~budget:case.budget ~baseline fr;
+            if cpa.Report.cycles > fr.Report.cycles then
+              Some
+                (Printf.sprintf "CPA-RA takes %d cycles, FR-RA %d, at budget %d"
+                   cpa.Report.cycles fr.Report.cycles case.budget)
+            else None
+          | Error diags, _ ->
+            violated "FR-RA failed where CPA-RA succeeded: %s"
+              (first_diag diags)
+        in
+        Accepted { warnings; events; regression })
+  with
+  | Violated m -> Violation m
+  | exn -> Crash (Printexc.to_string exn)
+
+let minimize keeps source =
+  let render ls = String.concat "\n" ls in
+  let rec shrink ls =
+    let n = List.length ls in
+    let rec try_at k =
+      if k >= n then ls
+      else
+        let candidate = List.filteri (fun i _ -> i <> k) ls in
+        if keeps (render candidate) then shrink candidate else try_at (k + 1)
+    in
+    try_at 0
+  in
+  if keeps source then render (shrink (String.split_on_char '\n' source))
+  else source
+
+type summary = {
+  cases : int;
+  accepted : int;
+  degraded : int;
+  rejected : int;
+  crashes : (Gen.case * string * string) list;
+  violations : (Gen.case * string) list;
+  regressions : (Gen.case * string) list;
+}
+
+(* CPA-RA beating FR-RA on total cycles is the paper's claim, not a
+   theorem: on ~1% of random kernels CPA-RA's critical-path model leaves
+   registers stranded that FR-RA spends (the gap Cpa_plus closes). A
+   campaign is judged on the rate — over 5% of accepted kernels
+   regressing means the allocator broke, a stray counterexample does
+   not. *)
+let regression_tolerance_pct = 5
+
+let regressions_ok s =
+  List.length s.regressions * 100 <= s.accepted * regression_tolerance_pct
+
+let ok s = s.crashes = [] && s.violations = [] && regressions_ok s
+
+let run ?(cases = 200) ?(seed = 42) ?(log = fun _ _ -> ()) () =
+  let accepted = ref 0 and degraded = ref 0 and rejected = ref 0 in
+  let crashes = ref [] and violations = ref [] and regressions = ref [] in
+  for id = 0 to cases - 1 do
+    let case = Gen.generate ~seed ~id in
+    let outcome = run_case case in
+    log case outcome;
+    match outcome with
+    | Accepted { warnings; regression; _ } ->
+      incr accepted;
+      if warnings <> [] then incr degraded;
+      (match regression with
+      | Some m -> regressions := (case, m) :: !regressions
+      | None -> ())
+    | Rejected _ -> incr rejected
+    | Violation m -> violations := (case, m) :: !violations
+    | Crash e ->
+      let still_crashes src =
+        match run_case { case with Gen.source = src } with
+        | Crash _ -> true
+        | _ -> false
+      in
+      crashes := (case, e, minimize still_crashes case.Gen.source) :: !crashes
+  done;
+  {
+    cases;
+    accepted = !accepted;
+    degraded = !degraded;
+    rejected = !rejected;
+    crashes = List.rev !crashes;
+    violations = List.rev !violations;
+    regressions = List.rev !regressions;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d cases: %d accepted (%d degraded), %d rejected, %d crashes, %d \
+     invariant violations, %d comparative regressions (%s %d%% tolerance)"
+    s.cases s.accepted s.degraded s.rejected
+    (List.length s.crashes)
+    (List.length s.violations)
+    (List.length s.regressions)
+    (if regressions_ok s then "within" else "OVER")
+    regression_tolerance_pct

@@ -1,0 +1,73 @@
+(** The never-crash oracle for generated kernels.
+
+    Each case goes through the total pipeline
+    ({!Srfa_frontend.Parser.parse_result}, then
+    {!Srfa_core.Flow.run_checked}) and the outcome is judged against the
+    robustness contract:
+
+    - no input may escape as an uncaught exception ({!Crash});
+    - a rejection must carry coded diagnostics;
+    - a kernel the generator knows to be valid must be accepted;
+    - accepted reports satisfy the hard invariants — registers within
+      budget, RAM accesses within [\[0, baseline\]] (saved accesses never
+      negative), cycle accounting consistent;
+    - mask-stress kernels must show the [W-GUARD-MASK] degradation, and
+      every guard warning must be mirrored by its trace event
+      ([fallback.pr_ra], [guard.mask], [fallback.cycle_model]).
+
+    CPA-RA cycles vs FR-RA at the same budget is tracked as a {e
+    statistical} invariant: it is the paper's claim, not a theorem — on
+    ~1% of random kernels CPA-RA's critical-path model strands registers
+    that FR-RA spends (the gap {!Srfa_core.Allocator.Cpa_plus} closes).
+    Individual counterexamples are counted as regressions; a campaign
+    only fails when more than 5% of accepted kernels regress.
+
+    Hard contract breaches are {!Violation}s; crashes are minimised
+    before reporting. *)
+
+type outcome =
+  | Accepted of {
+      warnings : Srfa_util.Diag.t list;
+      events : Srfa_util.Trace.event list;
+      regression : string option;
+          (** [Some _] when CPA-RA simulated worse than FR-RA here *)
+    }
+  | Rejected of Srfa_util.Diag.t list  (** coded rejection — expected *)
+  | Violation of string                (** contract breach, no exception *)
+  | Crash of string                    (** uncaught exception — a bug *)
+
+val run_case : Gen.case -> outcome
+(** Never raises. *)
+
+val minimize : (string -> bool) -> string -> string
+(** [minimize keeps source] greedily deletes source lines while [keeps]
+    stays true (ddmin restricted to single-line removal, iterated to a
+    fixed point). Returns [source] unchanged when [keeps source] is
+    already false. *)
+
+type summary = {
+  cases : int;
+  accepted : int;
+  degraded : int;  (** accepted with at least one guard warning *)
+  rejected : int;
+  crashes : (Gen.case * string * string) list;
+      (** case, exception, minimised reproducer *)
+  violations : (Gen.case * string) list;
+  regressions : (Gen.case * string) list;
+      (** accepted kernels where CPA-RA simulated worse than FR-RA *)
+}
+
+val run :
+  ?cases:int -> ?seed:int -> ?log:(Gen.case -> outcome -> unit) ->
+  unit -> summary
+(** [run ~cases ~seed ()] fuzzes [cases] generated kernels (default 200,
+    seed 42). [log] observes every case as it completes. *)
+
+val ok : summary -> bool
+(** No crashes, no violations, and comparative regressions within the 5%
+    tolerance. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** One line, e.g. ["200 cases: 118 accepted (12 degraded), 82 rejected,
+    0 crashes, 0 invariant violations, 1 comparative regressions (within
+    5% tolerance)"]. *)

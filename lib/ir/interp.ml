@@ -11,7 +11,10 @@ let store_create nest =
 let cells store name =
   match Hashtbl.find_opt store name with
   | Some (a, d) -> (a, d)
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Interp.cells: array %s is not declared in this nest"
+         name)
 
 let store_init store name f =
   let a, d = cells store name in

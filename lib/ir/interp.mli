@@ -11,15 +11,16 @@ val store_create : Nest.t -> store
 
 val store_init : store -> string -> (int array -> int) -> unit
 (** [store_init s name f] sets every element of array [name] to [f coords].
-    @raise Not_found if the nest declares no such array. *)
+    @raise Invalid_argument (naming the array) if the nest declares no
+    such array. *)
 
 val read : store -> string -> int array -> int
-(** @raise Not_found on unknown array; @raise Invalid_argument on bad
-    coordinates. *)
+(** @raise Invalid_argument on an unknown array (named in the message)
+    or bad coordinates. *)
 
 val write : store -> string -> int array -> int -> unit
 (** Direct element store (used by transformed-program executors).
-    @raise Not_found / @raise Invalid_argument as {!read}. *)
+    @raise Invalid_argument as {!read}. *)
 
 val run : Nest.t -> store -> unit
 (** Executes the nest, mutating the store. *)

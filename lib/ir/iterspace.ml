@@ -24,7 +24,11 @@ let env_of_point nest point =
   let vars = Array.of_list (Nest.loop_vars nest) in
   fun name ->
     let rec find i =
-      if i >= Array.length vars then raise Not_found
+      if i >= Array.length vars then
+        invalid_arg
+          (Printf.sprintf
+             "Iterspace.env_of_point: %s is not a loop variable of nest %s"
+             name nest.Nest.name)
       else if vars.(i) = name then point.(i)
       else find (i + 1)
     in

@@ -10,7 +10,8 @@ val iter : Nest.t -> (int array -> unit) -> unit
 
 val env_of_point : Nest.t -> int array -> string -> int
 (** [env_of_point nest point] is a lookup function for loop variables.
-    @raise Not_found on a name that is not a loop variable. *)
+    @raise Invalid_argument (naming the variable and the nest) on a name
+    that is not a loop variable. *)
 
 val linear : Nest.t -> int array -> int
 (** Rank of an iteration point in execution order, in [0, iterations). *)

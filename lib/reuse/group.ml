@@ -36,7 +36,11 @@ let decl g = g.ref_.Expr.decl
 let find groups r =
   match Array.to_list groups |> List.find_opt (fun g -> Expr.ref_equal g.ref_ r) with
   | Some g -> g
-  | None -> raise Not_found
+  | None ->
+    invalid_arg
+      (Format.asprintf
+         "Group.find: reference %a belongs to no group of this nest"
+         Expr.pp_ref r)
 
 let pp ppf g =
   Format.fprintf ppf "group %d: %a (%dr/%dw)" g.id Expr.pp_ref g.ref_

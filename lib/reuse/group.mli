@@ -27,6 +27,7 @@ val name : t -> string
 val decl : t -> Decl.t
 
 val find : t array -> Expr.ref_ -> t
-(** @raise Not_found if the reference belongs to no group (foreign nest). *)
+(** @raise Invalid_argument (naming the reference) if it belongs to no
+    group (foreign nest). *)
 
 val pp : Format.formatter -> t -> unit

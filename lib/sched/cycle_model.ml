@@ -64,8 +64,7 @@ let schedule_makespan dfg latency ram_map topo ~charged =
   Array.fold_left max 0 finish
 
 let create ~dfg ~latency ~ram_map =
-  let n = Graph.num_nodes dfg in
-  let topo = Srfa_util.Toposort.sort ~n ~succs:(Graph.succs dfg) in
+  let topo = Graph.topo_order ~what:"Cycle_model.create" dfg in
   let compute_makespan =
     schedule_makespan dfg latency ram_map topo ~charged:(fun _ -> false)
   in

@@ -1,12 +1,14 @@
 open Srfa_reuse
 module Graph = Srfa_dfg.Graph
 
-let makespan ~dfg ~latency ~ram_map ~charged =
+exception Diverged of { cycles : int; cap : int }
+
+let makespan ?(cap = 100_000) ~dfg ~latency ~ram_map ~charged () =
   let n = Graph.num_nodes dfg in
   if n = 0 then 0
   else begin
     let topo =
-      Array.of_list (Srfa_util.Toposort.sort ~n ~succs:(Graph.succs dfg))
+      Array.of_list (Graph.topo_order ~what:"Event_model.makespan" dfg)
     in
     let duration u =
       Graph.node_latency dfg ~latency ~charged (Graph.nodes dfg).(u)
@@ -72,8 +74,7 @@ let makespan ~dfg ~latency ~ram_map ~charged =
           end)
         topo;
       incr clock;
-      if !clock > 100000 then
-        invalid_arg "Event_model.makespan: schedule failed to converge"
+      if !clock > cap then raise (Diverged { cycles = !clock; cap })
     done;
     Array.fold_left max 0 finish
   end

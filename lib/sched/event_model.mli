@@ -10,10 +10,19 @@
 
 open Srfa_reuse
 
+exception Diverged of { cycles : int; cap : int }
+(** The clock passed [cap] cycles without every node starting — the
+    schedule is not converging (or the cap is too tight for the body).
+    Callers degrade to {!Cycle_model}'s answer instead of aborting. *)
+
 val makespan :
+  ?cap:int ->
   dfg:Srfa_dfg.Graph.t ->
   latency:Srfa_hw.Latency.t ->
   ram_map:Srfa_hw.Ram_map.t ->
   charged:(Group.t -> bool) ->
+  unit ->
   int
-(** Cycles one body iteration takes under the given memory state. *)
+(** Cycles one body iteration takes under the given memory state. [cap]
+    (default 100_000) is the iteration guard on the cycle-stepped clock.
+    @raise Diverged when the clock exceeds [cap]. *)

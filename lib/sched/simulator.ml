@@ -11,6 +11,7 @@ type config = {
   ram_policy : ram_policy;
   residency : Residency.policy;
   execution : execution;
+  mask_group_cap : int;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     ram_policy = Private_banks;
     residency = Residency.Pinned;
     execution = Serial;
+    mask_group_cap = 60;
   }
 
 type result = {
@@ -59,7 +61,7 @@ let ram_map_for config alloc =
 
 (* Shared walking core: calls [on_iteration cost resident_bits] once per
    iteration point, in execution order. *)
-let walk config alloc ~on_iteration =
+let walk ?(trace = Srfa_util.Trace.null) config alloc ~on_iteration =
   let analysis = alloc.Allocation.analysis in
   let nest = analysis.Analysis.nest in
   let ngroups = Analysis.num_groups analysis in
@@ -68,34 +70,71 @@ let walk config alloc ~on_iteration =
   let model = Cycle_model.create ~dfg ~latency:config.latency ~ram_map in
   let residency = Residency.create config.residency alloc in
   (* Charged-set bitmask -> makespan. Loop bodies have few groups, so the
-     memo stays tiny even though the space walk is long. *)
-  if ngroups > 60 then invalid_arg "Simulator.run: too many groups to mask";
+     memo stays tiny even though the space walk is long. Bodies with more
+     groups than an int mask can hold fall back to a string key — same
+     memoisation, a little slower per iteration, never an abort. *)
+  let cap = min config.mask_group_cap (Sys.int_size - 2) in
+  let use_mask = ngroups <= cap in
+  if not use_mask then
+    Srfa_util.Trace.emit trace (fun () ->
+        let open Srfa_util.Trace in
+        event "guard.mask"
+          [
+            ("groups", Int ngroups);
+            ("cap", Int cap);
+            ("fallback", String "bytes-key memo");
+          ]);
   let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let memo_str : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let charged_bits = Array.make ngroups false in
+  let makespan_now () =
+    let charged (g : Group.t) = charged_bits.(g.Group.id) in
+    match config.execution with
+    | Serial -> Cycle_model.makespan model ~charged
+    | Pipelined -> Cycle_model.initiation_interval model ~charged
+  in
   let makespan_of_mask mask =
     match Hashtbl.find_opt memo mask with
     | Some m -> m
     | None ->
-      let charged (g : Group.t) = charged_bits.(g.Group.id) in
-      let m =
-        match config.execution with
-        | Serial -> Cycle_model.makespan model ~charged
-        | Pipelined -> Cycle_model.initiation_interval model ~charged
-      in
+      let m = makespan_now () in
       Hashtbl.replace memo mask m;
+      m
+  in
+  let makespan_of_key key =
+    match Hashtbl.find_opt memo_str key with
+    | Some m -> m
+    | None ->
+      let m = makespan_now () in
+      Hashtbl.replace memo_str key m;
       m
   in
   let resident_bits = Array.make ngroups false in
   let visit point =
     Residency.step residency point;
-    let mask = ref 0 in
-    for gid = 0 to ngroups - 1 do
-      let resident = Residency.resident residency gid in
-      charged_bits.(gid) <- not resident;
-      resident_bits.(gid) <- resident;
-      if not resident then mask := !mask lor (1 lsl gid)
-    done;
-    on_iteration (makespan_of_mask !mask) resident_bits
+    let cost =
+      if use_mask then begin
+        let mask = ref 0 in
+        for gid = 0 to ngroups - 1 do
+          let resident = Residency.resident residency gid in
+          charged_bits.(gid) <- not resident;
+          resident_bits.(gid) <- resident;
+          if not resident then mask := !mask lor (1 lsl gid)
+        done;
+        makespan_of_mask !mask
+      end
+      else begin
+        let key = Bytes.make ngroups '0' in
+        for gid = 0 to ngroups - 1 do
+          let resident = Residency.resident residency gid in
+          charged_bits.(gid) <- not resident;
+          resident_bits.(gid) <- resident;
+          if not resident then Bytes.set key gid '1'
+        done;
+        makespan_of_key (Bytes.unsafe_to_string key)
+      end
+    in
+    on_iteration cost resident_bits
   in
   Iterspace.iter nest visit;
   match config.execution with
@@ -103,7 +142,7 @@ let walk config alloc ~on_iteration =
   | Pipelined ->
     Cycle_model.initiation_interval model ~charged:(fun _ -> false)
 
-let run ?(config = default_config) alloc =
+let run ?trace ?(config = default_config) alloc =
   let analysis = alloc.Allocation.analysis in
   let ngroups = Analysis.num_groups analysis in
   let total = ref 0 in
@@ -121,7 +160,7 @@ let run ?(config = default_config) alloc =
         end)
       resident_bits
   in
-  let model_baseline = walk config alloc ~on_iteration in
+  let model_baseline = walk ?trace config alloc ~on_iteration in
   let iterations = Nest.iterations analysis.Analysis.nest in
   (* Serial: the baseline per-iteration cost is the pure-compute makespan.
      Pipelined: it is the recurrence-limited II, plus a one-time pipeline
@@ -143,14 +182,14 @@ let run ?(config = default_config) alloc =
     group_ram_accesses = group_ram;
   }
 
-let profile ?(config = default_config) alloc =
+let profile ?trace ?(config = default_config) alloc =
   let hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let on_iteration cost _ =
     let cost = cost + config.control_overhead in
     Hashtbl.replace hist cost
       (1 + Option.value ~default:0 (Hashtbl.find_opt hist cost))
   in
-  let _ = walk config alloc ~on_iteration in
+  let _ = walk ?trace config alloc ~on_iteration in
   Hashtbl.fold (fun cost count acc -> (cost, count) :: acc) hist []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 

@@ -26,6 +26,11 @@ type config = {
   residency : Residency.policy;
       (** register-file management discipline; the paper's is {!Residency.Pinned} *)
   execution : execution;
+  mask_group_cap : int;
+      (** widest charged-group set memoised on an int bitmask (default 60).
+          Nests with more reference groups fall back to a string-keyed
+          memo: identical results, slightly slower lookups, and a
+          ["guard.mask"] trace event instead of the former hard abort. *)
 }
 
 val default_config : config
@@ -43,10 +48,17 @@ type result = {
   group_ram_accesses : int array; (** per group id *)
 }
 
-val run : ?config:config -> Allocation.t -> result
-(** Simulates the allocation's nest. *)
+val run :
+  ?trace:Srfa_util.Trace.sink -> ?config:config -> Allocation.t -> result
+(** Simulates the allocation's nest. [trace] receives a ["guard.mask"]
+    event when the nest exceeds [config.mask_group_cap] groups and the
+    walk degrades to the string-keyed memo. *)
 
-val profile : ?config:config -> Allocation.t -> (int * int) list
+val profile :
+  ?trace:Srfa_util.Trace.sink ->
+  ?config:config ->
+  Allocation.t ->
+  (int * int) list
 (** Histogram of per-iteration cycle costs: [(cost, iterations)] pairs,
     ascending by cost. The paper narrates designs this way ("iterations
     have either 1 or 2 memory accesses"); the profile makes the claim

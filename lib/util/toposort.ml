@@ -19,6 +19,11 @@ let sort ~n ~succs =
   done;
   !order
 
+let sort_labeled ?(what = "Toposort.sort_labeled") ~n ~succs ~label () =
+  try sort ~n ~succs
+  with Cycle u ->
+    invalid_arg (Printf.sprintf "%s: dependency cycle through %s" what (label u))
+
 let levels ~n ~succs =
   let order = sort ~n ~succs in
   let level = Array.make n 0 in

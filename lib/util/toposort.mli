@@ -13,6 +13,14 @@ val sort : n:int -> succs:(int -> int list) -> int list
     (every edge goes from an earlier to a later element).
     @raise Cycle if the graph is not a DAG. *)
 
+val sort_labeled :
+  ?what:string -> n:int -> succs:(int -> int list) -> label:(int -> string) ->
+  unit -> int list
+(** Like {!sort}, but a cycle raises [Invalid_argument] with a message
+    naming the offending node via [label] instead of escaping as a raw
+    {!Cycle} payload: ["<what>: dependency cycle through <label u>"].
+    [what] identifies the caller (e.g. ["Graph.topo_order"]). *)
+
 val levels : n:int -> succs:(int -> int list) -> int array
 (** [levels ~n ~succs] assigns to each node its depth: sources get level 0,
     and every other node gets [1 + max] of its predecessors' levels.

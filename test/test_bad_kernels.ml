@@ -1,0 +1,67 @@
+(* Golden diagnostics for the malformed kernels under bad_kernels/: each
+   file pins its stable code, its exact source position, and a message
+   fragment, so a frontend change that drifts a line/column count or
+   reclassifies an error fails here first. *)
+
+module Parser = Srfa_frontend.Parser
+module Diag = Srfa_util.Diag
+module Helpers = Srfa_test_helpers.Helpers
+
+let path file = Filename.concat "bad_kernels" file
+
+let first_error file =
+  match Parser.parse_file_result (path file) with
+  | Ok _ -> Alcotest.failf "%s unexpectedly parsed" file
+  | Error [] -> Alcotest.failf "%s rejected without diagnostics" file
+  | Error (d :: _) -> d
+
+let check_case (file, code, span, fragment) () =
+  let d = first_error file in
+  Alcotest.(check string) "code" code d.Diag.code;
+  (match span with
+  | Some (line, col) -> (
+    match d.Diag.span with
+    | Some s ->
+      Alcotest.(check int) "line" line s.Diag.line;
+      Alcotest.(check int) "column" col s.Diag.col
+    | None -> Alcotest.failf "%s diagnostic lost its span" file)
+  | None ->
+    Alcotest.(check bool) "spanless (semantic phase)" true (d.Diag.span = None));
+  Alcotest.(check bool)
+    (Printf.sprintf "message mentions %S" fragment)
+    true
+    (Helpers.contains_substring d.Diag.message fragment);
+  Alcotest.(check int) "error severity exits 2" 2 (Diag.exit_code [ d ])
+
+let cases =
+  [
+    ("zero_trip.k", "E-PARSE-004", Some (5, 20), "must be positive");
+    ("undeclared_array.k", "E-PARSE-002", Some (6, 13), "undeclared array b");
+    ("rank_mismatch.k", "E-PARSE-003", Some (6, 19), "has rank 1");
+    ("garbage_char.k", "E-LEX-001", Some (4, 1), "unexpected character");
+    ("unterminated_comment.k", "E-LEX-003", Some (8, 1), "unterminated comment");
+    ("duplicate_decl.k", "E-PARSE-005", Some (3, 15), "declared twice");
+    ("truncated.k", "E-PARSE-001", Some (7, 1), "end of input");
+    ("oob_index.k", "E-SEM-001", None, "extent 4");
+  ]
+
+let test_missing_file () =
+  match Parser.parse_file_result (path "no_such_kernel.k") with
+  | Ok _ -> Alcotest.fail "missing file parsed"
+  | Error (d :: _) ->
+    Alcotest.(check string) "code" "E-IO-001" d.Diag.code;
+    Alcotest.(check int) "exit code" 2 (Diag.exit_code [ d ])
+  | Error [] -> Alcotest.fail "missing file rejected without diagnostics"
+
+let () =
+  Alcotest.run "bad_kernels"
+    [
+      ( "goldens",
+        List.map
+          (fun ((file, code, _, _) as case) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s -> %s" file code)
+              `Quick (check_case case))
+          cases );
+      ("io", [ Alcotest.test_case "missing file -> E-IO-001" `Quick test_missing_file ]);
+    ]

@@ -103,6 +103,41 @@ let test_dot_render () =
   Alcotest.(check bool) "balanced braces" true
     (String.length dot > 0 && dot.[String.length dot - 2] = '}')
 
+(* Graph.build only produces DAGs, so the labelled-cycle path is exercised
+   through the same wrapper topo_order uses: a deliberate 3-cycle must be
+   reported with the computation name and the node's label, not as a raw
+   Toposort.Cycle integer. *)
+let test_cycle_names_the_node () =
+  let names = [| "y[i]"; "acc"; "x[i+1]" |] in
+  let succs u = [ (u + 1) mod 3 ] in
+  Alcotest.(check bool)
+    "cycle reported with label" true
+    (try
+       ignore
+         (Srfa_util.Toposort.sort_labeled ~what:"test.topo" ~n:3 ~succs
+            ~label:(fun u -> names.(u))
+            ());
+       false
+     with Invalid_argument msg ->
+       Helpers.contains_substring msg "test.topo"
+       && Helpers.contains_substring msg "dependency cycle"
+       && (Helpers.contains_substring msg "y[i]"
+          || Helpers.contains_substring msg "acc"
+          || Helpers.contains_substring msg "x[i+1]"))
+
+let test_cycle_classified_as_dfg_diag () =
+  let exn =
+    try
+      ignore
+        (Srfa_util.Toposort.sort_labeled ~n:2
+           ~succs:(fun u -> [ 1 - u ])
+           ~label:string_of_int ());
+      assert false
+    with e -> e
+  in
+  let d = Srfa_util.Diag.of_exn exn in
+  Alcotest.(check string) "code" "E-DFG-001" d.Srfa_util.Diag.code
+
 let () =
   Alcotest.run "dfg"
     [
@@ -128,4 +163,11 @@ let () =
             test_critical_graph_after_d_allocated;
         ] );
       ("dot", [ Alcotest.test_case "render" `Quick test_dot_render ]);
+      ( "cycles",
+        [
+          Alcotest.test_case "labelled cycle report" `Quick
+            test_cycle_names_the_node;
+          Alcotest.test_case "classified E-DFG-001" `Quick
+            test_cycle_classified_as_dfg_diag;
+        ] );
     ]

@@ -22,7 +22,7 @@ let both nest charged =
   let _, dfg, ram_map = setup nest in
   let model = Cycle_model.create ~dfg ~latency ~ram_map in
   ( Cycle_model.makespan model ~charged,
-    Event_model.makespan ~dfg ~latency ~ram_map ~charged )
+    Event_model.makespan ~dfg ~latency ~ram_map ~charged () )
 
 let test_agree_all_charged () =
   List.iter
@@ -62,7 +62,7 @@ let test_agree_single_bank () =
       Alcotest.(check int)
         (name ^ ": single bank")
         (Cycle_model.makespan model ~charged)
-        (Event_model.makespan ~dfg ~latency ~ram_map ~charged))
+        (Event_model.makespan ~dfg ~latency ~ram_map ~charged ()))
     (Helpers.small_kernels ())
 
 let test_agree_slow_ram () =
@@ -78,7 +78,7 @@ let test_agree_slow_ram () =
       Alcotest.(check int)
         (name ^ ": ram latency 3")
         (Cycle_model.makespan model ~charged)
-        (Event_model.makespan ~dfg ~latency ~ram_map ~charged))
+        (Event_model.makespan ~dfg ~latency ~ram_map ~charged ()))
     (Helpers.small_kernels ())
 
 let prop_agree_random =

@@ -38,11 +38,12 @@ let test_env () =
   Alcotest.(check int) "i" 2 (env "i");
   Alcotest.(check int) "j" 1 (env "j");
   Alcotest.(check bool)
-    "unknown raises" true
+    "unknown raises with its name" true
     (try
        ignore (env "zz");
        false
-     with Not_found -> true)
+     with Invalid_argument msg ->
+       Srfa_test_helpers.Helpers.contains_substring msg "zz")
 
 let test_element_linear () =
   let d = Decl.make "m" [ 3; 4; 5 ] in
