@@ -23,7 +23,9 @@
      perf-cuts             flow min-vertex-cut vs exhaustive enumeration
                            on synthetic unrolled kernels (BENCH_cuts.json)
      perf-fuzz             hardened run_checked vs raw evaluate, and
-                           fuzz-harness case throughput *)
+                           fuzz-harness case throughput
+     perf-certify          certified portfolio vs plain CPA-RA wall-clock
+                           across the sweep kernels (BENCH_certify.json) *)
 
 module Allocator = Srfa_core.Allocator
 module Flow = Srfa_core.Flow
@@ -931,6 +933,143 @@ let perf_fuzz () =
     (fun (name, est) -> Printf.printf "  %-32s %s\n" name est)
     (List.sort compare !rows)
 
+(* ---------------------------------------------------------- perf-certify *)
+
+(* What the never-worse guarantee costs: a certified portfolio point pays
+   for the two greedy baseline allocations and their simulations on top
+   of the plain CPA-RA evaluation (allocation + simulation), plus the
+   repair passes when the candidate lost. Measured end to end on every
+   sweep kernel at the paper's budget; the acceptance bar is overhead
+   (certified minus plain) under 2x the plain wall-clock. *)
+let perf_certify () =
+  section
+    "perf-certify: certification overhead vs plain CPA-RA (sweep kernels)";
+  let open Bechamel in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let instances =
+    List.map
+      (fun (name, nest) -> (name, Flow.analyze nest))
+      (Srfa_kernels.Kernels.all ())
+  in
+  (* Both arms end with a simulation result in hand: plain allocates and
+     simulates; certified allocates, certifies, and reuses the
+     certification's final simulation when the slow path already produced
+     one (as Flow.sweep does), simulating only on the dominance fast
+     path. *)
+  let plain analysis () =
+    let alloc = Allocator.run Allocator.Cpa_ra analysis ~budget in
+    ignore (Simulator.run alloc)
+  in
+  let certified analysis () =
+    let outcome = Allocator.run_portfolio analysis ~budget in
+    match outcome.Srfa_core.Certify.sim with
+    | Some sim -> ignore sim
+    | None -> ignore (Simulator.run outcome.Srfa_core.Certify.allocation)
+  in
+  let tests =
+    List.concat_map
+      (fun (name, analysis) ->
+        [
+          stage (Printf.sprintf "plain:%s" name) (plain analysis);
+          stage (Printf.sprintf "certified:%s" name) (certified analysis);
+        ])
+      instances
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"certify" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let estimates = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ e ] -> Hashtbl.replace estimates name e
+      | Some _ | None -> ())
+    results;
+  let lookup kind kernel =
+    let suffix = Printf.sprintf "%s:%s" kind kernel in
+    Hashtbl.fold
+      (fun name e acc ->
+        if String.ends_with ~suffix name then Some e else acc)
+      estimates None
+  in
+  let table =
+    T.create
+      ~headers:
+        [
+          ("kernel", T.Left); ("plain ns", T.Right);
+          ("certified ns", T.Right); ("overhead", T.Right);
+        ]
+  in
+  let points =
+    List.map
+      (fun (name, _) ->
+        let plain = lookup "plain" name
+        and certified = lookup "certified" name in
+        let overhead =
+          match (plain, certified) with
+          | Some p, Some c when p > 0.0 -> Some ((c -. p) /. p)
+          | _ -> None
+        in
+        T.add_row table
+          [
+            name;
+            (match plain with Some p -> Printf.sprintf "%.0f" p | None -> "-");
+            (match certified with
+            | Some c -> Printf.sprintf "%.0f" c
+            | None -> "-");
+            (match overhead with
+            | Some o -> Printf.sprintf "%+.2fx" o
+            | None -> "-");
+          ];
+        (name, plain, certified, overhead))
+      instances
+  in
+  T.print table;
+  let worst =
+    List.fold_left
+      (fun acc (_, _, _, o) ->
+        match (acc, o) with
+        | None, o -> o
+        | Some a, Some o -> Some (max a o)
+        | Some a, None -> Some a)
+      None points
+  in
+  (match worst with
+  | Some w ->
+    Printf.printf
+      "\nworst certification overhead: %+.2fx plain CPA-RA (target < 2x): %s\n"
+      w
+      (if w < 2.0 then "ok" else "MISMATCH")
+  | None -> Printf.printf "\nworst certification overhead: unavailable\n");
+  let oc = open_out "BENCH_certify.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"perf-certify\",\n  \"unit\": \"ns/evaluation\",\n  \
+     \"budget\": %d,\n  \"overhead_target_x\": 2.0,\n  \"points\": [\n"
+    budget;
+  let njson = List.length points in
+  List.iteri
+    (fun k (name, plain, certified, overhead) ->
+      let num = function
+        | Some v -> Printf.sprintf "%.1f" v
+        | None -> "null"
+      in
+      Printf.fprintf oc
+        "    { \"kernel\": %S, \"plain_ns\": %s, \"certified_ns\": %s, \
+         \"overhead_x\": %s }%s\n"
+        name (num plain) (num certified) (num overhead)
+        (if k = njson - 1 then "" else ","))
+    points;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_certify.json\n"
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -952,6 +1091,7 @@ let sections =
     ("perf", perf);
     ("perf-cuts", perf_cuts);
     ("perf-fuzz", perf_fuzz);
+    ("perf-certify", perf_certify);
   ]
 
 let () =

@@ -36,11 +36,24 @@ let kernel_pos =
     & info [] ~docv:"KERNEL" ~doc:"Kernel name (see $(b,kernels) command).")
 
 let algorithm_arg =
-  let doc = "Allocation algorithm: fr-ra, pr-ra, cpa-ra, cpa-ra+ or ks-ra." in
+  let doc =
+    "Allocation algorithm: fr-ra, pr-ra, cpa-ra, cpa-ra+, ks-ra or \
+     portfolio."
+  in
   Arg.(
     value
     & opt algorithm_conv Srfa_core.Allocator.Cpa_ra
     & info [ "a"; "algorithm" ] ~docv:"ALG" ~doc)
+
+let certify_arg =
+  let doc =
+    "Certify the allocation: simulate it against the FR-RA and PR-RA \
+     baselines at the same budget and repair (re-spend stranded \
+     registers, reclaim partial cut shares, or adopt the winning \
+     baseline) on a regression. Shorthand for the $(b,portfolio) \
+     algorithm."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
 
 let config_of_budget budget =
   { Srfa_core.Flow.default_config with Srfa_core.Flow.budget }
@@ -112,8 +125,11 @@ let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let alloc_cmd =
-  let run nest algorithm budget trace_file =
+  let run nest algorithm budget trace_file certify =
     guarded @@ fun () ->
+    let algorithm =
+      if certify then Srfa_core.Allocator.Portfolio else algorithm
+    in
     let config = config_of_budget budget in
     let analysis = Srfa_core.Flow.analyze nest in
     let collect, events = Srfa_util.Trace.collector () in
@@ -152,7 +168,9 @@ let alloc_cmd =
   in
   Cmd.v
     (Cmd.info "alloc" ~doc:"Allocate registers for a kernel and report.")
-    Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg $ trace_arg)
+    Term.(
+      const run $ kernel_pos $ algorithm_arg $ budget_arg $ trace_arg
+      $ certify_arg)
 
 (* compare: all algorithms side by side *)
 let print_comparison nest budget =
@@ -372,7 +390,7 @@ let sweep_cmd =
       & info [ "budgets" ] ~docv:"N,N,..." ~doc)
   in
   let algorithms_arg =
-    let doc = "Comma-separated algorithms (default: all five)." in
+    let doc = "Comma-separated algorithms (default: all six)." in
     Arg.(
       value
       & opt (list algorithm_conv) Srfa_core.Allocator.all
@@ -382,8 +400,13 @@ let sweep_cmd =
     let doc = "Emit one JSON object per design point instead of a table." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run kernels budgets algorithms json trace_file =
+  let run kernels budgets algorithms json trace_file certify =
     guarded @@ fun () ->
+    let algorithms =
+      if certify && not (List.mem Srfa_core.Allocator.Portfolio algorithms)
+      then algorithms @ [ Srfa_core.Allocator.Portfolio ]
+      else algorithms
+    in
     let kernels =
       match kernels with
       | [] ->
@@ -453,7 +476,7 @@ let sweep_cmd =
           design point as a table or JSON.")
     Term.(
       const run $ kernels_pos $ budgets_arg $ algorithms_arg $ json_arg
-      $ trace_arg)
+      $ trace_arg $ certify_arg)
 
 (* export: write generated artifacts to a directory *)
 let export_cmd =

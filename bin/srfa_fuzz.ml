@@ -69,11 +69,16 @@ let campaign ~cases ~seed ~verbose =
         (Gen.kind_name case.Gen.kind)
         seed case.Gen.id m)
     summary.Harness.violations;
-  if verbose then
+  if verbose then begin
     List.iter
       (fun ((case : Gen.case), m) ->
         Format.printf "comparative regression in case %d: %s@." case.Gen.id m)
       summary.Harness.regressions;
+    List.iter
+      (fun ((case : Gen.case), m) ->
+        Format.printf "cpa+ regression in case %d: %s@." case.Gen.id m)
+      summary.Harness.plus_regressions
+  end;
   if Harness.ok summary then 0 else 1
 
 let fuzz cases seed verbose replay =

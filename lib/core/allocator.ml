@@ -1,6 +1,6 @@
-type algorithm = Fr_ra | Pr_ra | Cpa_ra | Cpa_plus | Knapsack
+type algorithm = Fr_ra | Pr_ra | Cpa_ra | Cpa_plus | Knapsack | Portfolio
 
-let all = [ Fr_ra; Pr_ra; Cpa_ra; Cpa_plus; Knapsack ]
+let all = [ Fr_ra; Pr_ra; Cpa_ra; Cpa_plus; Knapsack; Portfolio ]
 
 let name = function
   | Fr_ra -> "fr-ra"
@@ -8,6 +8,7 @@ let name = function
   | Cpa_ra -> "cpa-ra"
   | Cpa_plus -> "cpa-ra+"
   | Knapsack -> "ks-ra"
+  | Portfolio -> "portfolio"
 
 let version_label = function
   | Fr_ra -> "v1"
@@ -15,6 +16,7 @@ let version_label = function
   | Cpa_ra -> "v3"
   | Cpa_plus -> "v3+"
   | Knapsack -> "ks"
+  | Portfolio -> "pf"
 
 let of_name name =
   match String.lowercase_ascii name with
@@ -23,39 +25,66 @@ let of_name name =
   | "cpa-ra" | "cpa" -> Some Cpa_ra
   | "cpa-ra+" | "cpa+" -> Some Cpa_plus
   | "ks-ra" | "ks" | "knapsack" -> Some Knapsack
+  | "portfolio" | "best-of" | "cert" -> Some Portfolio
   | _ -> None
 
-let run ?latency ?trace ?cut_work_limit ?prepared algorithm analysis ~budget =
-  (* The paper's graceful-degradation rule: when the cut machinery cannot
-     be applied (here: the max-flow work guard tripped), answer with PR-RA
-     rather than abort. The fallback is announced on the trace so reports
-     and diagnostics can surface it. *)
-  let with_pr_fallback allocate =
-    try allocate () with
-    | Srfa_dfg.Cut.Work_limit { phases; paths; limit } ->
-      (match trace with
-      | Some sink ->
-        Srfa_util.Trace.emit sink (fun () ->
-            let open Srfa_util.Trace in
-            event "fallback.pr_ra"
-              [
-                ("reason", String "cut work limit exceeded");
-                ("work_limit", Int limit);
-                ("bfs_phases", Int phases);
-                ("augmenting_paths", Int paths);
-              ])
-      | None -> ());
-      Pr_ra.allocate ?trace analysis ~budget
+(* The paper's graceful-degradation rule: when the cut machinery cannot
+   be applied (here: the max-flow work guard tripped), answer with PR-RA
+   rather than abort. The fallback is announced on the trace so reports
+   and diagnostics can surface it. *)
+let with_pr_fallback ?trace analysis ~budget allocate =
+  try allocate () with
+  | Srfa_dfg.Cut.Work_limit { phases; paths; limit } ->
+    (match trace with
+    | Some sink ->
+      Srfa_util.Trace.emit sink (fun () ->
+          let open Srfa_util.Trace in
+          event "fallback.pr_ra"
+            [
+              ("reason", String "cut work limit exceeded");
+              ("work_limit", Int limit);
+              ("bfs_phases", Int phases);
+              ("augmenting_paths", Int paths);
+            ])
+    | None -> ());
+    Pr_ra.allocate ?trace analysis ~budget
+
+(* Certified CPA-RA: the plain critical-path allocation is the candidate;
+   certification simulates it against the greedy baselines at the same
+   budget and repairs (or adopts a baseline) on a regression, so the
+   result is never worse than FR-RA or PR-RA. The full outcome is exposed
+   so callers can reuse the certification's final simulation (when the
+   slow path ran) instead of simulating the allocation again. *)
+let run_portfolio ?latency ?trace ?cut_work_limit ?prepared ?sim_config
+    analysis ~budget =
+  let candidate =
+    with_pr_fallback ?trace analysis ~budget (fun () ->
+        Cpa_ra.allocate ?latency ?trace ?cut_work_limit ?prepared analysis
+          ~budget)
   in
+  let sim_config =
+    match (sim_config, latency) with
+    | Some c, _ -> c
+    | None, Some latency -> { Srfa_sched.Simulator.default_config with latency }
+    | None, None -> Srfa_sched.Simulator.default_config
+  in
+  Certify.certify ?trace ~sim_config candidate
+
+let run ?latency ?trace ?cut_work_limit ?prepared ?sim_config algorithm
+    analysis ~budget =
   match algorithm with
   | Fr_ra -> Fr_ra.allocate ?trace analysis ~budget
   | Pr_ra -> Pr_ra.allocate ?trace analysis ~budget
   | Cpa_ra ->
-    with_pr_fallback (fun () ->
+    with_pr_fallback ?trace analysis ~budget (fun () ->
         Cpa_ra.allocate ?latency ?trace ?cut_work_limit ?prepared analysis
           ~budget)
   | Cpa_plus ->
-    with_pr_fallback (fun () ->
+    with_pr_fallback ?trace analysis ~budget (fun () ->
         Cpa_ra.allocate ?latency ?trace ?cut_work_limit ?prepared
           ~spend_leftover:true analysis ~budget)
   | Knapsack -> Knapsack.allocate ?trace analysis ~budget
+  | Portfolio ->
+    (run_portfolio ?latency ?trace ?cut_work_limit ?prepared ?sim_config
+       analysis ~budget)
+      .Certify.allocation

@@ -9,21 +9,25 @@ type algorithm =
   | Cpa_plus  (** CPA-RA + benefit/cost spending of stranded registers
                   (our extension; see {!Cpa_ra.allocate}) *)
   | Knapsack  (** exact access-count optimum (our reference baseline) *)
+  | Portfolio (** certified CPA-RA: simulator-backed repair against the
+                  greedy baselines, never worse than FR-RA or PR-RA by
+                  construction (see {!Certify}) *)
 
 val all : algorithm list
 val name : algorithm -> string
 val version_label : algorithm -> string
-(** The paper's design labels: v1, v2, v3; our extensions get "v3+" and
-    "ks". *)
+(** The paper's design labels: v1, v2, v3; our extensions get "v3+",
+    "ks" and "pf". *)
 
 val of_name : string -> algorithm option
 (** Accepts the {!name} strings, e.g. ["cpa-ra"], plus the short aliases
-    ("fr", "cpa+", "knapsack", ...), case-insensitively — ["CPA-RA"]
-    round-trips like ["cpa-ra"]. *)
+    ("fr", "cpa+", "knapsack", "best-of", "cert", ...),
+    case-insensitively — ["CPA-RA"] round-trips like ["cpa-ra"]. *)
 
 val run :
   ?latency:Srfa_hw.Latency.t -> ?trace:Srfa_util.Trace.sink ->
-  ?cut_work_limit:int -> ?prepared:Cpa_ra.prepared -> algorithm ->
+  ?cut_work_limit:int -> ?prepared:Cpa_ra.prepared ->
+  ?sim_config:Srfa_sched.Simulator.config -> algorithm ->
   Analysis.t -> budget:int -> Allocation.t
 (** Every algorithm runs as a strategy over {!Engine}; [trace] observes
     its decisions (see {!Engine} for the event vocabulary). [prepared] is
@@ -36,5 +40,21 @@ val run :
     ["fallback.pr_ra"] event is emitted on [trace] and the PR-RA
     allocation is returned; no exception escapes. The guard is ignored by
     the non-CPA algorithms, which ask no cut queries.
+
+    [sim_config] is the simulator configuration {!Portfolio}'s
+    certification pass measures cycles under (default
+    {!Srfa_sched.Simulator.default_config}, with [latency] substituted
+    when given); the other algorithms never simulate and ignore it.
     @raise Invalid_argument when the budget is below one register per
     reference group. *)
+
+val run_portfolio :
+  ?latency:Srfa_hw.Latency.t -> ?trace:Srfa_util.Trace.sink ->
+  ?cut_work_limit:int -> ?prepared:Cpa_ra.prepared ->
+  ?sim_config:Srfa_sched.Simulator.config ->
+  Analysis.t -> budget:int -> Certify.outcome
+(** {!run} for {!Portfolio}, but returning the whole certification
+    outcome. When [outcome.sim] is [Some], it is the simulation of the
+    certified allocation under [sim_config] — reuse it (e.g. via
+    {!Srfa_estimate.Report.of_result}) instead of simulating again; on
+    the dominance fast path it is [None] and no simulation ever ran. *)

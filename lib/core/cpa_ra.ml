@@ -90,7 +90,14 @@ let allocate_traced ?(latency = Srfa_hw.Latency.default)
             record ~cut ~required:req ~granted_full:false ~critical_length:len;
             if !progressed && Engine.remaining eng > 0 then round ()
             else if not !progressed then
-              Engine.drain eng ~reason:"no cut member can absorb a share"
+              (* Plain CPA-RA declares the rest unspendable. CPA+ must NOT:
+                 draining here would zero the budget before the
+                 stranded-register spender below gets to run — the bug
+                 behind the fuzz campaign's CPA+-worse-than-FR/PR
+                 counterexamples (cases 1135/1595/3919 at seed 42, pinned
+                 in test_cpa_plus). *)
+              if not spend_leftover then
+                Engine.drain eng ~reason:"no cut member can absorb a share"
           end
       end
     end

@@ -32,6 +32,30 @@ let create ?(trace = Trace.null) analysis ~budget =
         ]);
   t
 
+let of_allocation ?(trace = Trace.null) alloc =
+  let analysis = alloc.Allocation.analysis in
+  let ngroups = Analysis.num_groups analysis in
+  let t =
+    {
+      analysis;
+      entries = Array.init ngroups (Allocation.entry alloc);
+      budget = alloc.Allocation.budget;
+      remaining =
+        alloc.Allocation.budget - Allocation.total_registers alloc;
+      round = 0;
+      trace;
+    }
+  in
+  Trace.emit trace (fun () ->
+      Trace.event "engine.reopen"
+        [
+          ("algorithm", Trace.String alloc.Allocation.algorithm);
+          ("budget", Trace.Int t.budget);
+          ("groups", Trace.Int ngroups);
+          ("remaining", Trace.Int t.remaining);
+        ]);
+  t
+
 let analysis t = t.analysis
 let budget t = t.budget
 let remaining t = t.remaining
@@ -89,6 +113,23 @@ let assign_partial ?(reason = "") t gid ~amount =
     emit_assign t "assign.partial" gid ~granted ~reason
   end;
   granted
+
+let reclaim ?(reason = "") t gid =
+  let e = t.entries.(gid) in
+  let freed = e.Allocation.beta - 1 in
+  if freed > 0 then begin
+    t.entries.(gid) <- { e with Allocation.beta = 1 };
+    t.remaining <- t.remaining + freed;
+    Trace.emit t.trace (fun () ->
+        Trace.event "repair.reclaim"
+          [
+            ("group", Trace.String (group_name t gid));
+            ("freed", Trace.Int freed);
+            ("remaining", Trace.Int t.remaining);
+            ("reason", Trace.String reason);
+          ])
+  end;
+  max freed 0
 
 let drain ?(reason = "") t =
   let stranded = t.remaining in

@@ -10,7 +10,8 @@
 
     Invariants maintained:
     - [remaining t = budget - total registers held by the entries];
-    - betas never exceed the group's window size [nu] and never drop;
+    - betas never exceed the group's window size [nu], and never drop
+      except through {!reclaim}, the repair layer's explicit takeback;
     - an entry is pinned exactly when some assignment touched it
       (CPA-style strategies pin the rest at {!finalize} time).
 
@@ -30,6 +31,13 @@ val create : ?trace:Srfa_util.Trace.sink -> Analysis.t -> budget:int -> t
     [remaining = budget - num_groups], round 0.
     @raise Invalid_argument when the budget is below one register per
     reference group (see {!Ordering.check_budget}). *)
+
+val of_allocation : ?trace:Srfa_util.Trace.sink -> Allocation.t -> t
+(** Reopen a finished allocation for repair: the entries are copied (the
+    original allocation is never mutated), [remaining] is the budget the
+    allocator left unspent, the round counter restarts at 0. Emits an
+    ["engine.reopen"] event. Used by {!Certify} to re-spend or reclaim
+    registers of a candidate that simulated worse than a baseline. *)
 
 val analysis : t -> Analysis.t
 val budget : t -> int
@@ -69,6 +77,15 @@ val assign_partial : ?reason:string -> t -> int -> amount:int -> int
     window ([need]) and the remaining budget; pins the entry when anything
     was granted. Returns the granted count (possibly 0).
     @raise Invalid_argument when [amount < 0]. *)
+
+val reclaim : ?reason:string -> t -> int -> int
+(** Take the group's registers back down to the feasibility minimum
+    (beta 1), crediting the freed count to the remaining budget, and
+    return how many were freed (0 when the group already sits at 1; the
+    pinned flag is left as it was). Emits a ["repair.reclaim"] event.
+    This is the one sanctioned way a beta decreases — the repair layer
+    uses it to undo partial cut shares that simulated worse than a
+    greedy baseline before re-spending them benefit/cost-first. *)
 
 val drain : ?reason:string -> t -> unit
 (** Zero the remaining budget: the strategy declares the rest unspendable

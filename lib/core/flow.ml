@@ -25,8 +25,8 @@ let analyze nest = Analysis.analyze nest
 
 let allocation ?(config = default_config) ?trace ?prepared algorithm analysis =
   Allocator.run ~latency:config.sim.Srfa_sched.Simulator.latency ?trace
-    ?cut_work_limit:config.guards.cut_work_limit ?prepared algorithm analysis
-    ~budget:config.budget
+    ?cut_work_limit:config.guards.cut_work_limit ?prepared
+    ~sim_config:config.sim algorithm analysis ~budget:config.budget
 
 (* The caller's sink (CLI --trace, bench) tees with an in-memory collector
    so the report can summarise the decision stream either way. *)
@@ -165,6 +165,73 @@ let run_checked ?(config = default_config) ?(algorithm = Allocator.Cpa_ra)
     Ok (report, warnings)
   | exception exn -> Result.Error [ Diag.of_exn exn ]
 
+(* Budget monotonicity for the certified portfolio: certification alone
+   makes a point never worse than the greedy baselines at its own budget,
+   but says nothing across budgets — a sweep could still show more
+   registers buying more cycles. Any allocation feasible at a lower
+   budget stays feasible at a higher one (its total only has to fit), so
+   the sweep carries the best certified allocation forward and adopts it
+   whenever the fresh point loses to it, announcing the takeover as a
+   ["certify.monotonic"] trace event. *)
+let portfolio_point ?(trace = Trace.null) ~prepared ~carry config kernel
+    analysis =
+  let sink, events = tee_collector trace in
+  let outcome =
+    Allocator.run_portfolio
+      ~latency:config.sim.Srfa_sched.Simulator.latency ~trace:sink
+      ?cut_work_limit:config.guards.cut_work_limit ~prepared
+      ~sim_config:config.sim analysis ~budget:config.budget
+  in
+  let alloc = outcome.Certify.allocation in
+  let trace_summary = Trace.summary (events ()) in
+  let build alloc =
+    Srfa_estimate.Report.build ~sim_config:config.sim
+      ~clock_params:config.clock_params ~trace:sink ~trace_summary
+      ~version:(Allocator.version_label Allocator.Portfolio)
+      alloc
+  in
+  (* Reuse the certification's final simulation when the slow path ran;
+     only the dominance fast path needs a fresh one for the report. *)
+  let report =
+    match outcome.Certify.sim with
+    | Some sim ->
+      Srfa_estimate.Report.of_result ~clock_params:config.clock_params
+        ~trace_summary ~sim_config:config.sim
+        ~version:(Allocator.version_label Allocator.Portfolio)
+        alloc sim
+    | None -> build alloc
+  in
+  let report, final_alloc =
+    match !carry with
+    | Some (b0, entries0, cycles0)
+      when b0 <= config.budget && cycles0 < report.Srfa_estimate.Report.cycles
+      ->
+      Trace.emit sink (fun () ->
+          Trace.event "certify.monotonic"
+            [
+              ("kernel", Trace.String kernel);
+              ("budget", Trace.Int config.budget);
+              ("carried_budget", Trace.Int b0);
+              ("carried_cycles", Trace.Int cycles0);
+              ("fresh_cycles", Trace.Int report.Srfa_estimate.Report.cycles);
+            ]);
+      let adopted =
+        Allocation.make ~analysis ~budget:config.budget
+          ~algorithm:Certify.algorithm_name entries0
+      in
+      (build adopted, adopted)
+    | _ -> (report, alloc)
+  in
+  let final_cycles = report.Srfa_estimate.Report.cycles in
+  (match !carry with
+  | Some (_, _, cycles0) when cycles0 <= final_cycles -> ()
+  | _ ->
+    let entries =
+      Array.init (Analysis.num_groups analysis) (Allocation.entry final_alloc)
+    in
+    carry := Some (config.budget, entries, final_cycles));
+  report
+
 let sweep ?(config = default_config) ?(algorithms = Allocator.all)
     ?(budgets = default_budgets) ?trace kernels =
   List.concat_map
@@ -172,6 +239,7 @@ let sweep ?(config = default_config) ?(algorithms = Allocator.all)
       let analysis = analyze nest in
       let minimum = Ordering.feasibility_minimum analysis in
       let prepared = Cpa_ra.prepare analysis in
+      let carry = ref None in
       List.concat_map
         (fun budget ->
           if budget < minimum then []
@@ -179,8 +247,13 @@ let sweep ?(config = default_config) ?(algorithms = Allocator.all)
             List.map
               (fun algorithm ->
                 let report =
-                  evaluate_analysis ?trace ~prepared { config with budget }
-                    algorithm analysis
+                  match algorithm with
+                  | Allocator.Portfolio ->
+                    portfolio_point ?trace ~prepared ~carry
+                      { config with budget } kernel analysis
+                  | _ ->
+                    evaluate_analysis ?trace ~prepared { config with budget }
+                      algorithm analysis
                 in
                 { kernel; algorithm; budget; report })
               algorithms)

@@ -41,9 +41,9 @@ val evaluate :
 val evaluate_all :
   ?config:config -> ?algorithms:Allocator.algorithm list ->
   ?trace:Srfa_util.Trace.sink -> Nest.t -> Srfa_estimate.Report.t list
-(** One report per algorithm (default: {!Allocator.all} — v1, v2, v3, v3+
-    and the knapsack baseline), sharing a single analysis and one
-    {!Cpa_ra.prepare} of the nest. *)
+(** One report per algorithm (default: {!Allocator.all} — v1, v2, v3,
+    v3+, the knapsack baseline and the certified portfolio), sharing a
+    single analysis and one {!Cpa_ra.prepare} of the nest. *)
 
 type sweep_point = {
   kernel : string;
@@ -66,7 +66,14 @@ val sweep :
     superseded by [budgets]. Budgets below a kernel's feasibility minimum
     (one register per reference group) are skipped rather than raising, so
     a mixed-kernel sweep never aborts. Points are ordered kernel-major,
-    then budget, then algorithm. *)
+    then budget, then algorithm.
+
+    {!Allocator.Portfolio} points are additionally budget-monotonic: per
+    kernel, the sweep carries the best certified allocation forward (any
+    allocation feasible at a lower budget stays feasible at a higher one)
+    and adopts it whenever a fresh point would report more cycles, so
+    more registers never yield more cycles. Each takeover emits a
+    ["certify.monotonic"] trace event. *)
 
 val run_checked :
   ?config:config -> ?algorithm:Allocator.algorithm ->

@@ -243,6 +243,8 @@ let test_version_labels () =
          ("FR", Allocator.Fr_ra); ("Pr", Allocator.Pr_ra);
          ("CPA", Allocator.Cpa_ra); ("CPA+", Allocator.Cpa_plus);
          ("Knapsack", Allocator.Knapsack); ("KS-RA", Allocator.Knapsack);
+         ("Portfolio", Allocator.Portfolio);
+         ("best-of", Allocator.Portfolio); ("Cert", Allocator.Portfolio);
        ]);
   Alcotest.(check bool) "unknown name" true (Allocator.of_name "zz" = None)
 

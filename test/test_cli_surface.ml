@@ -11,8 +11,9 @@ let small_config budget =
 let test_evaluate_all_versions () =
   let nest = Helpers.small_fir () in
   let reports = Flow.evaluate_all ~config:(small_config 10) nest in
-  Alcotest.(check int) "all algorithms by default" 5 (List.length reports);
-  Alcotest.(check (list string)) "labels" [ "v1"; "v2"; "v3"; "v3+"; "ks" ]
+  Alcotest.(check int) "all algorithms by default" 6 (List.length reports);
+  Alcotest.(check (list string)) "labels"
+    [ "v1"; "v2"; "v3"; "v3+"; "ks"; "pf" ]
     (List.map (fun r -> r.Report.version) reports);
   List.iter
     (fun r ->
@@ -40,7 +41,7 @@ let test_custom_algorithms () =
     Flow.evaluate_all ~config:(small_config 12)
       ~algorithms:Srfa_core.Allocator.all nest
   in
-  Alcotest.(check int) "five algorithms" 5 (List.length reports)
+  Alcotest.(check int) "six algorithms" 6 (List.length reports)
 
 let test_default_budget_is_paper () =
   Alcotest.(check int) "64 registers" 64 Flow.default_config.Flow.budget

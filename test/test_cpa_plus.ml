@@ -62,6 +62,79 @@ let test_still_within_budget () =
         (Allocation.total_registers alloc <= budget))
     [ 5; 17; 64; 300; 1000 ]
 
+(* Golden reproducers from the fuzz campaign (seed 42, budget 16): the
+   three cases where CPA+ used to simulate slower than the best greedy
+   baseline because Engine.drain returned the stranded cut budget before
+   the spender could use it (fixed in Cpa_ra; see the drain guard there).
+   Kept as source, not ids, so the tests survive generator changes. *)
+let fuzz_counterexamples =
+  [
+    ( "case 1135",
+      {|kernel fuzz {
+  input  int x0[12][12];
+  output int y[12];
+
+  for (i = 0; i < 4; i++)
+    for (j = 0; j < 3; j++)
+      for (k = 0; k < 4; k++)
+        {
+          y[j + 1] += ((x0[j][2*j] + x0[k + 2][2*j]) * 1);
+          y[2*k] += ((5 - x0[k][2*k]) + 1);
+          y[0] += ((x0[3][j + 1] + x0[k + 1][j + 2]) + 3);
+        }
+}|}
+    );
+    ( "case 1595",
+      {|kernel fuzz {
+  input  int x0[12][12];
+  output int y[12];
+
+  for (i = 0; i < 4; i++)
+    for (j = 0; j < 4; j++)
+      for (k = 0; k < 4; k++)
+        {
+          y[2*k] = ((x0[j][2*k] - x0[k][3]) - 8);
+          y[j] = (9 + x0[k][i + 2]);
+          y[k + 1] = (x0[3][2*j] - x0[2*i][3]);
+        }
+}|}
+    );
+    ( "case 3919",
+      {|kernel fuzz {
+  input  int x0[12][12];
+  output int y[12];
+
+  for (i = 0; i < 2; i++)
+    for (j = 0; j < 2; j++)
+      for (k = 0; k < 2; k++)
+        {
+          y[1] = ((x0[2*k][k] - x0[j + 2][j + 1]) + 8);
+          y[j + 1] = ((x0[3][2*k] + x0[i + 2][2*j]) - 7);
+          y[j + 2] = ((x0[2][k] + x0[2*k][3]) * x0[k + 1][i + 2]);
+        }
+}|}
+    );
+  ]
+
+let test_fuzz_goldens () =
+  List.iter
+    (fun (label, src) ->
+      let an = Helpers.analyze (Srfa_frontend.Parser.parse src) in
+      let cycles alg =
+        let alloc = Allocator.run alg an ~budget:16 in
+        (Srfa_sched.Simulator.run alloc).Srfa_sched.Simulator.total_cycles
+      in
+      let bar = min (cycles Allocator.Fr_ra) (cycles Allocator.Pr_ra) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: cpa+ <= best greedy" label)
+        true
+        (cycles Allocator.Cpa_plus <= bar);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: portfolio <= best greedy" label)
+        true
+        (cycles Allocator.Portfolio <= bar))
+    fuzz_counterexamples
+
 let () =
   Alcotest.run "cpa-plus"
     [
@@ -75,5 +148,7 @@ let () =
             test_same_when_budget_consumed;
           Alcotest.test_case "labels" `Quick test_algorithm_label;
           Alcotest.test_case "within budget" `Quick test_still_within_budget;
+          Alcotest.test_case "fuzz counterexample goldens" `Quick
+            test_fuzz_goldens;
         ] );
     ]

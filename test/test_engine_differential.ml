@@ -104,7 +104,11 @@ module Legacy = struct
                 List.iter top_up cut
               end;
               if !progressed && !remaining > 0 then round ()
-              else if not !progressed then remaining := 0
+              else if not !progressed then
+                (* Mirrors the CPA+ stranded-budget bugfix: only plain
+                   CPA-RA declares the leftover unspendable; CPA+ hands it
+                   to the spender below (see Cpa_ra.allocate_traced). *)
+                if not spend_leftover then remaining := 0
             end
         end
       end
@@ -185,7 +189,18 @@ module Legacy = struct
     | Allocator.Cpa_ra -> cpa_ra analysis ~budget
     | Allocator.Cpa_plus -> cpa_ra ~spend_leftover:true analysis ~budget
     | Allocator.Knapsack -> knapsack analysis ~budget
+    | Allocator.Portfolio ->
+      (* Post-dates the engine refactor: there is no legacy portfolio to
+         diff against (it is filtered out of the grid below). *)
+      invalid_arg "no legacy portfolio"
 end
+
+(* The pre-engine snapshot covers the five original strategies; the
+   certified portfolio was built after the refactor, directly on the
+   engine, so it has no legacy twin to compare with. Its determinism
+   under tracing is still checked below. *)
+let diffable =
+  List.filter (fun alg -> alg <> Allocator.Portfolio) Allocator.all
 
 (* ------------------------------------------------------------------ *)
 
@@ -241,7 +256,7 @@ let test_differential () =
                 check_identical label
                   (Legacy.run alg an ~budget)
                   (Allocator.run alg an ~budget))
-            Allocator.all)
+            diffable)
         budgets)
     (kernels ())
 
