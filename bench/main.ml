@@ -25,15 +25,75 @@
      perf-fuzz             hardened run_checked vs raw evaluate, and
                            fuzz-harness case throughput
      perf-certify          certified portfolio vs plain CPA-RA wall-clock
-                           across the sweep kernels (BENCH_certify.json) *)
+                           across the sweep kernels (BENCH_certify.json)
+     perf-parallel         serial vs N-domain wall-clock for the sweep,
+                           fuzz and certify drivers, with the determinism
+                           contract re-checked (BENCH_parallel.json) *)
 
 module Allocator = Srfa_core.Allocator
 module Flow = Srfa_core.Flow
 module Report = Srfa_estimate.Report
 module Simulator = Srfa_sched.Simulator
 module T = Srfa_util.Texttable
+module Pool = Srfa_util.Pool
 
 let budget = 64
+
+(* ---- JSON artifacts --------------------------------------------------
+   Every perf section that leaves a machine-readable trail (BENCH_*.json)
+   writes it through this one helper instead of hand-rolling printf
+   JSON: a top-level object with one field per line, arrays with one
+   element per line, and element objects rendered inline. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Num of string  (* preformatted numeric, e.g. "%.1f" of a ns value *)
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let float f = if Float.is_finite f then Num (Printf.sprintf "%.3f" f) else Null
+  let ns f = Num (Printf.sprintf "%.1f" f)
+  let opt f = function Some v -> f v | None -> Null
+
+  let rec inline = function
+    | Null -> "null"
+    | Bool b -> if b then "true" else "false"
+    | Int i -> string_of_int i
+    | Num s -> s
+    | Str s -> Printf.sprintf "%S" s
+    | Arr xs -> "[" ^ String.concat ", " (List.map inline xs) ^ "]"
+    | Obj fields ->
+      "{ "
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (inline v)) fields)
+      ^ " }"
+end
+
+let write_json file (fields : (string * Json.t) list) =
+  let oc = open_out file in
+  Printf.fprintf oc "{\n";
+  let nf = List.length fields in
+  List.iteri
+    (fun i (k, v) ->
+      let last = if i = nf - 1 then "" else "," in
+      match v with
+      | Json.Arr elems ->
+        Printf.fprintf oc "  %S: [\n" k;
+        let ne = List.length elems in
+        List.iteri
+          (fun j e ->
+            Printf.fprintf oc "    %s%s\n" (Json.inline e)
+              (if j = ne - 1 then "" else ","))
+          elems;
+        Printf.fprintf oc "  ]%s\n" last
+      | v -> Printf.fprintf oc "  %S: %s%s\n" k (Json.inline v) last)
+    fields;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
 
 let section title =
   Printf.printf "\n==============================================================\n";
@@ -228,8 +288,13 @@ let budget_sweep () =
      allocators' decision traces stream to a JSONL file as they run. *)
   let oc = open_out "BENCH_sweep_trace.jsonl" in
   let trace = Srfa_util.Trace.channel oc in
+  (* Kernels fan out across the domain pool; the trace stream and the
+     point order are identical to the sequential sweep by contract. *)
+  let jobs, _ = Pool.resolve () in
   let points =
-    Flow.sweep ~algorithms ~budgets ~trace (Srfa_kernels.Kernels.all ())
+    Pool.with_pool ~jobs (fun pool ->
+        Flow.sweep ~algorithms ~budgets ~trace ~pool
+          (Srfa_kernels.Kernels.all ()))
   in
   close_out oc;
   List.iter
@@ -861,26 +926,23 @@ let perf_cuts () =
       s
       (if s >= 10.0 then "ok" else "MISMATCH")
   | _ -> Printf.printf "\nspeedup at the 16-group wall: unavailable\n");
-  let oc = open_out "BENCH_cuts.json" in
-  Printf.fprintf oc
-    "{\n  \"benchmark\": \"perf-cuts\",\n  \"unit\": \"ns/query\",\n  \
-     \"points\": [\n";
-  let njson = List.length points in
-  List.iteri
-    (fun k (g, flow, exh, speedup) ->
-      let num = function
-        | Some v -> Printf.sprintf "%.1f" v
-        | None -> "null"
-      in
-      Printf.fprintf oc
-        "    { \"groups\": %d, \"flow_ns\": %s, \"exhaustive_ns\": %s, \
-         \"speedup\": %s }%s\n"
-        g (num flow) (num exh) (num speedup)
-        (if k = njson - 1 then "" else ","))
-    points;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "wrote BENCH_cuts.json\n"
+  write_json "BENCH_cuts.json"
+    [
+      ("benchmark", Json.Str "perf-cuts");
+      ("unit", Json.Str "ns/query");
+      ( "points",
+        Json.Arr
+          (List.map
+             (fun (g, flow, exh, speedup) ->
+               Json.Obj
+                 [
+                   ("groups", Json.Int g);
+                   ("flow_ns", Json.opt Json.ns flow);
+                   ("exhaustive_ns", Json.opt Json.ns exh);
+                   ("speedup", Json.opt Json.ns speedup);
+                 ])
+             points) );
+    ]
 
 (* ------------------------------------------------------------- perf-fuzz *)
 
@@ -895,6 +957,8 @@ let perf_fuzz () =
   let nest = Srfa_kernels.Kernels.example () in
   let stage name f = Test.make ~name (Staged.stage f) in
   let case_id = ref 0 in
+  let jobs, _ = Pool.resolve () in
+  let pool = Pool.create ~jobs in
   let tests =
     [
       stage "evaluate (raw)" (fun () ->
@@ -907,6 +971,9 @@ let perf_fuzz () =
           ignore
             (Srfa_fuzzer.Harness.run_case
                (Srfa_fuzzer.Gen.generate ~seed:42 ~id)));
+      stage
+        (Printf.sprintf "fuzz campaign (20 cases, %d domains)" jobs)
+        (fun () -> ignore (Srfa_fuzzer.Harness.run ~cases:20 ~seed:42 ~pool ()));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -931,7 +998,8 @@ let perf_fuzz () =
     results;
   List.iter
     (fun (name, est) -> Printf.printf "  %-32s %s\n" name est)
-    (List.sort compare !rows)
+    (List.sort compare !rows);
+  Pool.shutdown pool
 
 (* ---------------------------------------------------------- perf-certify *)
 
@@ -946,10 +1014,14 @@ let perf_certify () =
     "perf-certify: certification overhead vs plain CPA-RA (sweep kernels)";
   let open Bechamel in
   let stage name f = Test.make ~name (Staged.stage f) in
+  (* The per-kernel analyses are independent; build them through the
+     pool so the section's setup scales with the machine. *)
   let instances =
-    List.map
-      (fun (name, nest) -> (name, Flow.analyze nest))
-      (Srfa_kernels.Kernels.all ())
+    let jobs, _ = Pool.resolve () in
+    let named = Array.of_list (Srfa_kernels.Kernels.all ()) in
+    Array.to_list
+      (Pool.with_pool ~jobs (fun pool ->
+           Pool.map pool (fun (name, nest) -> (name, Flow.analyze nest)) named))
   in
   (* Both arms end with a simulation result in hand: plain allocates and
      simulates; certified allocates, certifies, and reuses the
@@ -1048,27 +1120,135 @@ let perf_certify () =
       w
       (if w < 2.0 then "ok" else "MISMATCH")
   | None -> Printf.printf "\nworst certification overhead: unavailable\n");
-  let oc = open_out "BENCH_certify.json" in
-  Printf.fprintf oc
-    "{\n  \"benchmark\": \"perf-certify\",\n  \"unit\": \"ns/evaluation\",\n  \
-     \"budget\": %d,\n  \"overhead_target_x\": 2.0,\n  \"points\": [\n"
-    budget;
-  let njson = List.length points in
-  List.iteri
-    (fun k (name, plain, certified, overhead) ->
-      let num = function
-        | Some v -> Printf.sprintf "%.1f" v
-        | None -> "null"
-      in
-      Printf.fprintf oc
-        "    { \"kernel\": %S, \"plain_ns\": %s, \"certified_ns\": %s, \
-         \"overhead_x\": %s }%s\n"
-        name (num plain) (num certified) (num overhead)
-        (if k = njson - 1 then "" else ","))
-    points;
-  Printf.fprintf oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "wrote BENCH_certify.json\n"
+  write_json "BENCH_certify.json"
+    [
+      ("benchmark", Json.Str "perf-certify");
+      ("unit", Json.Str "ns/evaluation");
+      ("budget", Json.Int budget);
+      ("overhead_target_x", Json.Num "2.0");
+      ( "points",
+        Json.Arr
+          (List.map
+             (fun (name, plain, certified, overhead) ->
+               Json.Obj
+                 [
+                   ("kernel", Json.Str name);
+                   ("plain_ns", Json.opt Json.ns plain);
+                   ("certified_ns", Json.opt Json.ns certified);
+                   ("overhead_x", Json.opt Json.ns overhead);
+                 ])
+             points) );
+    ]
+
+(* ---------------------------------------------------------- perf-parallel *)
+
+(* Serial vs pooled wall-clock for the three heavy drivers (the sweep
+   batch driver, the fuzz campaign, and the certified-portfolio sweep),
+   with the determinism contract checked in the same breath: each
+   driver's pooled result must equal its serial result structurally.
+   Wall-clock, not CPU time — CPU time sums across domains and would
+   hide every speedup. *)
+let perf_parallel () =
+  section "perf-parallel: serial vs N-domain wall-clock (heavy drivers)";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs, _ = Pool.resolve () in
+  let kernels = Srfa_kernels.Kernels.all () in
+  let digest points =
+    String.concat ";"
+      (List.map
+         (fun (p : Flow.sweep_point) ->
+           Printf.sprintf "%s/%s/%d:%dc/%dr" p.Flow.kernel
+             (Allocator.name p.Flow.algorithm)
+             p.Flow.budget p.Flow.report.Report.cycles
+             p.Flow.report.Report.total_registers)
+         points)
+  in
+  let fuzz_digest (s : Srfa_fuzzer.Harness.summary) =
+    let ids l =
+      String.concat ","
+        (List.map
+           (fun ((c : Srfa_fuzzer.Gen.case), _) -> string_of_int c.Srfa_fuzzer.Gen.id)
+           l)
+    in
+    Format.asprintf "%a | regressions:[%s] plus:[%s] violations:[%s]"
+      Srfa_fuzzer.Harness.pp_summary s
+      (ids s.Srfa_fuzzer.Harness.regressions)
+      (ids s.Srfa_fuzzer.Harness.plus_regressions)
+      (ids s.Srfa_fuzzer.Harness.violations)
+  in
+  let greedy = [ Allocator.Fr_ra; Allocator.Pr_ra; Allocator.Cpa_ra ] in
+  let fuzz_cases = 800 in
+  let drivers =
+    [
+      ("sweep", fun pool -> digest (Flow.sweep ~algorithms:greedy ?pool kernels));
+      ( "fuzz",
+        fun pool ->
+          fuzz_digest (Srfa_fuzzer.Harness.run ~cases:fuzz_cases ~seed:42 ?pool ())
+      );
+      ( "certify-sweep",
+        fun pool ->
+          digest (Flow.sweep ~algorithms:[ Allocator.Portfolio ] ?pool kernels) );
+    ]
+  in
+  let table =
+    T.create
+      ~headers:
+        [
+          ("driver", T.Left); ("serial s", T.Right);
+          (Printf.sprintf "%d-domain s" jobs, T.Right); ("speedup", T.Right);
+          ("identical", T.Left);
+        ]
+  in
+  let points =
+    Pool.with_pool ~jobs (fun pool ->
+        List.map
+          (fun (name, run) ->
+            let serial, serial_s = wall (fun () -> run None) in
+            let pooled, parallel_s = wall (fun () -> run (Some pool)) in
+            let speedup = serial_s /. parallel_s in
+            let identical = serial = pooled in
+            T.add_row table
+              [
+                name;
+                Printf.sprintf "%.3f" serial_s;
+                Printf.sprintf "%.3f" parallel_s;
+                Printf.sprintf "%.2fx" speedup;
+                (if identical then "yes" else "MISMATCH");
+              ];
+            (name, serial_s, parallel_s, speedup, identical))
+          drivers)
+  in
+  T.print table;
+  Printf.printf
+    "\n%d worker domains (machine recommends %d); the fuzz driver runs %d\n\
+     cases. Speedup is wall-clock; on a single-core host both arms take\n\
+     the sequential path and the ratio sits at ~1x by construction.\n"
+    jobs (Pool.recommended ()) fuzz_cases;
+  write_json "BENCH_parallel.json"
+    [
+      ("benchmark", Json.Str "perf-parallel");
+      ("unit", Json.Str "seconds wall-clock");
+      ("jobs", Json.Int jobs);
+      ("recommended_domains", Json.Int (Pool.recommended ()));
+      ("fuzz_cases", Json.Int fuzz_cases);
+      ( "drivers",
+        Json.Arr
+          (List.map
+             (fun (name, serial_s, parallel_s, speedup, identical) ->
+               Json.Obj
+                 [
+                   ("driver", Json.Str name);
+                   ("serial_s", Json.float serial_s);
+                   ("parallel_s", Json.float parallel_s);
+                   ("speedup", Json.float speedup);
+                   ("identical", Json.Bool identical);
+                 ])
+             points) );
+    ]
 
 (* ------------------------------------------------------------------ main *)
 
@@ -1092,6 +1272,7 @@ let sections =
     ("perf-cuts", perf_cuts);
     ("perf-fuzz", perf_fuzz);
     ("perf-certify", perf_certify);
+    ("perf-parallel", perf_parallel);
   ]
 
 let () =

@@ -400,8 +400,19 @@ let sweep_cmd =
     let doc = "Emit one JSON object per design point instead of a table." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run kernels budgets algorithms json trace_file certify =
+  let jobs_arg =
+    let doc =
+      "Worker domains for the sweep, parallelising across kernels (default: \
+       $(b,SRFA_JOBS) or the machine's recommended domain count; clamped to \
+       the latter with a W-GUARD-JOBS warning). Output — points, order and \
+       trace — is identical at every job count."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let run kernels budgets algorithms json trace_file certify jobs =
     guarded @@ fun () ->
+    let jobs, jobs_warnings = Srfa_util.Pool.resolve ?requested:jobs () in
+    report_diags jobs_warnings;
     let algorithms =
       if certify && not (List.mem Srfa_core.Allocator.Portfolio algorithms)
       then algorithms @ [ Srfa_core.Allocator.Portfolio ]
@@ -423,7 +434,8 @@ let sweep_cmd =
           Some (Srfa_util.Trace.channel oc) )
     in
     let points =
-      Srfa_core.Flow.sweep ~algorithms ~budgets ?trace kernels
+      Srfa_util.Pool.with_pool ~jobs (fun pool ->
+          Srfa_core.Flow.sweep ~algorithms ~budgets ?trace ~pool kernels)
     in
     finish ();
     if json then begin
@@ -476,7 +488,7 @@ let sweep_cmd =
           design point as a table or JSON.")
     Term.(
       const run $ kernels_pos $ budgets_arg $ algorithms_arg $ json_arg
-      $ trace_arg $ certify_arg)
+      $ trace_arg $ certify_arg $ jobs_arg)
 
 (* export: write generated artifacts to a directory *)
 let export_cmd =

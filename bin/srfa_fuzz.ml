@@ -43,7 +43,7 @@ let replay_case ~seed ~id =
   | Harness.Accepted _ | Harness.Rejected _ -> 0
   | Harness.Violation _ | Harness.Crash _ -> 1
 
-let campaign ~cases ~seed ~verbose =
+let campaign ~cases ~seed ~verbose ~jobs =
   let log case outcome =
     if verbose then print_case case outcome
     else
@@ -51,7 +51,12 @@ let campaign ~cases ~seed ~verbose =
       | Harness.Violation _ | Harness.Crash _ -> print_case case outcome
       | _ -> ()
   in
-  let summary = Harness.run ~cases ~seed ~log () in
+  let jobs, warnings = Srfa_util.Pool.resolve ?requested:jobs () in
+  List.iter (fun d -> Format.eprintf "%a@." Srfa_util.Diag.pp d) warnings;
+  let summary =
+    Srfa_util.Pool.with_pool ~jobs (fun pool ->
+        Harness.run ~cases ~seed ~log ~pool ())
+  in
   Format.printf "fuzz (seed %d): %a@." seed Harness.pp_summary summary;
   List.iter
     (fun ((case : Gen.case), exn, minimized) ->
@@ -81,10 +86,10 @@ let campaign ~cases ~seed ~verbose =
   end;
   if Harness.ok summary then 0 else 1
 
-let fuzz cases seed verbose replay =
+let fuzz cases seed verbose replay jobs =
   match replay with
   | Some id -> replay_case ~seed ~id
-  | None -> campaign ~cases ~seed ~verbose
+  | None -> campaign ~cases ~seed ~verbose ~jobs
 
 let cases_t =
   Arg.(value & opt int 200 & info [ "cases"; "n" ] ~docv:"N" ~doc:"Number of generated kernels.")
@@ -98,10 +103,21 @@ let verbose_t =
 let replay_t =
   Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"ID" ~doc:"Regenerate and run a single case by id, printing its source.")
 
+let jobs_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the campaign (default: $(b,SRFA_JOBS) or the \
+           machine's recommended domain count; clamped to the latter with a \
+           W-GUARD-JOBS warning). The campaign report is byte-identical at \
+           every job count.")
+
 let cmd =
   let doc = "deterministic never-crash fuzzing of the srfa pipeline" in
   Cmd.v
     (Cmd.info "srfa_fuzz" ~doc)
-    Term.(const fuzz $ cases_t $ seed_t $ verbose_t $ replay_t)
+    Term.(const fuzz $ cases_t $ seed_t $ verbose_t $ replay_t $ jobs_t)
 
 let () = exit (Cmd.eval' cmd)

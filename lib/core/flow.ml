@@ -232,30 +232,55 @@ let portfolio_point ?(trace = Trace.null) ~prepared ~carry config kernel
     carry := Some (config.budget, entries, final_cycles));
   report
 
-let sweep ?(config = default_config) ?(algorithms = Allocator.all)
-    ?(budgets = default_budgets) ?trace kernels =
+(* One kernel's full budget ladder. This stays sequential even under a
+   pool: the portfolio carry-forward (budget monotonicity) threads state
+   from each budget to the next, so the ladder is the unit of work and
+   kernels are the parallel axis. *)
+let sweep_kernel ~config ~algorithms ~budgets ?trace (kernel, nest) =
+  let analysis = analyze nest in
+  let minimum = Ordering.feasibility_minimum analysis in
+  let prepared = Cpa_ra.prepare analysis in
+  let carry = ref None in
   List.concat_map
-    (fun (kernel, nest) ->
-      let analysis = analyze nest in
-      let minimum = Ordering.feasibility_minimum analysis in
-      let prepared = Cpa_ra.prepare analysis in
-      let carry = ref None in
-      List.concat_map
-        (fun budget ->
-          if budget < minimum then []
-          else
-            List.map
-              (fun algorithm ->
-                let report =
-                  match algorithm with
-                  | Allocator.Portfolio ->
-                    portfolio_point ?trace ~prepared ~carry
-                      { config with budget } kernel analysis
-                  | _ ->
-                    evaluate_analysis ?trace ~prepared { config with budget }
-                      algorithm analysis
-                in
-                { kernel; algorithm; budget; report })
-              algorithms)
-        budgets)
-    kernels
+    (fun budget ->
+      if budget < minimum then []
+      else
+        List.map
+          (fun algorithm ->
+            let report =
+              match algorithm with
+              | Allocator.Portfolio ->
+                portfolio_point ?trace ~prepared ~carry { config with budget }
+                  kernel analysis
+              | _ ->
+                evaluate_analysis ?trace ~prepared { config with budget }
+                  algorithm analysis
+            in
+            { kernel; algorithm; budget; report })
+          algorithms)
+    budgets
+
+let sweep ?(config = default_config) ?(algorithms = Allocator.all)
+    ?(budgets = default_budgets) ?trace ?pool kernels =
+  match pool with
+  | Some pool when Srfa_util.Pool.jobs pool > 1 && List.length kernels > 1 ->
+    (* Parallel across kernels, deterministic by construction: results
+       come back in input order from Pool.map, and each kernel's trace
+       goes into a private buffer spliced back in kernel order — the
+       same kernel-major stream the sequential walk emits. *)
+    let traced = match trace with Some t -> Trace.enabled t | None -> false in
+    let outputs =
+      Srfa_util.Pool.map pool
+        (fun kn ->
+          if traced then
+            let sink, splice = Trace.buffered () in
+            (sweep_kernel ~config ~algorithms ~budgets ~trace:sink kn, splice)
+          else (sweep_kernel ~config ~algorithms ~budgets kn, fun _ -> ()))
+        (Array.of_list kernels)
+    in
+    (match trace with
+    | Some t when Trace.enabled t ->
+      Array.iter (fun (_, splice) -> splice t) outputs
+    | _ -> ());
+    List.concat_map fst (Array.to_list outputs)
+  | _ -> List.concat_map (sweep_kernel ~config ~algorithms ~budgets ?trace) kernels

@@ -59,6 +59,7 @@ val default_budgets : int list
 val sweep :
   ?config:config -> ?algorithms:Allocator.algorithm list ->
   ?budgets:int list -> ?trace:Srfa_util.Trace.sink ->
+  ?pool:Srfa_util.Pool.t ->
   (string * Nest.t) list -> sweep_point list
 (** Batch driver: kernels × algorithms × budgets in one pass. Each kernel
     is analysed once and its CPA scratch ({!Cpa_ra.prepare}) built once,
@@ -73,7 +74,14 @@ val sweep :
     allocation feasible at a lower budget stays feasible at a higher one)
     and adopts it whenever a fresh point would report more cycles, so
     more registers never yield more cycles. Each takeover emits a
-    ["certify.monotonic"] trace event. *)
+    ["certify.monotonic"] trace event.
+
+    [pool] parallelises the sweep {e across kernels} (each kernel's
+    budget ladder stays sequential, preserving the portfolio
+    carry-forward); the result is equal to the sequential sweep — same
+    points in the same kernel-major order, and the same [trace] stream,
+    each kernel's events buffered ({!Srfa_util.Trace.buffered}) and
+    spliced back in kernel order. *)
 
 val run_checked :
   ?config:config -> ?algorithm:Allocator.algorithm ->

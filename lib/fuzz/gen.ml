@@ -207,9 +207,14 @@ let mutate rng spec =
   in
   (label, source, budget)
 
+(* Each case's stream is Prng.split of the campaign generator by case
+   id — order-independent by construction, which is what lets a pool
+   deal case ids to domains in any order and still regenerate the exact
+   sequential campaign. The recorded per-case seed is the same hash-mix
+   (Prng.mix) so a replay line identifies the stream. *)
 let generate ~seed ~id =
-  let case_seed = seed lxor ((id + 1) * 2654435761) in
-  let rng = Prng.create ~seed:case_seed in
+  let case_seed = Prng.mix seed id in
+  let rng = Prng.split (Prng.create ~seed) id in
   let roll = Prng.int rng 10 in
   let kind, source, budget =
     if roll < 5 then

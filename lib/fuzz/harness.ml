@@ -190,13 +190,31 @@ let regressions_ok s =
    Violations (exactly-zero tolerance), failing the campaign outright. *)
 let ok s = s.crashes = [] && s.violations = [] && regressions_ok s
 
-let run ?(cases = 200) ?(seed = 42) ?(log = fun _ _ -> ()) () =
+(* One case, executed to completion: generate, judge, and (for crashes)
+   minimise — all deterministic functions of (seed, id), so a pool can
+   deal ids to domains in any order and the merge below still rebuilds
+   the exact sequential campaign. *)
+let execute_case ~seed id =
+  let case = Gen.generate ~seed ~id in
+  let outcome = run_case case in
+  let minimized =
+    match outcome with
+    | Crash _ ->
+      let still_crashes src =
+        match run_case { case with Gen.source = src } with
+        | Crash _ -> true
+        | _ -> false
+      in
+      Some (minimize still_crashes case.Gen.source)
+    | _ -> None
+  in
+  (case, outcome, minimized)
+
+let run ?(cases = 200) ?(seed = 42) ?(log = fun _ _ -> ()) ?pool () =
   let accepted = ref 0 and degraded = ref 0 and rejected = ref 0 in
   let crashes = ref [] and violations = ref [] in
   let regressions = ref [] and plus_regressions = ref [] in
-  for id = 0 to cases - 1 do
-    let case = Gen.generate ~seed ~id in
-    let outcome = run_case case in
+  let merge (case, outcome, minimized) =
     log case outcome;
     match outcome with
     | Accepted { warnings; regression; plus_regression; _ } ->
@@ -211,13 +229,21 @@ let run ?(cases = 200) ?(seed = 42) ?(log = fun _ _ -> ()) () =
     | Rejected _ -> incr rejected
     | Violation m -> violations := (case, m) :: !violations
     | Crash e ->
-      let still_crashes src =
-        match run_case { case with Gen.source = src } with
-        | Crash _ -> true
-        | _ -> false
-      in
-      crashes := (case, e, minimize still_crashes case.Gen.source) :: !crashes
-  done;
+      let reproducer = Option.value minimized ~default:case.Gen.source in
+      crashes := (case, e, reproducer) :: !crashes
+  in
+  (match pool with
+  | Some pool when Srfa_util.Pool.jobs pool > 1 && cases > 1 ->
+    (* Fan the ids out, then merge in id order: the stats and the
+       counterexample lists come out byte-identical to the sequential
+       campaign. [log] consequently observes completed cases, in id
+       order, once the whole campaign has run. *)
+    Array.iter merge
+      (Srfa_util.Pool.map pool (execute_case ~seed) (Array.init cases Fun.id))
+  | _ ->
+    for id = 0 to cases - 1 do
+      merge (execute_case ~seed id)
+    done);
   {
     cases;
     accepted = !accepted;

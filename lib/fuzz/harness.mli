@@ -70,9 +70,17 @@ type summary = {
 
 val run :
   ?cases:int -> ?seed:int -> ?log:(Gen.case -> outcome -> unit) ->
-  unit -> summary
+  ?pool:Srfa_util.Pool.t -> unit -> summary
 (** [run ~cases ~seed ()] fuzzes [cases] generated kernels (default 200,
-    seed 42). [log] observes every case as it completes. *)
+    seed 42). [log] observes every case as it completes.
+
+    [pool] fans the case ids out across domains —
+    {!Gen.generate}[ ~seed ~id] makes every case an independent,
+    order-free function of its id — and merges the per-case outcomes
+    back in id order, so the summary (stats, counterexample lists,
+    minimised reproducers) is equal to the sequential campaign's. Under
+    a pool, [log] observes every case in id order after the campaign
+    completes, rather than interleaved with execution. *)
 
 val ok : summary -> bool
 (** No crashes, no violations (which covers the certified portfolio's

@@ -1,0 +1,141 @@
+(* The one module in the tree that requires the OCaml 5 runtime: worker
+   domains pulling thunks off a mutex/condition work queue. Everything
+   above it (sweep, fuzz, bench) only sees [map], which is contractually
+   indistinguishable from Array.map. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stop do
+      Condition.wait t.has_work t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      loop ()
+    | None ->
+      (* stop && empty: drain before dying so shutdown never strands a
+         submitted task. *)
+      Mutex.unlock t.mutex
+  in
+  loop ()
+
+let create ~jobs =
+  let jobs = max 1 (min jobs 64) in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      queue = Queue.create ();
+      stop = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.has_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map t f xs =
+  let n = Array.length xs in
+  if t.jobs <= 1 || n <= 1 then Array.map f xs
+  else begin
+    if t.stop then invalid_arg "Pool.map: pool is shut down";
+    let results = Array.make n None in
+    let failed : (int * exn) option ref = ref None in
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    let remaining = ref n in
+    let finish () =
+      Mutex.lock done_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.signal all_done;
+      Mutex.unlock done_mutex
+    in
+    let task i () =
+      (try results.(i) <- Some (f xs.(i))
+       with exn ->
+         (* Keep the failure of the lowest index: the one the sequential
+            walk would have raised. *)
+         Mutex.lock done_mutex;
+         (match !failed with
+         | Some (j, _) when j < i -> ()
+         | _ -> failed := Some (i, exn));
+         Mutex.unlock done_mutex);
+      finish ()
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    Mutex.lock done_mutex;
+    while !remaining > 0 do
+      Condition.wait all_done done_mutex
+    done;
+    Mutex.unlock done_mutex;
+    match !failed with
+    | Some (_, exn) -> raise exn
+    | None ->
+      Array.map
+        (function
+          | Some r -> r
+          | None -> invalid_arg "Pool.map: task finished without a result")
+        results
+  end
+
+let recommended () = Domain.recommended_domain_count ()
+
+let resolve ?requested ?env () =
+  let env =
+    match env with Some s -> Some s | None -> Sys.getenv_opt "SRFA_JOBS"
+  in
+  let asked =
+    match requested with
+    | Some j -> Some j
+    | None -> Option.bind env (fun s -> int_of_string_opt (String.trim s))
+  in
+  let cap = recommended () in
+  match asked with
+  | None -> (cap, [])
+  | Some j when j < 1 -> (1, [])
+  | Some j when j > cap ->
+    ( cap,
+      [
+        Diag.warning ~code:"W-GUARD-JOBS"
+          (Printf.sprintf
+             "%d domains requested but this machine recommends %d; clamping \
+              instead of oversubscribing"
+             j cap)
+          ~context:
+            [
+              ("requested", string_of_int j);
+              ("recommended", string_of_int cap);
+            ];
+      ] )
+  | Some j -> (j, [])

@@ -1,0 +1,57 @@
+(** A fixed-size domain pool for deterministic fan-out.
+
+    The three heavy drivers (the sweep batch driver, the fuzz campaign
+    and the bench harness) walk independent work-lists; this pool lets
+    them walk N items at a time on OCaml 5's multicore runtime while
+    keeping the {e results} — and, with {!Trace.buffered}, the trace
+    streams — byte-identical to the sequential walk. Built on stdlib
+    [Domain] + [Mutex]/[Condition] only; this module is the single place
+    the tree requires the OCaml 5 runtime (OCaml 4 dies loudly here, at
+    [Domain], and nowhere else).
+
+    Determinism contract: {!map} preserves input order, and a task's
+    only channel back to the caller is its return value (plus whatever
+    per-task buffers the caller splices afterwards). Tasks must not
+    share mutable state unless it is synchronised — see
+    {!Trace.collector}, which is. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 0 (min jobs 64)] worker domains when
+    [jobs > 1]; [jobs <= 1] spawns none and {!map} degrades to the plain
+    sequential [Array.map]. [create] does {e not} clamp to the machine —
+    that policy lives in {!resolve} so tests can exercise real
+    multi-domain pools on any host. *)
+
+val jobs : t -> int
+(** The worker count the pool was created with (at least 1). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] applies [f] to every element, returning results in
+    input order. With [jobs t <= 1] (or fewer than two elements) this is
+    exactly [Array.map f xs]. Otherwise the elements are dealt to the
+    worker domains; if any [f] raises, [map] waits for the remaining
+    tasks and re-raises the exception of the {e lowest} failing index
+    (the one the sequential walk would have hit first). Do not call
+    [map] from inside a task of the same pool — the worker would wait
+    on itself. *)
+
+val shutdown : t -> unit
+(** Terminate and join the workers. Idempotent. A pool is unusable after
+    [shutdown]; {!map} on it raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] brackets [f] between {!create} and {!shutdown}
+    (shutdown runs on exceptions too). *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()] — the clamp {!resolve} applies. *)
+
+val resolve : ?requested:int -> ?env:string -> unit -> int * Diag.t list
+(** Resolve the parallelism level a driver should use, in priority
+    order: [requested] (a [-j N] flag), then [env] (default: the
+    [SRFA_JOBS] environment variable; an unparseable value is ignored),
+    then {!recommended}. Asking for more domains than {!recommended}
+    clamps to it instead of oversubscribing and returns a [W-GUARD-JOBS]
+    warning diagnostic; values below 1 clamp to 1 silently. *)

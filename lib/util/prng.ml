@@ -14,6 +14,12 @@ let next t =
   t.state <- x;
   mul x 0x2545F4914F6CDD1DL
 
+(* Knuth's multiplicative hash over the index keeps sibling streams far
+   apart even for adjacent indices; the lxor folds the parent state in. *)
+let mix seed index = seed lxor ((index + 1) * 2654435761)
+
+let split t index = create ~seed:(mix (Int64.to_int t.state) index)
+
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in

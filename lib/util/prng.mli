@@ -9,6 +9,19 @@ val create : seed:int -> t
 (** [create ~seed] makes an independent generator. A seed of [0] is replaced
     by a fixed non-zero constant (xorshift has an all-zero fixed point). *)
 
+val mix : int -> int -> int
+(** [mix seed index] hash-mixes a seed with an index (Knuth
+    multiplicative hash, folded in with xor) — the pure-integer core of
+    {!split}, exposed so callers can record the derived seed. *)
+
+val split : t -> int -> t
+(** [split t index] derives an independent child generator by
+    {!mix}-ing [t]'s current state with [index]; [t] itself is not
+    advanced. Children for distinct indices are decorrelated streams, so
+    per-index work (one fuzz case, one shard) is order-independent by
+    construction: [split t i] is the same stream whether the siblings
+    were drawn before it, after it, or concurrently. *)
+
 val int : t -> int -> int
 (** [int t bound] returns a uniform value in [\[0, bound)].
     @raise Invalid_argument if [bound <= 0]. *)

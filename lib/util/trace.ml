@@ -15,9 +15,39 @@ let make f = Fn f
 let emit sink thunk = match sink with Null -> () | Fn f -> f (thunk ())
 let event name fields = { name; fields }
 
+(* Collectors are shared across domains (a sweep worker and the
+   event-model second opinion can emit into the same sink), so the event
+   list is mutex-guarded. Uncontended lock/unlock is nanoseconds —
+   nothing next to building an event — and the null sink still costs
+   zero. *)
 let collector () =
   let acc = ref [] in
-  (Fn (fun e -> acc := e :: !acc), fun () -> List.rev !acc)
+  let m = Mutex.create () in
+  let push e =
+    Mutex.lock m;
+    acc := e :: !acc;
+    Mutex.unlock m
+  in
+  let events () =
+    Mutex.lock m;
+    let es = !acc in
+    Mutex.unlock m;
+    List.rev es
+  in
+  (Fn push, events)
+
+(* Per-task buffering for deterministic parallel traces: each task owns
+   its buffer (single-domain, no lock needed), and the coordinator
+   splices the buffers into the real sink in task order once the tasks
+   have been joined — the splice order, not the execution order, is what
+   the stream shows. *)
+let buffered () =
+  let acc = ref [] in
+  let sink = Fn (fun e -> acc := e :: !acc) in
+  let splice target =
+    List.iter (fun e -> emit target (fun () -> e)) (List.rev !acc)
+  in
+  (sink, splice)
 
 (* ---- JSON rendering --------------------------------------------------- *)
 

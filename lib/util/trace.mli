@@ -43,7 +43,19 @@ val event : string -> (string * value) list -> event
 
 val collector : unit -> sink * (unit -> event list)
 (** An in-memory sink and the accessor returning everything emitted so
-    far, in emission order. *)
+    far, in emission order. Thread-safe: concurrent emits from several
+    domains are serialised by a mutex and none is lost (their relative
+    order is the arrival order). *)
+
+val buffered : unit -> sink * (sink -> unit)
+(** [buffered ()] is a private in-memory sink plus a splice function:
+    [splice target] replays everything buffered so far into [target], in
+    emission order. This is the deterministic-trace building block for
+    parallel drivers — give each task its own buffered sink, then splice
+    the buffers in {e task} order after the join, so the merged stream
+    is byte-identical to the sequential run regardless of how execution
+    interleaved. The buffer itself is single-owner and unsynchronised;
+    emit into it from one task only. *)
 
 val channel : out_channel -> sink
 (** A JSON-lines sink: each event becomes one [to_json] line on the

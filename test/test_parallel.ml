@@ -1,0 +1,255 @@
+(* The multicore execution layer's contract: Pool.map is Array.map with
+   domains, and every parallel driver (sweep, fuzz) produces output equal
+   to its sequential run — points, traces, stats and counterexample ids.
+   The differential tests here run the real multi-domain path (Pool.create
+   takes the job count as given; only Pool.resolve clamps to the machine),
+   so a single-core CI host still exercises 4-domain execution. *)
+
+open Srfa_util
+module Flow = Srfa_core.Flow
+module Allocator = Srfa_core.Allocator
+module Report = Srfa_estimate.Report
+module Gen = Srfa_fuzzer.Gen
+module Harness = Srfa_fuzzer.Harness
+
+(* ---- Pool ------------------------------------------------------------- *)
+
+let test_map_preserves_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = Array.init 500 Fun.id in
+      (* Uneven work so completion order scrambles without the pool's
+         order-restoring result array. *)
+      let f i =
+        let acc = ref 0 in
+        for k = 1 to 1 + (i mod 97) * 50 do
+          acc := (!acc + (i * k)) land 0xFFFF
+        done;
+        (i, !acc)
+      in
+      Alcotest.(check bool)
+        "pooled map equals sequential map" true
+        (Pool.map pool f xs = Array.map f xs))
+
+let test_map_degenerate_sizes () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map pool (fun x -> x) [||]);
+      Alcotest.(check (array int)) "singleton" [| 14 |]
+        (Pool.map pool (fun x -> 2 * x) [| 7 |]))
+
+let test_sequential_degradation () =
+  let pool = Pool.create ~jobs:1 in
+  Alcotest.(check int) "jobs floor" 1 (Pool.jobs pool);
+  Alcotest.(check (array int)) "jobs=1 maps sequentially" [| 1; 4; 9 |]
+    (Pool.map pool (fun x -> x * x) [| 1; 2; 3 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let test_map_raises_lowest_index () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = Array.init 64 Fun.id in
+      let f i = if i >= 10 then failwith (string_of_int i) else i in
+      match Pool.map pool f xs with
+      | _ -> Alcotest.fail "expected Pool.map to re-raise"
+      | exception Failure m ->
+        Alcotest.(check string)
+          "the sequential walk's first failure wins" "10" m)
+
+let test_map_after_shutdown_rejected () =
+  let pool = Pool.create ~jobs:4 in
+  Pool.shutdown pool;
+  match Pool.map pool Fun.id [| 1; 2 |] with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let has_jobs_guard = List.exists (fun (d : Diag.t) -> d.Diag.code = "W-GUARD-JOBS")
+
+let test_resolve_clamps_and_warns () =
+  let cap = Pool.recommended () in
+  let jobs, warnings = Pool.resolve ~requested:(cap + 8) () in
+  Alcotest.(check int) "clamped to recommended" cap jobs;
+  Alcotest.(check bool) "W-GUARD-JOBS emitted" true (has_jobs_guard warnings);
+  let jobs, warnings = Pool.resolve ~requested:1 () in
+  Alcotest.(check int) "within the machine: kept" 1 jobs;
+  Alcotest.(check bool) "no warning" false (has_jobs_guard warnings);
+  let jobs, warnings = Pool.resolve ~requested:0 () in
+  Alcotest.(check int) "sub-1 clamps to 1 silently" 1 jobs;
+  Alcotest.(check bool) "silently" false (has_jobs_guard warnings)
+
+let test_resolve_env () =
+  let cap = Pool.recommended () in
+  let jobs, warnings = Pool.resolve ~env:(string_of_int (cap + 3)) () in
+  Alcotest.(check int) "SRFA_JOBS clamps like -j" cap jobs;
+  Alcotest.(check bool) "and warns" true (has_jobs_guard warnings);
+  let jobs, warnings = Pool.resolve ~env:"not-a-number" () in
+  Alcotest.(check int) "garbage env ignored" cap jobs;
+  Alcotest.(check bool) "without warning" false (has_jobs_guard warnings);
+  let jobs, _ = Pool.resolve ~requested:1 ~env:(string_of_int (cap + 3)) () in
+  Alcotest.(check int) "-j beats SRFA_JOBS" 1 jobs
+
+(* ---- Trace under concurrency ------------------------------------------ *)
+
+let test_collector_loses_no_events () =
+  let sink, events = Trace.collector () in
+  let per_domain = 5000 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      ignore
+        (Pool.map pool
+           (fun d ->
+             for i = 1 to per_domain do
+               Trace.emit sink (fun () ->
+                   Trace.event "concurrent"
+                     [ ("domain", Trace.Int d); ("i", Trace.Int i) ])
+             done)
+           [| 0; 1; 2; 3 |]));
+  let collected = events () in
+  Alcotest.(check int) "every emit survives" (4 * per_domain)
+    (List.length collected);
+  let count d =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) ->
+           List.assoc_opt "domain" e.Trace.fields = Some (Trace.Int d))
+         collected)
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check int)
+        (Printf.sprintf "domain %d's events all present" d)
+        per_domain (count d))
+    [ 0; 1; 2; 3 ]
+
+let test_buffered_splices_in_task_order () =
+  let b1, splice1 = Trace.buffered () in
+  let b2, splice2 = Trace.buffered () in
+  Trace.emit b2 (fun () -> Trace.event "second.a" []);
+  Trace.emit b1 (fun () -> Trace.event "first.a" []);
+  Trace.emit b1 (fun () -> Trace.event "first.b" []);
+  Trace.emit b2 (fun () -> Trace.event "second.b" []);
+  let sink, events = Trace.collector () in
+  (* Task order, not emission order, decides the merged stream. *)
+  splice1 sink;
+  splice2 sink;
+  Alcotest.(check (list string))
+    "task-ordered stream"
+    [ "first.a"; "first.b"; "second.a"; "second.b" ]
+    (List.map (fun (e : Trace.event) -> e.Trace.name) (events ()))
+
+(* ---- Prng.split -------------------------------------------------------- *)
+
+let stream rng = List.init 8 (fun _ -> Prng.int rng 1_000_000)
+
+let test_split_is_pure_and_decorrelated () =
+  let t = Prng.create ~seed:42 in
+  Alcotest.(check (list int))
+    "same index, same stream"
+    (stream (Prng.split t 5))
+    (stream (Prng.split t 5));
+  Alcotest.(check bool) "distinct indices, distinct streams" true
+    (stream (Prng.split t 5) <> stream (Prng.split t 6));
+  (* Splitting never advances the parent: the parent's own draws are the
+     same whether or not children were split off first. *)
+  let a = Prng.create ~seed:9 and b = Prng.create ~seed:9 in
+  ignore (Prng.split a 3);
+  ignore (Prng.split a 4);
+  Alcotest.(check (list int)) "parent unperturbed" (stream b) (stream a)
+
+let test_split_matches_recorded_seed () =
+  (* Gen records Prng.mix seed id as the case seed; split of the campaign
+     generator must be that exact stream (the pre-split derivation). *)
+  List.iter
+    (fun (seed, id) ->
+      let via_split = Prng.split (Prng.create ~seed) id in
+      let via_mix = Prng.create ~seed:(Prng.mix seed id) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "seed %d id %d" seed id)
+        (stream via_mix) (stream via_split))
+    [ (42, 0); (42, 199); (7, 13); (11, 3) ]
+
+(* ---- differential: sweep ---------------------------------------------- *)
+
+let point_digest (p : Flow.sweep_point) =
+  ( p.Flow.kernel,
+    Allocator.name p.Flow.algorithm,
+    p.Flow.budget,
+    p.Flow.report.Report.cycles,
+    p.Flow.report.Report.memory_cycles,
+    p.Flow.report.Report.total_registers )
+
+let test_sweep_differential () =
+  let kernels = Srfa_kernels.Kernels.all () in
+  let sink1, events1 = Trace.collector () in
+  let serial = Flow.sweep ~trace:sink1 kernels in
+  let sink2, events2 = Trace.collector () in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool -> Flow.sweep ~trace:sink2 ~pool kernels)
+  in
+  Alcotest.(check int) "same point count" (List.length serial)
+    (List.length parallel);
+  List.iter2
+    (fun s p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "point %s/%s/%d equal" s.Flow.kernel
+           (Allocator.name s.Flow.algorithm) s.Flow.budget)
+        true
+        (point_digest s = point_digest p))
+    serial parallel;
+  Alcotest.(check bool) "identical trace streams" true
+    (events1 () = events2 ())
+
+(* ---- differential: fuzz campaign -------------------------------------- *)
+
+let test_fuzz_differential () =
+  let cases = 150 and seed = 42 in
+  let serial = Harness.run ~cases ~seed () in
+  let parallel =
+    Pool.with_pool ~jobs:4 (fun pool -> Harness.run ~cases ~seed ~pool ())
+  in
+  (* The summary is pure data (ints, strings, generated cases), so the
+     strongest check is structural equality of the whole record — stats,
+     counterexample ids, messages and minimised reproducers at once. *)
+  Alcotest.(check bool) "byte-identical campaign summary" true
+    (serial = parallel);
+  Alcotest.(check int) "every case classified" cases
+    (serial.Harness.accepted + serial.Harness.rejected)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map preserves order" `Quick
+            test_map_preserves_order;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_map_degenerate_sizes;
+          Alcotest.test_case "jobs=1 degrades to sequential" `Quick
+            test_sequential_degradation;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            test_map_raises_lowest_index;
+          Alcotest.test_case "map after shutdown rejected" `Quick
+            test_map_after_shutdown_rejected;
+          Alcotest.test_case "resolve clamps with W-GUARD-JOBS" `Quick
+            test_resolve_clamps_and_warns;
+          Alcotest.test_case "resolve reads SRFA_JOBS" `Quick test_resolve_env;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "shared collector loses no events" `Quick
+            test_collector_loses_no_events;
+          Alcotest.test_case "buffered splices in task order" `Quick
+            test_buffered_splices_in_task_order;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "split is pure and decorrelated" `Quick
+            test_split_is_pure_and_decorrelated;
+          Alcotest.test_case "split matches the recorded case seed" `Quick
+            test_split_matches_recorded_seed;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "sweep: jobs=4 equals jobs=1" `Slow
+            test_sweep_differential;
+          Alcotest.test_case "fuzz: jobs=4 equals jobs=1" `Slow
+            test_fuzz_differential;
+        ] );
+    ]
