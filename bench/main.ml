@@ -28,9 +28,18 @@
                            across the sweep kernels (BENCH_certify.json)
      perf-parallel         serial vs N-domain wall-clock for the sweep,
                            fuzz and certify drivers, with the determinism
-                           contract re-checked (BENCH_parallel.json) *)
+                           contract re-checked (BENCH_parallel.json)
+     perf-core             allocation-free hot core: warm-evaluation
+                           wall-clock, allocation rate and max-RSS per
+                           kernel across a GC minor-heap matrix, against
+                           the recorded pre-arena baselines
+                           (BENCH_core.json)
+
+   Sections can also be picked with `--sections core,cuts,certify` —
+   shorthand names expand to their perf-* section. *)
 
 module Allocator = Srfa_core.Allocator
+module Cpa_ra = Srfa_core.Cpa_ra
 module Flow = Srfa_core.Flow
 module Report = Srfa_estimate.Report
 module Simulator = Srfa_sched.Simulator
@@ -1007,8 +1016,10 @@ let perf_fuzz () =
    for the two greedy baseline allocations and their simulations on top
    of the plain CPA-RA evaluation (allocation + simulation), plus the
    repair passes when the candidate lost. Measured end to end on every
-   sweep kernel at the paper's budget; the acceptance bar is overhead
-   (certified minus plain) under 2x the plain wall-clock. *)
+   sweep kernel at the paper's budget; the recorded overhead is the plain
+   wall-clock ratio certified_ns / plain_ns, and the acceptance bar is
+   that ratio under 3x (the old bar — extra work below 2x plain —
+   restated in the units the JSON actually carries). *)
 let perf_certify () =
   section
     "perf-certify: certification overhead vs plain CPA-RA (sweep kernels)";
@@ -1086,7 +1097,7 @@ let perf_certify () =
         and certified = lookup "certified" name in
         let overhead =
           match (plain, certified) with
-          | Some p, Some c when p > 0.0 -> Some ((c -. p) /. p)
+          | Some p, Some c when p > 0.0 -> Some (c /. p)
           | _ -> None
         in
         T.add_row table
@@ -1097,7 +1108,7 @@ let perf_certify () =
             | Some c -> Printf.sprintf "%.0f" c
             | None -> "-");
             (match overhead with
-            | Some o -> Printf.sprintf "%+.2fx" o
+            | Some o -> Printf.sprintf "%.2fx" o
             | None -> "-");
           ];
         (name, plain, certified, overhead))
@@ -1116,16 +1127,17 @@ let perf_certify () =
   (match worst with
   | Some w ->
     Printf.printf
-      "\nworst certification overhead: %+.2fx plain CPA-RA (target < 2x): %s\n"
+      "\nworst certification overhead: %.2fx plain CPA-RA wall-clock (target \
+       < 3x): %s\n"
       w
-      (if w < 2.0 then "ok" else "MISMATCH")
+      (if w < 3.0 then "ok" else "MISMATCH")
   | None -> Printf.printf "\nworst certification overhead: unavailable\n");
   write_json "BENCH_certify.json"
     [
       ("benchmark", Json.Str "perf-certify");
       ("unit", Json.Str "ns/evaluation");
       ("budget", Json.Int budget);
-      ("overhead_target_x", Json.Num "2.0");
+      ("overhead_target_x", Json.Num "3.0");
       ( "points",
         Json.Arr
           (List.map
@@ -1223,17 +1235,31 @@ let perf_parallel () =
           drivers)
   in
   T.print table;
+  let domains_available = Domain.recommended_domain_count () in
+  let note =
+    if jobs <= 1 then
+      "single-core host: the pool degrades to the sequential path, so \
+       speedups of ~1x are expected and do not exercise the domain pool; \
+       re-run on a multicore host for meaningful ratios"
+    else
+      Printf.sprintf
+        "pooled arms ran on %d worker domains of %d available" jobs
+        domains_available
+  in
   Printf.printf
-    "\n%d worker domains (machine recommends %d); the fuzz driver runs %d\n\
-     cases. Speedup is wall-clock; on a single-core host both arms take\n\
-     the sequential path and the ratio sits at ~1x by construction.\n"
-    jobs (Pool.recommended ()) fuzz_cases;
+    "\n%d worker domains (machine recommends %d, %d available); the fuzz\n\
+     driver runs %d cases. Speedup is wall-clock; on a single-core host\n\
+     both arms take the sequential path and the ratio sits at ~1x by\n\
+     construction.\n"
+    jobs (Pool.recommended ()) domains_available fuzz_cases;
   write_json "BENCH_parallel.json"
     [
       ("benchmark", Json.Str "perf-parallel");
       ("unit", Json.Str "seconds wall-clock");
       ("jobs", Json.Int jobs);
       ("recommended_domains", Json.Int (Pool.recommended ()));
+      ("domains_available", Json.Int domains_available);
+      ("note", Json.Str note);
       ("fuzz_cases", Json.Int fuzz_cases);
       ( "drivers",
         Json.Arr
@@ -1246,6 +1272,305 @@ let perf_parallel () =
                    ("parallel_s", Json.float parallel_s);
                    ("speedup", Json.float speedup);
                    ("identical", Json.Bool identical);
+                 ])
+             points) );
+    ]
+
+(* ------------------------------------------------------------- perf-core *)
+
+(* The allocation-free hot core, measured the way mimalloc-bench measures
+   allocators: one warm workload re-run under several minor-heap sizes
+   (OCAMLRUNPARAM s=...), recording wall-clock, bytes allocated per
+   evaluation (Gc.allocated_bytes) and max RSS (VmHWM). The runtime reads
+   OCAMLRUNPARAM once at program start, so each cell of the matrix
+   re-executes this binary in a hidden probe mode
+   (`perf-core-probe <kernel>`) with the environment set; the parent
+   parses one machine-readable line per run.
+
+   The baselines are wall-clock and allocated-bytes numbers for the boxed
+   simulator (fresh model, fresh residency and a Bytes memo key per
+   iteration on every call) captured on this host immediately before the
+   arena rewrite; that code path no longer exists in the library, so they
+   are recorded as constants. The acceptance bars from the issue: >= 5x
+   wall-clock on the bic plain evaluation and >= 10x fewer minor
+   allocations per warm evaluation. *)
+
+let core_kernels = [ "fir"; "dec-fir"; "imi"; "mat"; "pat"; "bic" ]
+
+(* kernel -> (ns/evaluation, allocated bytes/evaluation) of the boxed
+   simulator before the rewrite; same host, same budget, same
+   allocate-then-simulate workload. *)
+let core_baselines =
+  [
+    ("fir", (8_863_926.0, 6_735_043.0));
+    ("dec-fir", (4_608_154.0, 3_357_536.0));
+    ("imi", (16_870_975.0, 7_630_516.0));
+    ("mat", (15_698_910.0, 7_603_077.0));
+    ("pat", (22_454_023.0, 13_409_664.0));
+    ("bic", (161_386_013.0, 105_876_090.0));
+  ]
+
+(* Minor-heap matrix: label and OCAMLRUNPARAM for the probe process.
+   [None] inherits the parent's runtime defaults. *)
+let core_gc_matrix =
+  [
+    ("default", None);
+    ("s=32k", Some "s=32k");
+    ("s=256k", Some "s=256k");
+    ("s=4M", Some "s=4M");
+  ]
+
+let core_probe_reps = 9
+
+let vmhwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan acc =
+      match input_line ic with
+      | exception End_of_file -> acc
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          scan
+            (try
+               Scanf.sscanf
+                 (String.sub line 6 (String.length line - 6))
+                 " %d"
+                 Fun.id
+             with Scanf.Scan_failure _ | End_of_file | Failure _ -> acc)
+        else scan acc
+    in
+    let kb = scan 0 in
+    close_in ic;
+    kb
+
+(* Hidden mode: run one kernel's warm-evaluation loop under whatever
+   OCAMLRUNPARAM this process was started with and print one line. The
+   prepared CPA-RA state and the simulator scratch are built once; every
+   timed evaluation is a full allocation + simulation — the Flow.sweep
+   inner loop. *)
+let perf_core_probe kernel =
+  let nest =
+    match List.assoc_opt kernel (Srfa_kernels.Kernels.all ()) with
+    | Some nest -> nest
+    | None ->
+      Printf.eprintf "perf-core-probe: unknown kernel %s\n" kernel;
+      exit 1
+  in
+  let analysis = Flow.analyze nest in
+  let prepared = Cpa_ra.prepare analysis in
+  let scratch = Simulator.scratch ~dfg:(Cpa_ra.dfg prepared) analysis in
+  let evaluate () =
+    let alloc = Allocator.run ~prepared Allocator.Cpa_ra analysis ~budget in
+    ignore (Simulator.run ~scratch alloc)
+  in
+  (* Warm the scratch to its high-water mark before measuring. *)
+  evaluate ();
+  let times = Array.make core_probe_reps 0.0 in
+  let before = Gc.allocated_bytes () in
+  for i = 0 to core_probe_reps - 1 do
+    let t0 = Unix.gettimeofday () in
+    evaluate ();
+    times.(i) <- (Unix.gettimeofday () -. t0) *. 1e9
+  done;
+  let allocated =
+    (Gc.allocated_bytes () -. before) /. float_of_int core_probe_reps
+  in
+  Array.sort compare times;
+  Printf.printf "kernel=%s median_ns=%.0f alloc_per_eval=%.0f rss_kb=%d\n"
+    kernel
+    times.(core_probe_reps / 2)
+    allocated (vmhwm_kb ())
+
+let run_core_probe ~runparam kernel =
+  let env =
+    Array.of_list
+      ((match runparam with
+       | None -> []
+       | Some v -> [ "OCAMLRUNPARAM=" ^ v ])
+      @ List.filter
+          (fun s ->
+            not (String.length s >= 14 && String.sub s 0 14 = "OCAMLRUNPARAM="))
+          (Array.to_list (Unix.environment ())))
+  in
+  let ic, oc, ec =
+    Unix.open_process_args_full Sys.executable_name
+      [| Sys.executable_name; "perf-core-probe"; kernel |]
+      env
+  in
+  let line = try Some (input_line ic) with End_of_file -> None in
+  let status = Unix.close_process_full (ic, oc, ec) in
+  match (status, line) with
+  | Unix.WEXITED 0, Some line -> (
+    try
+      Scanf.sscanf line "kernel=%s@ median_ns=%f alloc_per_eval=%f rss_kb=%d"
+        (fun _ ns alloc rss -> Some (ns, alloc, rss))
+    with Scanf.Scan_failure _ | End_of_file | Failure _ -> None)
+  | _ -> None
+
+let perf_core () =
+  section
+    "perf-core: allocation-free hot core across a GC minor-heap matrix";
+  (* One probe process per (kernel, GC config) cell. *)
+  let cells =
+    List.map
+      (fun kernel ->
+        ( kernel,
+          List.map
+            (fun (label, runparam) ->
+              (label, run_core_probe ~runparam kernel))
+            core_gc_matrix ))
+      core_kernels
+  in
+  let default_of row = List.assoc "default" row in
+  (* Absolute numbers under the default GC against the boxed baselines. *)
+  let table =
+    T.create
+      ~headers:
+        [
+          ("kernel", T.Left); ("boxed ns", T.Right); ("warm ns", T.Right);
+          ("speedup", T.Right); ("boxed B/eval", T.Right);
+          ("warm B/eval", T.Right); ("alloc cut", T.Right);
+        ]
+  in
+  let points =
+    List.map
+      (fun (kernel, row) ->
+        let base_ns, base_alloc = List.assoc kernel core_baselines in
+        let measured = default_of row in
+        let speedup =
+          match measured with
+          | Some (ns, _, _) when ns > 0.0 -> Some (base_ns /. ns)
+          | _ -> None
+        in
+        let alloc_cut =
+          match measured with
+          | Some (_, alloc, _) when alloc > 0.0 -> Some (base_alloc /. alloc)
+          | _ -> None
+        in
+        let fmt f = function
+          | Some v -> Printf.sprintf f v
+          | None -> "-"
+        in
+        T.add_row table
+          [
+            kernel;
+            Printf.sprintf "%.0f" base_ns;
+            fmt "%.0f" (Option.map (fun (ns, _, _) -> ns) measured);
+            fmt "%.1fx" speedup;
+            Printf.sprintf "%.0f" base_alloc;
+            fmt "%.0f" (Option.map (fun (_, a, _) -> a) measured);
+            fmt "%.0fx" alloc_cut;
+          ];
+        (kernel, base_ns, base_alloc, measured, speedup, alloc_cut, row))
+      cells
+  in
+  T.print table;
+  (* Normalized medians across the minor-heap matrix, mimalloc-bench
+     style: each row normalized to its default-GC median so the matrix
+     reads as sensitivity, not absolute speed. *)
+  let table =
+    T.create
+      ~headers:
+        (("kernel", T.Left)
+        :: List.map (fun (label, _) -> (label, T.Right)) core_gc_matrix)
+  in
+  List.iter
+    (fun (kernel, _, _, measured, _, _, row) ->
+      let base = Option.map (fun (ns, _, _) -> ns) measured in
+      T.add_row table
+        (kernel
+        :: List.map
+             (fun (label, _) ->
+               match (base, List.assoc label row) with
+               | Some b, Some (ns, _, _) when b > 0.0 ->
+                 Printf.sprintf "%.2f" (ns /. b)
+               | _ -> "-")
+             core_gc_matrix))
+    points;
+  Printf.printf "wall-clock normalized to the default minor heap:\n\n";
+  T.print table;
+  let bic =
+    List.find_opt (fun (kernel, _, _, _, _, _, _) -> kernel = "bic") points
+  in
+  let bic_speedup_ok, bic_alloc_ok =
+    match bic with
+    | Some (_, _, _, _, Some s, Some a, _) -> (s >= 5.0, a >= 10.0)
+    | _ -> (false, false)
+  in
+  Printf.printf
+    "\nbic plain evaluation speedup target >= 5x: %s\n\
+     bic warm-allocation reduction target >= 10x: %s\n"
+    (if bic_speedup_ok then "ok" else "MISMATCH")
+    (if bic_alloc_ok then "ok" else "MISMATCH");
+  write_json "BENCH_core.json"
+    [
+      ("benchmark", Json.Str "perf-core");
+      ( "unit",
+        Json.Str
+          "ns/evaluation, warm: prepared CPA-RA state and simulator scratch \
+           reused across evaluations" );
+      ("budget", Json.Int budget);
+      ("reps", Json.Int core_probe_reps);
+      ( "baseline_note",
+        Json.Str
+          "baseline_ns/baseline_alloc_bytes are the boxed pre-arena \
+           simulator captured on this host immediately before the rewrite; \
+           that code path no longer exists, so they are recorded as \
+           constants" );
+      ( "gc_configs",
+        Json.Arr
+          (List.map (fun (label, _) -> Json.Str label) core_gc_matrix) );
+      ( "targets",
+        Json.Obj
+          [
+            ("bic_speedup_min_x", Json.Num "5.0");
+            ("alloc_reduction_min_x", Json.Num "10.0");
+          ] );
+      ( "checks",
+        Json.Obj
+          [
+            ("bic_speedup_ok", Json.Bool bic_speedup_ok);
+            ("bic_alloc_reduction_ok", Json.Bool bic_alloc_ok);
+          ] );
+      ( "kernels",
+        Json.Arr
+          (List.map
+             (fun (kernel, base_ns, base_alloc, measured, speedup, alloc_cut, row)
+             ->
+               Json.Obj
+                 [
+                   ("kernel", Json.Str kernel);
+                   ("baseline_ns", Json.ns base_ns);
+                   ("baseline_alloc_bytes", Json.ns base_alloc);
+                   ( "median_ns",
+                     Json.opt Json.ns
+                       (Option.map (fun (ns, _, _) -> ns) measured) );
+                   ( "alloc_bytes_per_eval",
+                     Json.opt Json.ns
+                       (Option.map (fun (_, a, _) -> a) measured) );
+                   ("speedup_x", Json.opt Json.float speedup);
+                   ("alloc_reduction_x", Json.opt Json.float alloc_cut);
+                   ( "gc_matrix",
+                     Json.Arr
+                       (List.map
+                          (fun (label, cell) ->
+                            Json.Obj
+                              [
+                                ("config", Json.Str label);
+                                ( "median_ns",
+                                  Json.opt Json.ns
+                                    (Option.map (fun (ns, _, _) -> ns) cell)
+                                );
+                                ( "alloc_bytes_per_eval",
+                                  Json.opt Json.ns
+                                    (Option.map (fun (_, a, _) -> a) cell) );
+                                ( "rss_kb",
+                                  Json.opt
+                                    (fun (_, _, r) -> Json.Int r)
+                                    cell );
+                              ])
+                          row) );
                  ])
              points) );
     ]
@@ -1273,20 +1598,45 @@ let sections =
     ("perf-fuzz", perf_fuzz);
     ("perf-certify", perf_certify);
     ("perf-parallel", perf_parallel);
+    ("perf-core", perf_core);
   ]
 
+(* `--sections core,cuts,certify` shorthand: bare names expand to their
+   perf-* section; full section names pass through unchanged. *)
+let expand_section = function
+  | "core" -> "perf-core"
+  | "cuts" -> "perf-cuts"
+  | "fuzz" -> "perf-fuzz"
+  | "certify" -> "perf-certify"
+  | "parallel" -> "perf-parallel"
+  | s -> s
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
-  in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-        Printf.eprintf "unknown section %s (have: %s)\n" name
-          (String.concat ", " (List.map fst sections));
-        exit 1)
-    requested
+  match Array.to_list Sys.argv with
+  (* Hidden re-exec mode used by perf-core to read OCAMLRUNPARAM fresh. *)
+  | _ :: "perf-core-probe" :: kernel :: _ -> perf_core_probe kernel
+  | argv ->
+    let rec parse acc = function
+      | [] -> List.rev acc
+      | "--sections" :: spec :: rest ->
+        parse
+          (List.rev_append
+             (List.map expand_section (String.split_on_char ',' spec))
+             acc)
+          rest
+      | name :: rest -> parse (name :: acc) rest
+    in
+    let requested =
+      match parse [] (match argv with [] -> [] | _ :: rest -> rest) with
+      | [] -> List.map fst sections
+      | names -> names
+    in
+    List.iter
+      (fun name ->
+        match List.assoc_opt name sections with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown section %s (have: %s)\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+      requested

@@ -56,7 +56,7 @@ let with_pr_fallback ?trace analysis ~budget allocate =
    so callers can reuse the certification's final simulation (when the
    slow path ran) instead of simulating the allocation again. *)
 let run_portfolio ?latency ?trace ?cut_work_limit ?prepared ?sim_config
-    analysis ~budget =
+    ?sim_scratch analysis ~budget =
   let candidate =
     with_pr_fallback ?trace analysis ~budget (fun () ->
         Cpa_ra.allocate ?latency ?trace ?cut_work_limit ?prepared analysis
@@ -68,10 +68,10 @@ let run_portfolio ?latency ?trace ?cut_work_limit ?prepared ?sim_config
     | None, Some latency -> { Srfa_sched.Simulator.default_config with latency }
     | None, None -> Srfa_sched.Simulator.default_config
   in
-  Certify.certify ?trace ~sim_config candidate
+  Certify.certify ?trace ~sim_config ?sim_scratch candidate
 
-let run ?latency ?trace ?cut_work_limit ?prepared ?sim_config algorithm
-    analysis ~budget =
+let run ?latency ?trace ?cut_work_limit ?prepared ?sim_config ?sim_scratch
+    algorithm analysis ~budget =
   match algorithm with
   | Fr_ra -> Fr_ra.allocate ?trace analysis ~budget
   | Pr_ra -> Pr_ra.allocate ?trace analysis ~budget
@@ -86,5 +86,5 @@ let run ?latency ?trace ?cut_work_limit ?prepared ?sim_config algorithm
   | Knapsack -> Knapsack.allocate ?trace analysis ~budget
   | Portfolio ->
     (run_portfolio ?latency ?trace ?cut_work_limit ?prepared ?sim_config
-       analysis ~budget)
+       ?sim_scratch analysis ~budget)
       .Certify.allocation

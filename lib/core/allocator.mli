@@ -27,7 +27,8 @@ val of_name : string -> algorithm option
 val run :
   ?latency:Srfa_hw.Latency.t -> ?trace:Srfa_util.Trace.sink ->
   ?cut_work_limit:int -> ?prepared:Cpa_ra.prepared ->
-  ?sim_config:Srfa_sched.Simulator.config -> algorithm ->
+  ?sim_config:Srfa_sched.Simulator.config ->
+  ?sim_scratch:Srfa_sched.Simulator.scratch -> algorithm ->
   Analysis.t -> budget:int -> Allocation.t
 (** Every algorithm runs as a strategy over {!Engine}; [trace] observes
     its decisions (see {!Engine} for the event vocabulary). [prepared] is
@@ -44,7 +45,8 @@ val run :
     [sim_config] is the simulator configuration {!Portfolio}'s
     certification pass measures cycles under (default
     {!Srfa_sched.Simulator.default_config}, with [latency] substituted
-    when given); the other algorithms never simulate and ignore it.
+    when given), and [sim_scratch] its reusable simulator state; the
+    other algorithms never simulate and ignore both.
     @raise Invalid_argument when the budget is below one register per
     reference group. *)
 
@@ -52,6 +54,7 @@ val run_portfolio :
   ?latency:Srfa_hw.Latency.t -> ?trace:Srfa_util.Trace.sink ->
   ?cut_work_limit:int -> ?prepared:Cpa_ra.prepared ->
   ?sim_config:Srfa_sched.Simulator.config ->
+  ?sim_scratch:Srfa_sched.Simulator.scratch ->
   Analysis.t -> budget:int -> Certify.outcome
 (** {!run} for {!Portfolio}, but returning the whole certification
     outcome. When [outcome.sim] is [Some], it is the simulation of the

@@ -75,6 +75,7 @@ val covers : Allocation.t -> Allocation.t -> bool
 val certify :
   ?trace:Srfa_util.Trace.sink ->
   ?sim_config:Srfa_sched.Simulator.config ->
+  ?sim_scratch:Srfa_sched.Simulator.scratch ->
   Allocation.t ->
   outcome
 (** [certify candidate] runs the candidate's analysis through FR-RA and

@@ -17,6 +17,8 @@ let prepare analysis =
   let dfg = Graph.build analysis in
   { dfg; scratch = Critical.scratch dfg }
 
+let dfg prepared = prepared.dfg
+
 let allocate_traced ?(latency = Srfa_hw.Latency.default)
     ?(spend_leftover = false) ?trace ?cut_work_limit ?prepared analysis
     ~budget =

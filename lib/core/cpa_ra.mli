@@ -29,6 +29,11 @@ type prepared
 
 val prepare : Analysis.t -> prepared
 
+val dfg : prepared -> Srfa_dfg.Graph.t
+(** The DFG the scratch was built from — donate it to
+    {!Srfa_sched.Simulator.scratch} so one kernel needs one graph build
+    total. *)
+
 val allocate :
   ?latency:Srfa_hw.Latency.t -> ?spend_leftover:bool ->
   ?trace:Srfa_util.Trace.sink -> ?cut_work_limit:int ->

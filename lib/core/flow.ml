@@ -23,10 +23,12 @@ let default_config =
 
 let analyze nest = Analysis.analyze nest
 
-let allocation ?(config = default_config) ?trace ?prepared algorithm analysis =
+let allocation ?(config = default_config) ?trace ?prepared ?sim_scratch
+    algorithm analysis =
   Allocator.run ~latency:config.sim.Srfa_sched.Simulator.latency ?trace
     ?cut_work_limit:config.guards.cut_work_limit ?prepared
-    ~sim_config:config.sim algorithm analysis ~budget:config.budget
+    ~sim_config:config.sim ?sim_scratch algorithm analysis
+    ~budget:config.budget
 
 (* The caller's sink (CLI --trace, bench) tees with an in-memory collector
    so the report can summarise the decision stream either way. *)
@@ -41,15 +43,17 @@ let tee_collector trace =
   in
   (sink, events)
 
-let evaluate_analysis ?(trace = Trace.null) ?prepared config algorithm
-    analysis =
+let evaluate_analysis ?(trace = Trace.null) ?prepared ?sim_scratch config
+    algorithm analysis =
   let sink, events = tee_collector trace in
-  let alloc = allocation ~config ~trace:sink ?prepared algorithm analysis in
+  let alloc =
+    allocation ~config ~trace:sink ?prepared ?sim_scratch algorithm analysis
+  in
   (* Summarise the allocation decisions only (fixed before the simulator
      appends its own guard events to the same stream). *)
   let trace_summary = Trace.summary (events ()) in
   Srfa_estimate.Report.build ~sim_config:config.sim
-    ~clock_params:config.clock_params ~trace:sink ~trace_summary
+    ~clock_params:config.clock_params ~trace:sink ~trace_summary ?sim_scratch
     ~version:(Allocator.version_label algorithm)
     alloc
 
@@ -60,8 +64,13 @@ let evaluate_all ?(config = default_config) ?(algorithms = Allocator.all)
     ?trace nest =
   let analysis = analyze nest in
   let prepared = Cpa_ra.prepare analysis in
+  let sim_scratch =
+    Srfa_sched.Simulator.scratch ~config:config.sim
+      ~dfg:(Cpa_ra.dfg prepared) analysis
+  in
   List.map
-    (fun alg -> evaluate_analysis ?trace ~prepared config alg analysis)
+    (fun alg ->
+      evaluate_analysis ?trace ~prepared ~sim_scratch config alg analysis)
     algorithms
 
 type sweep_point = {
@@ -114,8 +123,7 @@ let warnings_of_events events =
    cycle-stepped event model. A divergence is not an error — the report
    keeps the (agreeing-by-construction) Cycle_model numbers — but it is
    worth a warning and a trace event. *)
-let event_model_warning ~sink ~guards ~sim_config analysis alloc =
-  let dfg = Srfa_dfg.Graph.build analysis in
+let event_model_warning ~sink ~guards ~sim_config ~dfg alloc =
   let ram_map = Srfa_sched.Simulator.ram_map_for sim_config alloc in
   let residual = Allocation.residual_ram_groups alloc in
   let charged (g : Group.t) = List.mem g.Group.id residual in
@@ -144,17 +152,26 @@ let run_checked ?(config = default_config) ?(algorithm = Allocator.Cpa_ra)
   let sink, events = tee_collector trace in
   match
     let analysis = analyze nest in
-    let alloc = allocation ~config ~trace:sink algorithm analysis in
+    let prepared = Cpa_ra.prepare analysis in
+    let dfg = Cpa_ra.dfg prepared in
+    let sim_scratch =
+      Srfa_sched.Simulator.scratch ~config:config.sim ~dfg analysis
+    in
+    let alloc =
+      allocation ~config ~trace:sink ~prepared ~sim_scratch algorithm
+        analysis
+    in
     let trace_summary = Trace.summary (events ()) in
     let report =
       Srfa_estimate.Report.build ~sim_config:config.sim
         ~clock_params:config.clock_params ~trace:sink ~trace_summary
+        ~sim_scratch
         ~version:(Allocator.version_label algorithm)
         alloc
     in
     let event_warning =
       event_model_warning ~sink ~guards:config.guards ~sim_config:config.sim
-        analysis alloc
+        ~dfg alloc
     in
     (report, event_warning)
   with
@@ -173,20 +190,21 @@ let run_checked ?(config = default_config) ?(algorithm = Allocator.Cpa_ra)
    the sweep carries the best certified allocation forward and adopts it
    whenever the fresh point loses to it, announcing the takeover as a
    ["certify.monotonic"] trace event. *)
-let portfolio_point ?(trace = Trace.null) ~prepared ~carry config kernel
-    analysis =
+let portfolio_point ?(trace = Trace.null) ~prepared ?sim_scratch ~carry config
+    kernel analysis =
   let sink, events = tee_collector trace in
   let outcome =
     Allocator.run_portfolio
       ~latency:config.sim.Srfa_sched.Simulator.latency ~trace:sink
       ?cut_work_limit:config.guards.cut_work_limit ~prepared
-      ~sim_config:config.sim analysis ~budget:config.budget
+      ~sim_config:config.sim ?sim_scratch analysis ~budget:config.budget
   in
   let alloc = outcome.Certify.allocation in
   let trace_summary = Trace.summary (events ()) in
   let build alloc =
     Srfa_estimate.Report.build ~sim_config:config.sim
       ~clock_params:config.clock_params ~trace:sink ~trace_summary
+      ?sim_scratch
       ~version:(Allocator.version_label Allocator.Portfolio)
       alloc
   in
@@ -240,6 +258,12 @@ let sweep_kernel ~config ~algorithms ~budgets ?trace (kernel, nest) =
   let analysis = analyze nest in
   let minimum = Ordering.feasibility_minimum analysis in
   let prepared = Cpa_ra.prepare analysis in
+  (* One simulator scratch per kernel, created inside the task so each
+     pool domain owns its own (the scratch is not thread-safe). *)
+  let sim_scratch =
+    Srfa_sched.Simulator.scratch ~config:config.sim
+      ~dfg:(Cpa_ra.dfg prepared) analysis
+  in
   let carry = ref None in
   List.concat_map
     (fun budget ->
@@ -250,11 +274,11 @@ let sweep_kernel ~config ~algorithms ~budgets ?trace (kernel, nest) =
             let report =
               match algorithm with
               | Allocator.Portfolio ->
-                portfolio_point ?trace ~prepared ~carry { config with budget }
-                  kernel analysis
+                portfolio_point ?trace ~prepared ~sim_scratch ~carry
+                  { config with budget } kernel analysis
               | _ ->
-                evaluate_analysis ?trace ~prepared { config with budget }
-                  algorithm analysis
+                evaluate_analysis ?trace ~prepared ~sim_scratch
+                  { config with budget } algorithm analysis
             in
             { kernel; algorithm; budget; report })
           algorithms)

@@ -105,5 +105,7 @@ val analyze : Nest.t -> Analysis.t
 
 val allocation :
   ?config:config -> ?trace:Srfa_util.Trace.sink ->
-  ?prepared:Cpa_ra.prepared -> Allocator.algorithm -> Analysis.t ->
+  ?prepared:Cpa_ra.prepared ->
+  ?sim_scratch:Srfa_sched.Simulator.scratch ->
+  Allocator.algorithm -> Analysis.t ->
   Allocation.t

@@ -12,25 +12,40 @@ type t = {
   charged : Group.t -> bool;
 }
 
-(* Buffers whose contents depend only on the DFG's structure (the topological
-   order) or that are overwritten wholesale on every extraction (the distance
-   arrays). CPA-RA re-extracts the CG once per allocation round under a new
-   [charged] predicate; sharing a scratch across rounds skips the per-round
-   topological sort and the two array allocations. *)
+(* Buffers whose contents depend only on the DFG's structure (the
+   topological order) or that are overwritten wholesale on every
+   extraction (the distance arrays, the membership and adjacency arrays,
+   the sink set). CPA-RA re-extracts the CG once per allocation round
+   under a new [charged] predicate; sharing a scratch across rounds skips
+   the per-round topological sort and every O(nodes) array allocation —
+   at the price that a [make ~scratch] invalidates the [t] of the
+   previous extraction with the same scratch (CPA-RA consumes each CG
+   within its round, so nothing is ever stale there). *)
 type scratch = {
   sgraph : Graph.t;
   order : int list;
+  rev_order : int list;
   fwd : int array;
   bwd : int array;
+  s_in_cg : bool array;
+  s_cg_succs : int list array;
+  s_has_pred : bool array;
+  s_is_sink : Bitset.t;
 }
 
 let scratch g =
   let n = Graph.num_nodes g in
+  let order = Graph.topo_order ~what:"Critical.scratch" g in
   {
     sgraph = g;
-    order = Graph.topo_order ~what:"Critical.scratch" g;
+    order;
+    rev_order = List.rev order;
     fwd = Array.make n 0;
     bwd = Array.make n 0;
+    s_in_cg = Array.make n false;
+    s_cg_succs = Array.make n [];
+    s_has_pred = Array.make n false;
+    s_is_sink = Bitset.create n;
   }
 
 let make ?scratch:sc g ~latency ~charged =
@@ -57,30 +72,47 @@ let make ?scratch:sc g ~latency ~charged =
     in
     bwd.(u) <- base + w u
   in
-  List.iter relax_bwd (List.rev order);
+  List.iter relax_bwd sc.rev_order;
   let length = Array.fold_left max 0 fwd in
-  let in_cg = Array.make n false in
+  let in_cg = sc.s_in_cg in
   for u = 0 to n - 1 do
     in_cg.(u) <- fwd.(u) + bwd.(u) - w u = length
   done;
   (* A DFG edge is critical iff it lies on a maximum-latency path. *)
-  let cg_succs = Array.make n [] in
+  let cg_succs = sc.s_cg_succs in
   for u = 0 to n - 1 do
     if in_cg.(u) then
       let keep v = in_cg.(v) && fwd.(u) + bwd.(v) = length in
       cg_succs.(u) <- List.filter keep (Graph.succs g u)
+    else cg_succs.(u) <- []
   done;
-  let cg_has_pred = Array.make n false in
+  let cg_has_pred = sc.s_has_pred in
+  Array.fill cg_has_pred 0 n false;
   Array.iteri
     (fun u vs -> if in_cg.(u) then List.iter (fun v -> cg_has_pred.(v) <- true) vs)
     cg_succs;
-  let ids = List.init n Fun.id in
-  let sources =
-    List.filter (fun u -> in_cg.(u) && not cg_has_pred.(u)) ids
-  in
-  let sinks = List.filter (fun u -> in_cg.(u) && cg_succs.(u) = []) ids in
-  let is_sink = Bitset.of_list n sinks in
-  { graph = g; length; in_cg; cg_succs; sources; sinks; is_sink; charged }
+  let sources = ref [] and sinks = ref [] in
+  let is_sink = sc.s_is_sink in
+  Bitset.clear is_sink;
+  for u = n - 1 downto 0 do
+    if in_cg.(u) then begin
+      if not cg_has_pred.(u) then sources := u :: !sources;
+      if cg_succs.(u) = [] then begin
+        sinks := u :: !sinks;
+        Bitset.add is_sink u
+      end
+    end
+  done;
+  {
+    graph = g;
+    length;
+    in_cg;
+    cg_succs;
+    sources = !sources;
+    sinks = !sinks;
+    is_sink;
+    charged;
+  }
 
 let length t = t.length
 

@@ -11,9 +11,13 @@ type t
 
 type scratch
 (** Reusable extraction state for one DFG: the topological order (structure
-    only, so valid across memory states) and the forward/backward distance
-    arrays (overwritten on each extraction). CPA-RA builds one scratch per
-    allocation and re-extracts the CG with it every round. *)
+    only, so valid across memory states) plus the distance, membership and
+    adjacency buffers every extraction overwrites wholesale. CPA-RA builds
+    one scratch per allocation and re-extracts the CG with it every round.
+    {b Aliasing:} a [t] built with a scratch shares these buffers, so the
+    next {!make} with the same scratch invalidates it — consume each CG
+    before extracting the next (as CPA-RA's round loop does), or extract
+    without a scratch. *)
 
 val scratch : Graph.t -> scratch
 

@@ -61,8 +61,11 @@ let of_result ?clock_params ?trace_summary ~sim_config ~version alloc
   }
 
 let build ?(sim_config = Srfa_sched.Simulator.default_config) ?clock_params
-    ?trace ?trace_summary ~version alloc =
-  let sim = Srfa_sched.Simulator.run ?trace ~config:sim_config alloc in
+    ?trace ?trace_summary ?sim_scratch ~version alloc =
+  let sim =
+    Srfa_sched.Simulator.run ?trace ~config:sim_config ?scratch:sim_scratch
+      alloc
+  in
   of_result ?clock_params ?trace_summary ~sim_config ~version alloc sim
 
 let speedup ~base t = base.exec_time_us /. t.exec_time_us

@@ -31,10 +31,13 @@ val build :
   ?clock_params:Clock.params ->
   ?trace:Srfa_util.Trace.sink ->
   ?trace_summary:string ->
+  ?sim_scratch:Srfa_sched.Simulator.scratch ->
   version:string ->
   Allocation.t ->
   t
-(** Runs the simulator and the estimators for one allocation. *)
+(** Runs the simulator and the estimators for one allocation.
+    [sim_scratch] is forwarded to {!Srfa_sched.Simulator.run} so repeated
+    reports over one nest reuse the simulator's warm state. *)
 
 val of_result :
   ?clock_params:Clock.params ->

@@ -1,4 +1,5 @@
 open Srfa_ir
+module Arena = Srfa_util.Arena
 
 type info = {
   group : Group.t;
@@ -52,7 +53,7 @@ let element_of coeffs const point =
    over their full ranges. *)
 let count_window_distinct ~counts ~level ~delta coeffs const =
   let depth = Array.length counts in
-  let seen = Hashtbl.create 64 in
+  let seen = Arena.Set.create ~capacity:64 () in
   let point = Array.make depth 0 in
   let lo = Array.make depth 0 in
   let hi = Array.make depth 0 in
@@ -62,8 +63,7 @@ let count_window_distinct ~counts ~level ~delta coeffs const =
     else hi.(l) <- counts.(l) - 1
   done;
   let rec walk l =
-    if l = depth then
-      Hashtbl.replace seen (element_of coeffs const point) ()
+    if l = depth then ignore (Arena.Set.add seen (element_of coeffs const point))
     else
       for c = lo.(l) to hi.(l) do
         point.(l) <- c;
@@ -71,7 +71,7 @@ let count_window_distinct ~counts ~level ~delta coeffs const =
       done
   in
   walk 0;
-  Hashtbl.length seen
+  Arena.Set.cardinal seen
 
 let analyze nest =
   let groups = Group.collect nest in
@@ -83,15 +83,13 @@ let analyze nest =
   (* One pass over the iteration space counts distinct elements per group.
      Every group is touched each iteration (straight-line body), so
      accesses = iterations. *)
-  let distinct_tbls =
-    Array.map (fun _ -> Hashtbl.create 256) groups
+  let distinct_sets =
+    Array.map (fun _ -> Arena.Set.create ~capacity:256 ()) groups
   in
   let visit point =
     Array.iteri
       (fun gi (coeffs, const) ->
-        let e = element_of coeffs const point in
-        let tbl = distinct_tbls.(gi) in
-        if not (Hashtbl.mem tbl e) then Hashtbl.replace tbl e ())
+        ignore (Arena.Set.add distinct_sets.(gi) (element_of coeffs const point)))
       lins
   in
   Iterspace.iter nest visit;
@@ -109,7 +107,7 @@ let analyze nest =
       else count_window_distinct ~counts ~level:window_level ~delta coeffs const
     in
     let accesses = iterations in
-    let distinct = Hashtbl.length distinct_tbls.(gi) in
+    let distinct = Arena.Set.cardinal distinct_sets.(gi) in
     let saved_full = if has_reuse then accesses - distinct else 0 in
     {
       group = g;
@@ -161,7 +159,7 @@ let rank_affine t (i : info) =
         appearing 1
     in
     (* Validate on one window (outer coordinates pinned to 0). *)
-    let ranks = Hashtbl.create 64 in
+    let ranks = Arena.Table.create ~capacity:64 () in
     let next = ref 0 in
     let ok = ref true in
     let point = Array.make depth 0 in
@@ -170,13 +168,13 @@ let rank_affine t (i : info) =
         if l = depth then begin
           let e = element_of i.lin_coeffs i.lin_const point in
           let true_rank =
-            match Hashtbl.find_opt ranks e with
-            | Some r -> r
-            | None ->
+            match Arena.Table.find ranks e ~default:(-1) with
+            | -1 ->
               let r = !next in
-              Hashtbl.replace ranks e r;
+              Arena.Table.set ranks e r;
               incr next;
               r
+            | r -> r
           in
           let predicted = ref 0 in
           for l' = 0 to depth - 1 do
@@ -199,20 +197,26 @@ let rank_affine t (i : info) =
   end
 
 module Tracker = struct
+  (* Per-group first-touch ranks within the current reuse window. The
+     rank table is an Arena.Table so the per-window clear (every time an
+     outer coordinate changes — the inner hot loop of the simulator) is a
+     generation bump, not a bucket-array wipe, and rank lookups allocate
+     nothing. *)
   type gstate = {
-    ranks : (int, int) Hashtbl.t;
+    ranks : Arena.Table.t;
     mutable next_rank : int;
-    mutable window : int array; (* coords of levels 1..window_level *)
+    window : int array; (* coords of levels 1..window_level *)
     mutable current_rank : int;
   }
 
   type tracker = { analysis : t; states : gstate array }
 
   let create analysis =
+    let depth = List.length (Nest.trip_counts analysis.nest) in
     let mk (i : info) =
-      let wl = min i.window_level (Array.length (Array.of_list (Nest.trip_counts analysis.nest))) in
+      let wl = min i.window_level depth in
       {
-        ranks = Hashtbl.create 64;
+        ranks = Arena.Table.create ~capacity:64 ();
         next_rank = 0;
         window = Array.make (max wl 0) (-1);
         current_rank = max_int;
@@ -220,8 +224,19 @@ module Tracker = struct
     in
     { analysis; states = Array.map mk analysis.infos }
 
+  let reset tr =
+    Array.iter
+      (fun st ->
+        Arena.Table.reset st.ranks;
+        st.next_rank <- 0;
+        Array.fill st.window 0 (Array.length st.window) (-1);
+        st.current_rank <- max_int)
+      tr.states
+
   let step tr point =
-    let update gi (i : info) =
+    let infos = tr.analysis.infos in
+    for gi = 0 to Array.length infos - 1 do
+      let i = infos.(gi) in
       if i.has_reuse then begin
         let st = tr.states.(gi) in
         let wl = Array.length st.window in
@@ -231,23 +246,24 @@ module Tracker = struct
         done;
         if !changed then begin
           Array.blit point 0 st.window 0 wl;
-          Hashtbl.reset st.ranks;
+          Arena.Table.reset st.ranks;
           st.next_rank <- 0
         end;
         let e = element_index i point in
         let rank =
-          match Hashtbl.find_opt st.ranks e with
-          | Some r -> r
-          | None ->
+          match Arena.Table.find st.ranks e ~default:(-1) with
+          | -1 ->
             let r = st.next_rank in
-            Hashtbl.replace st.ranks e r;
+            Arena.Table.set st.ranks e r;
             st.next_rank <- r + 1;
             r
+          | r -> r
         in
         st.current_rank <- rank
       end
-    in
-    Array.iteri update tr.analysis.infos
+    done
+
+  let analysis tr = tr.analysis
 
   let slot_rank tr gid =
     let i = tr.analysis.infos.(gid) in

@@ -76,9 +76,18 @@ module Tracker : sig
 
   val create : t -> tracker
 
+  val reset : tracker -> unit
+  (** Return the tracker to its initial state (as if freshly created) so
+      one tracker can be reused across walks of the same nest — the
+      simulator scratch does this per evaluation. O(groups); does not
+      shrink the rank tables, preserving their warmed-up capacity. *)
+
   val step : tracker -> int array -> unit
   (** Advance to the given iteration point (must follow execution order;
       windows reset as outer coordinates change). *)
+
+  val analysis : tracker -> t
+  (** The analysis the tracker was created from. *)
 
   val slot_rank : tracker -> int -> int
   (** [slot_rank tr gid] is the first-touch rank of the element the group

@@ -1,153 +1,266 @@
 open Srfa_reuse
 module Graph = Srfa_dfg.Graph
 
+(* Everything that depends only on the DFG's structure and the latency
+   table, flattened into int arrays once so the per-makespan work (called
+   on every simulator memo miss) allocates nothing: the topological order,
+   a CSR predecessor adjacency, per-node latencies for both memory states,
+   the ref-node index, and the scratch buffers each schedule overwrites
+   wholesale. One prepared may back many models over different RAM maps
+   (the simulator scratch reuses one across a whole budget ladder), but
+   its scratch is single-threaded: don't interleave makespan calls from
+   two models sharing a prepared. *)
+type prepared = {
+  pdfg : Graph.t;
+  platency : Srfa_hw.Latency.t;
+  topo : int array;
+  pred_off : int array; (* CSR offsets, length n+1 *)
+  pred_arr : int array;
+  lat_charged : int array; (* node latency when its group hits RAM *)
+  lat_uncharged : int array; (* node latency when register-served *)
+  ref_ids : int array; (* node ids of reference nodes *)
+  ref_grps : Group.t array; (* their groups, same indexing *)
+  mutable recurrence : int; (* lazy: -1 until computed *)
+  (* scratch, overwritten on every schedule *)
+  finish : int array;
+  charged_node : bool array;
+  slot_bank : int array; (* booked RAM accesses of the current schedule *)
+  slot_start : int array;
+}
+
 type t = {
-  dfg : Graph.t;
-  latency : Srfa_hw.Latency.t;
+  prepared : prepared;
   ram_map : Srfa_hw.Ram_map.t;
-  topo : int list;
+  (* RAM banks renumbered densely per model (raw ids mix real banks with
+     the [-1000 - gid] virtual banks of unmapped arrays). *)
+  node_slot : int array; (* node id -> dense bank slot; -1 for non-refs *)
+  slot_ports : int array; (* dense bank slot -> port count *)
+  pressure : int array; (* initiation-interval scratch, one per slot *)
   compute_makespan : int;
 }
 
-(* ASAP list scheduling with RAM port constraints. Charged reference nodes
-   occupy a port of their array's bank for [ram_access] cycles; everything
-   else only waits for its predecessors. *)
-let schedule_makespan dfg latency ram_map topo ~charged =
+let prepare ~dfg ~latency =
   let n = Graph.num_nodes dfg in
-  let finish = Array.make n 0 in
-  let ports : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
-  let ram = latency.Srfa_hw.Latency.ram_access in
-  let alloc_port bank ready =
-    let nports =
-      if bank >= -1 then Srfa_hw.Ram_map.ports_of_bank ram_map bank
-      else 2 (* virtual banks of unmapped arrays: dual-ported default *)
-    in
-    let slots =
-      match Hashtbl.find_opt ports bank with
-      | Some s -> s
-      | None ->
-        let s = ref [] in
-        Hashtbl.replace ports bank s;
-        s
-    in
-    (* Find the earliest start >= ready when fewer than [nports] accesses
-       overlap; accesses are unit-grain intervals [start, start+ram). *)
-    let overlaps start = List.filter (fun s -> abs (s - start) < ram) !slots in
-    let rec find start =
-      if List.length (overlaps start) < nports then start else find (start + 1)
-    in
-    let start = find ready in
-    slots := start :: !slots;
-    start
+  let topo =
+    Array.of_list (Graph.topo_order ~what:"Cycle_model.prepare" dfg)
   in
-  let visit u =
-    let nd = (Graph.nodes dfg).(u) in
-    let ready =
-      List.fold_left (fun acc p -> max acc finish.(p)) 0 (Graph.preds dfg u)
-    in
-    let dur = Graph.node_latency dfg ~latency ~charged nd in
+  let pred_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    pred_off.(u + 1) <- pred_off.(u) + List.length (Graph.preds dfg u)
+  done;
+  let pred_arr = Array.make (max pred_off.(n) 1) 0 in
+  for u = 0 to n - 1 do
+    List.iteri
+      (fun k p -> pred_arr.(pred_off.(u) + k) <- p)
+      (Graph.preds dfg u)
+  done;
+  let lat_charged = Array.make n 0 and lat_uncharged = Array.make n 0 in
+  let nodes = Graph.nodes dfg in
+  let refs = ref [] in
+  for u = n - 1 downto 0 do
+    (match nodes.(u).Graph.kind with
+    | Graph.Ref_node g ->
+      lat_charged.(u) <- latency.Srfa_hw.Latency.ram_access;
+      lat_uncharged.(u) <- latency.Srfa_hw.Latency.register_access;
+      refs := (u, g) :: !refs
+    | Graph.Binary_node op ->
+      let l = latency.Srfa_hw.Latency.binary op in
+      lat_charged.(u) <- l;
+      lat_uncharged.(u) <- l
+    | Graph.Unary_node op ->
+      let l = latency.Srfa_hw.Latency.unary op in
+      lat_charged.(u) <- l;
+      lat_uncharged.(u) <- l
+    | Graph.Const_node _ -> ());
+    ()
+  done;
+  let nrefs = List.length !refs in
+  {
+    pdfg = dfg;
+    platency = latency;
+    topo;
+    pred_off;
+    pred_arr;
+    lat_charged;
+    lat_uncharged;
+    ref_ids = Array.of_list (List.map fst !refs);
+    ref_grps = Array.of_list (List.map snd !refs);
+    recurrence = -1;
+    finish = Array.make (max n 1) 0;
+    charged_node = Array.make (max n 1) false;
+    slot_bank = Array.make (max nrefs 1) 0;
+    slot_start = Array.make (max nrefs 1) 0;
+  }
+
+(* ASAP list scheduling with RAM port constraints, on the flattened
+   graph. Charged reference nodes occupy a port of their array's bank for
+   [ram_access] cycles; everything else only waits for its predecessors.
+   Booked accesses live in the prepared slot arrays (unit-grain intervals
+   [start, start+ram)); the per-candidate overlap scan matches the
+   per-bank interval lists of the boxed implementation result-for-result. *)
+let schedule t ~charged =
+  let p = t.prepared in
+  let ram = p.platency.Srfa_hw.Latency.ram_access in
+  for k = 0 to Array.length p.ref_ids - 1 do
+    p.charged_node.(p.ref_ids.(k)) <- charged p.ref_grps.(k)
+  done;
+  let used = ref 0 in
+  let best = ref 0 in
+  for i = 0 to Array.length p.topo - 1 do
+    let u = p.topo.(i) in
+    let ready = ref 0 in
+    for j = p.pred_off.(u) to p.pred_off.(u + 1) - 1 do
+      let f = p.finish.(p.pred_arr.(j)) in
+      if f > !ready then ready := f
+    done;
+    let is_charged_ref = t.node_slot.(u) >= 0 && p.charged_node.(u) in
+    let dur = if p.charged_node.(u) then p.lat_charged.(u) else p.lat_uncharged.(u) in
     let start =
-      match Graph.group_of_node nd with
-      | Some g when charged g ->
-        let bank =
-          let name = (Group.decl g).Srfa_ir.Decl.name in
-          if Srfa_hw.Ram_map.is_mapped ram_map name then
-            Srfa_hw.Ram_map.bank_of ram_map name
-          else -1000 - g.Group.id (* unmapped: private virtual banks *)
+      if not is_charged_ref then !ready
+      else begin
+        let b = t.node_slot.(u) in
+        let nports = t.slot_ports.(b) in
+        (* Earliest start >= ready when fewer than [nports] booked
+           accesses of this bank overlap the candidate interval. *)
+        let rec find start =
+          let overlapping = ref 0 in
+          for s = 0 to !used - 1 do
+            if p.slot_bank.(s) = b && abs (p.slot_start.(s) - start) < ram
+            then incr overlapping
+          done;
+          if !overlapping < nports then start else find (start + 1)
         in
-        alloc_port bank ready
-      | Some _ | None -> ready
+        let start = find !ready in
+        p.slot_bank.(!used) <- b;
+        p.slot_start.(!used) <- start;
+        incr used;
+        start
+      end
     in
-    finish.(u) <- start + dur
+    let f = start + dur in
+    p.finish.(u) <- f;
+    if f > !best then best := f
+  done;
+  !best
+
+let create ?prepared ~dfg ~latency ~ram_map () =
+  let p =
+    match prepared with
+    | Some p when p.pdfg == dfg && p.platency == latency -> p
+    | Some _ | None -> prepare ~dfg ~latency
   in
-  List.iter visit topo;
-  Array.fold_left max 0 finish
-
-let create ~dfg ~latency ~ram_map =
-  let topo = Graph.topo_order ~what:"Cycle_model.create" dfg in
-  let compute_makespan =
-    schedule_makespan dfg latency ram_map topo ~charged:(fun _ -> false)
+  let n = Graph.num_nodes dfg in
+  (* Dense renumbering of the banks this model's ref nodes touch. *)
+  let node_slot = Array.make (max n 1) (-1) in
+  let nrefs = Array.length p.ref_ids in
+  let raw_ids = Array.make (max nrefs 1) 0 in
+  let ports = Array.make (max nrefs 1) 0 in
+  let nslots = ref 0 in
+  for k = 0 to nrefs - 1 do
+    let g = p.ref_grps.(k) in
+    let name = (Group.decl g).Srfa_ir.Decl.name in
+    let raw =
+      if Srfa_hw.Ram_map.is_mapped ram_map name then
+        Srfa_hw.Ram_map.bank_of ram_map name
+      else -1000 - g.Group.id (* unmapped: private virtual banks *)
+    in
+    let slot = ref (-1) in
+    for s = 0 to !nslots - 1 do
+      if raw_ids.(s) = raw then slot := s
+    done;
+    if !slot < 0 then begin
+      slot := !nslots;
+      raw_ids.(!nslots) <- raw;
+      ports.(!nslots) <-
+        (if raw >= -1 then Srfa_hw.Ram_map.ports_of_bank ram_map raw
+         else 2 (* virtual banks of unmapped arrays: dual-ported default *));
+      incr nslots
+    end;
+    node_slot.(p.ref_ids.(k)) <- !slot
+  done;
+  let t =
+    {
+      prepared = p;
+      ram_map;
+      node_slot;
+      slot_ports = ports;
+      pressure = Array.make (max !nslots 1) 0;
+      compute_makespan = 0;
+    }
   in
-  { dfg; latency; ram_map; topo; compute_makespan }
+  { t with compute_makespan = schedule t ~charged:(fun _ -> false) }
 
-let makespan t ~charged =
-  schedule_makespan t.dfg t.latency t.ram_map t.topo ~charged
-
+let makespan t ~charged = schedule t ~charged
 let compute_makespan t = t.compute_makespan
-
 let memory_cycles t ~charged = makespan t ~charged - t.compute_makespan
-
-let bank_of_group t (g : Group.t) =
-  let name = (Group.decl g).Srfa_ir.Decl.name in
-  if Srfa_hw.Ram_map.is_mapped t.ram_map name then
-    Srfa_hw.Ram_map.bank_of t.ram_map name
-  else -1000 - g.Group.id
 
 (* Longest op-latency path between two nodes of the same group (read
    before write): the loop-carried recurrence a pipelined schedule cannot
-   break. *)
-let recurrence_length t =
-  let n = Graph.num_nodes t.dfg in
-  let nodes = Graph.nodes t.dfg in
-  let weight u =
-    match nodes.(u).Graph.kind with
-    | Graph.Ref_node _ | Graph.Const_node _ -> 0
-    | Graph.Binary_node op -> t.latency.Srfa_hw.Latency.binary op
-    | Graph.Unary_node op -> t.latency.Srfa_hw.Latency.unary op
-  in
-  (* dist.(u).(v)-free approach: for each group with a source node and a
-     later sink node, longest path from source to sink. *)
-  let best = ref 1 in
-  let sources = Hashtbl.create 8 and sinks = Hashtbl.create 8 in
-  Array.iter
-    (fun (nd : Graph.node) ->
-      match Graph.group_of_node nd with
-      | Some g ->
-        if Graph.preds t.dfg nd.Graph.id = [] then
-          Hashtbl.replace sources g.Group.id nd.Graph.id
-        else Hashtbl.replace sinks g.Group.id nd.Graph.id
-      | None -> ())
-    nodes;
-  Hashtbl.iter
-    (fun gid src ->
-      match Hashtbl.find_opt sinks gid with
-      | None -> ()
-      | Some sink ->
-        (* longest path src -> sink over op weights *)
-        let dist = Array.make n min_int in
-        dist.(src) <- 0;
-        List.iter
-          (fun u ->
-            if dist.(u) > min_int then
-              List.iter
-                (fun v ->
-                  let d = dist.(u) + weight v in
-                  if d > dist.(v) then dist.(v) <- d)
-                (Graph.succs t.dfg u))
-          t.topo;
-        if dist.(sink) > !best then best := dist.(sink))
-    sources;
-  !best
+   break. Depends only on the DFG and latency table, so it is computed
+   once per prepared and memoised. *)
+let recurrence_length p =
+  if p.recurrence >= 0 then p.recurrence
+  else begin
+    let dfg = p.pdfg in
+    let n = Graph.num_nodes dfg in
+    let nodes = Graph.nodes dfg in
+    let weight u =
+      match nodes.(u).Graph.kind with
+      | Graph.Ref_node _ | Graph.Const_node _ -> 0
+      | Graph.Binary_node op -> p.platency.Srfa_hw.Latency.binary op
+      | Graph.Unary_node op -> p.platency.Srfa_hw.Latency.unary op
+    in
+    (* For each group with a source node and a later sink node, longest
+       path from source to sink. *)
+    let best = ref 1 in
+    let sources = Hashtbl.create 8 and sinks = Hashtbl.create 8 in
+    Array.iter
+      (fun (nd : Graph.node) ->
+        match Graph.group_of_node nd with
+        | Some g ->
+          if Graph.preds dfg nd.Graph.id = [] then
+            Hashtbl.replace sources g.Group.id nd.Graph.id
+          else Hashtbl.replace sinks g.Group.id nd.Graph.id
+        | None -> ())
+      nodes;
+    Hashtbl.iter
+      (fun gid src ->
+        match Hashtbl.find_opt sinks gid with
+        | None -> ()
+        | Some sink ->
+          let dist = Array.make n min_int in
+          dist.(src) <- 0;
+          Array.iter
+            (fun u ->
+              if dist.(u) > min_int then
+                List.iter
+                  (fun v ->
+                    let d = dist.(u) + weight v in
+                    if d > dist.(v) then dist.(v) <- d)
+                  (Graph.succs dfg u))
+            p.topo;
+          if dist.(sink) > !best then best := dist.(sink))
+      sources;
+    p.recurrence <- !best;
+    !best
+  end
 
 let initiation_interval t ~charged =
-  let pressure = Hashtbl.create 8 in
-  let note (nd : Graph.node) =
-    match Graph.group_of_node nd with
-    | Some g when charged g ->
-      let b = bank_of_group t g in
-      Hashtbl.replace pressure b
-        (1 + Option.value ~default:0 (Hashtbl.find_opt pressure b))
-    | Some _ | None -> ()
-  in
-  Array.iter note (Graph.nodes t.dfg);
-  let port_ii =
-    Hashtbl.fold
-      (fun b accesses acc ->
-        let ports =
-          if b >= -1 then Srfa_hw.Ram_map.ports_of_bank t.ram_map b else 2
-        in
-        let per_access = t.latency.Srfa_hw.Latency.ram_access in
-        max acc ((accesses * per_access + ports - 1) / ports))
-      pressure 0
-  in
-  max 1 (max port_ii (recurrence_length t))
+  let p = t.prepared in
+  Array.fill t.pressure 0 (Array.length t.pressure) 0;
+  for k = 0 to Array.length p.ref_ids - 1 do
+    if charged p.ref_grps.(k) then begin
+      let slot = t.node_slot.(p.ref_ids.(k)) in
+      t.pressure.(slot) <- t.pressure.(slot) + 1
+    end
+  done;
+  let per_access = p.platency.Srfa_hw.Latency.ram_access in
+  let port_ii = ref 0 in
+  for s = 0 to Array.length t.pressure - 1 do
+    if t.pressure.(s) > 0 then begin
+      let ports = t.slot_ports.(s) in
+      let ii = ((t.pressure.(s) * per_access) + ports - 1) / ports in
+      if ii > !port_ii then port_ii := ii
+    end
+  done;
+  max 1 (max !port_ii (recurrence_length p))

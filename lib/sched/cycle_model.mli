@@ -11,11 +11,29 @@ open Srfa_reuse
 
 type t
 
+type prepared
+(** The DFG- and latency-dependent half of a model, flattened into int
+    arrays (topological order, CSR adjacency, per-node latencies for both
+    memory states) together with the scratch buffers every schedule
+    overwrites. Building it once and passing it to {!create} makes each
+    model construction and every {!makespan} call allocation-free — the
+    simulator scratch holds one per kernel and reuses it across a whole
+    budget ladder. One prepared may back several models (different RAM
+    maps), but its scratch is single-threaded: do not interleave
+    [makespan] calls from two models sharing a prepared, and give each
+    domain its own. *)
+
+val prepare : dfg:Srfa_dfg.Graph.t -> latency:Srfa_hw.Latency.t -> prepared
+
 val create :
+  ?prepared:prepared ->
   dfg:Srfa_dfg.Graph.t ->
   latency:Srfa_hw.Latency.t ->
   ram_map:Srfa_hw.Ram_map.t ->
+  unit ->
   t
+(** A [prepared] built from a different [dfg] or [latency] (physical
+    inequality) is ignored and a private one built instead. *)
 
 val makespan : t -> charged:(Group.t -> bool) -> int
 (** Cycles one body iteration takes when exactly the [charged] groups hit

@@ -10,66 +10,79 @@ let makespan ?(cap = 100_000) ~dfg ~latency ~ram_map ~charged () =
     let topo =
       Array.of_list (Graph.topo_order ~what:"Event_model.makespan" dfg)
     in
-    let duration u =
-      Graph.node_latency dfg ~latency ~charged (Graph.nodes dfg).(u)
-    in
-    let bank u =
-      let nd = (Graph.nodes dfg).(u) in
-      match Graph.group_of_node nd with
-      | Some g when charged g ->
-        let name = (Group.decl g).Srfa_ir.Decl.name in
-        if Srfa_hw.Ram_map.is_mapped ram_map name then
-          Some (Srfa_hw.Ram_map.bank_of ram_map name)
-        else Some (-1000 - g.Group.id)
-      | Some _ | None -> None
-    in
+    let duration = Array.make n 0 in
+    let bank = Array.make n min_int (* min_int = not a charged access *) in
+    let ports = Array.make n 0 in
+    Array.iteri
+      (fun u (nd : Graph.node) ->
+        duration.(u) <- Graph.node_latency dfg ~latency ~charged nd;
+        match Graph.group_of_node nd with
+        | Some g when charged g ->
+          let b =
+            let name = (Group.decl g).Srfa_ir.Decl.name in
+            if Srfa_hw.Ram_map.is_mapped ram_map name then
+              Srfa_hw.Ram_map.bank_of ram_map name
+            else -1000 - g.Group.id
+          in
+          bank.(u) <- b;
+          (* Virtual banks of unmapped arrays are dual-ported, as in
+             Cycle_model. *)
+          ports.(u) <-
+            (if b >= -1 then Srfa_hw.Ram_map.ports_of_bank ram_map b else 2)
+        | Some _ | None -> ())
+      (Graph.nodes dfg);
     let finish = Array.make n (-1) in
     let started = Array.make n false in
-    let deps_done u =
+    let deps_done_by u t =
       List.for_all
-        (fun p -> started.(p) && finish.(p) >= 0)
+        (fun p -> started.(p) && finish.(p) >= 0 && finish.(p) <= t)
         (Graph.preds dfg u)
     in
-    (* busy.(bank) at a given cycle, rebuilt per cycle from in-flight
-       accesses. *)
-    let in_flight : (int * int) list ref = ref [] in
+    (* In-flight RAM accesses as parallel (bank, finish) arrays, compacted
+       in place each cycle — the flat equivalent of the old list filter. *)
+    let fly_bank = Array.make n 0 in
+    let fly_fin = Array.make n 0 in
+    let fly = ref 0 in
+    let port_load b =
+      let load = ref 0 in
+      for i = 0 to !fly - 1 do
+        if fly_bank.(i) = b then incr load
+      done;
+      !load
+    in
     let clock = ref 0 in
     let remaining = ref n in
     while !remaining > 0 do
       let t = !clock in
-      in_flight := List.filter (fun (_, fin) -> fin > t) !in_flight;
-      let port_load b =
-        List.length (List.filter (fun (b', _) -> b' = b) !in_flight)
-      in
+      (* Drop accesses that have finished by cycle t. *)
+      let keep = ref 0 in
+      for i = 0 to !fly - 1 do
+        if fly_fin.(i) > t then begin
+          fly_bank.(!keep) <- fly_bank.(i);
+          fly_fin.(!keep) <- fly_fin.(i);
+          incr keep
+        end
+      done;
+      fly := !keep;
       (* Start ready nodes in topological order; a node is ready when its
          predecessors have finished by cycle t. *)
       Array.iter
         (fun u ->
-          if not started.(u) then begin
-            let ready =
-              deps_done u
-              && List.for_all (fun p -> finish.(p) <= t) (Graph.preds dfg u)
-            in
-            if ready then begin
-              match bank u with
-              | None ->
-                started.(u) <- true;
-                finish.(u) <- t + duration u;
-                decr remaining
-              | Some b ->
-                (* Virtual banks of unmapped arrays are dual-ported, as in
-                   Cycle_model. *)
-                let ports =
-                  if b >= -1 then Srfa_hw.Ram_map.ports_of_bank ram_map b
-                  else 2
-                in
-                if port_load b < ports then begin
-                  started.(u) <- true;
-                  let fin = t + duration u in
-                  finish.(u) <- fin;
-                  in_flight := (b, fin) :: !in_flight;
-                  decr remaining
-                end
+          if (not started.(u)) && deps_done_by u t then begin
+            let b = bank.(u) in
+            if b = min_int then begin
+              started.(u) <- true;
+              finish.(u) <- t + duration.(u);
+              decr remaining
+            end
+            else if port_load b < ports.(u) then begin
+              started.(u) <- true;
+              let fin = t + duration.(u) in
+              finish.(u) <- fin;
+              fly_bank.(!fly) <- b;
+              fly_fin.(!fly) <- fin;
+              incr fly;
+              decr remaining
             end
           end)
         topo;

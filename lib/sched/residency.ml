@@ -56,8 +56,18 @@ type t = {
   mutable point : int array;
 }
 
-let create policy allocation =
+let create ?tracker policy allocation =
   let analysis = allocation.Allocation.analysis in
+  let tracker =
+    (* A scratch tracker for the same analysis is reset and reused — the
+       simulator scratch passes one so a warmed-up walk allocates no
+       fresh rank tables; anything else is ignored. *)
+    match tracker with
+    | Some tr when Analysis.Tracker.analysis tr == analysis ->
+      Analysis.Tracker.reset tr;
+      tr
+    | Some _ | None -> Analysis.Tracker.create analysis
+  in
   let mk gid =
     let beta = Allocation.beta allocation gid in
     match policy with
@@ -67,7 +77,7 @@ let create policy allocation =
   in
   {
     allocation;
-    tracker = Analysis.Tracker.create analysis;
+    tracker;
     states = Array.init (Analysis.num_groups analysis) mk;
     point = [||];
   }

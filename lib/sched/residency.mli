@@ -24,7 +24,11 @@ val policy_of_name : string -> policy option
 
 type t
 
-val create : policy -> Allocation.t -> t
+val create : ?tracker:Analysis.Tracker.tracker -> policy -> Allocation.t -> t
+(** [tracker] donates a reusable {!Srfa_reuse.Analysis.Tracker} (reset on
+    entry) so repeated simulations of the same nest skip rebuilding the
+    per-group rank tables; one built from a different analysis is
+    ignored. *)
 
 val step : t -> int array -> unit
 (** Advance to an iteration point (execution order). *)

@@ -1,5 +1,6 @@
 open Srfa_ir
 open Srfa_reuse
+module Arena = Srfa_util.Arena
 
 type ram_policy = Private_banks | Single_bank
 type execution = Serial | Pipelined
@@ -59,19 +60,88 @@ let ram_map_for config alloc =
   | Private_banks -> Srfa_hw.Ram_map.build config.device arrays
   | Single_bank -> Srfa_hw.Ram_map.build_single_bank config.device arrays
 
+(* Everything reusable across simulations of the same nest under the same
+   latency table: the DFG, the flattened cycle-model half, the residency
+   tracker, the makespan memos, and the per-iteration bit buffers. One
+   scratch per (analysis, latency); Flow threads one through a whole
+   budget ladder the way Cpa_ra.prepare's scratch already travels, so a
+   warmed-up evaluation touches the allocator only for the result record.
+   Not thread-safe — one scratch per domain (Flow.sweep parallelises
+   across kernels, and each kernel's scratch lives inside its task). *)
+type scratch = {
+  s_analysis : Analysis.t;
+  s_latency : Srfa_hw.Latency.t;
+  s_dfg : Srfa_dfg.Graph.t;
+  s_prepared : Cycle_model.prepared;
+  s_tracker : Analysis.Tracker.tracker;
+  s_memo : Arena.Table.t; (* charged-set bitmask -> makespan *)
+  s_memo_str : (string, int) Hashtbl.t; (* past the mask cap: bytes key *)
+  s_charged : bool array;
+  s_resident : bool array;
+  s_key : Bytes.t;
+  s_hist : Arena.Table.t; (* profile: cost -> iteration count *)
+  (* Pinned-residency rank cache: slot ranks are a pure function of
+     (analysis, iteration point) — the allocation only thresholds them
+     (resident = pinned && rank < beta) — so one tracked walk records
+     them and every later evaluation replays flat array reads instead of
+     stepping the tracker. [iterations * ngroups] ints, filled lazily;
+     nests past [rank_cache_cap] entries keep the tracked walk. *)
+  mutable s_ranks : int array;
+  mutable s_ranks_ready : bool;
+  s_pinned : bool array; (* per-walk allocation snapshot *)
+  s_beta : int array;
+}
+
+let scratch ?(config = default_config) ?dfg analysis =
+  let dfg =
+    match dfg with
+    | Some d when Srfa_dfg.Graph.analysis d == analysis -> d
+    | Some _ | None -> Srfa_dfg.Graph.build analysis
+  in
+  let ngroups = Analysis.num_groups analysis in
+  {
+    s_analysis = analysis;
+    s_latency = config.latency;
+    s_dfg = dfg;
+    s_prepared = Cycle_model.prepare ~dfg ~latency:config.latency;
+    s_tracker = Analysis.Tracker.create analysis;
+    s_memo = Arena.Table.create ~capacity:64 ();
+    s_memo_str = Hashtbl.create 64;
+    s_charged = Array.make (max ngroups 1) false;
+    s_resident = Array.make (max ngroups 1) false;
+    s_key = Bytes.make (max ngroups 1) '0';
+    s_hist = Arena.Table.create ~capacity:64 ();
+    s_ranks = [||];
+    s_ranks_ready = false;
+    s_pinned = Array.make (max ngroups 1) false;
+    s_beta = Array.make (max ngroups 1) 0;
+  }
+
+(* Rank caches above this many entries (~64 MB) are not worth their
+   memory; such nests keep the tracked walk. *)
+let rank_cache_cap = 1 lsl 23
+
 (* Shared walking core: calls [on_iteration cost resident_bits] once per
    iteration point, in execution order. *)
-let walk ?(trace = Srfa_util.Trace.null) config alloc ~on_iteration =
+let walk ?(trace = Srfa_util.Trace.null) ?scratch:sc config alloc
+    ~on_iteration =
   let analysis = alloc.Allocation.analysis in
   let nest = analysis.Analysis.nest in
   let ngroups = Analysis.num_groups analysis in
+  let sc =
+    match sc with
+    | Some s when s.s_analysis == analysis && s.s_latency == config.latency ->
+      s
+    | Some _ | None -> scratch ~config analysis
+  in
   let ram_map = ram_map_for config alloc in
-  let dfg = Srfa_dfg.Graph.build analysis in
-  let model = Cycle_model.create ~dfg ~latency:config.latency ~ram_map in
-  let residency = Residency.create config.residency alloc in
+  let model =
+    Cycle_model.create ~prepared:sc.s_prepared ~dfg:sc.s_dfg
+      ~latency:config.latency ~ram_map ()
+  in
   (* Charged-set bitmask -> makespan. Loop bodies have few groups, so the
      memo stays tiny even though the space walk is long. Bodies with more
-     groups than an int mask can hold fall back to a string key — same
+     groups than an int mask can hold fall back to a bytes key — same
      memoisation, a little slower per iteration, never an abort. *)
   let cap = min config.mask_group_cap (Sys.int_size - 2) in
   let use_mask = ngroups <= cap in
@@ -84,65 +154,110 @@ let walk ?(trace = Srfa_util.Trace.null) config alloc ~on_iteration =
             ("cap", Int cap);
             ("fallback", String "bytes-key memo");
           ]);
-  let memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let memo_str : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  let charged_bits = Array.make ngroups false in
+  let memo = sc.s_memo in
+  Arena.Table.reset memo;
+  let memo_str = sc.s_memo_str in
+  Hashtbl.reset memo_str;
+  let charged_bits = sc.s_charged in
   let makespan_now () =
     let charged (g : Group.t) = charged_bits.(g.Group.id) in
     match config.execution with
     | Serial -> Cycle_model.makespan model ~charged
     | Pipelined -> Cycle_model.initiation_interval model ~charged
   in
-  let makespan_of_mask mask =
-    match Hashtbl.find_opt memo mask with
-    | Some m -> m
-    | None ->
-      let m = makespan_now () in
-      Hashtbl.replace memo mask m;
-      m
+  let resident_bits = sc.s_resident in
+  let key = sc.s_key in
+  (* Memoised cost of the residency pattern currently in
+     [resident_bits]/[charged_bits]. *)
+  let cost_of_pattern () =
+    if use_mask then begin
+      let mask = ref 0 in
+      for gid = 0 to ngroups - 1 do
+        if not resident_bits.(gid) then mask := !mask lor (1 lsl gid)
+      done;
+      match Arena.Table.find memo !mask ~default:(-1) with
+      | -1 ->
+        let m = makespan_now () in
+        Arena.Table.set memo !mask m;
+        m
+      | m -> m
+    end
+    else begin
+      for gid = 0 to ngroups - 1 do
+        Bytes.unsafe_set key gid (if resident_bits.(gid) then '0' else '1')
+      done;
+      (* Probe with the shared buffer (find does not retain its key);
+         pay for a fresh immutable copy only on a miss. *)
+      match Hashtbl.find_opt memo_str (Bytes.unsafe_to_string key) with
+      | Some m -> m
+      | None ->
+        let m = makespan_now () in
+        Hashtbl.replace memo_str (Bytes.sub_string key 0 ngroups) m;
+        m
+    end
   in
-  let makespan_of_key key =
-    match Hashtbl.find_opt memo_str key with
-    | Some m -> m
-    | None ->
-      let m = makespan_now () in
-      Hashtbl.replace memo_str key m;
-      m
+  let iterations = Nest.iterations nest in
+  let use_rank_cache =
+    config.residency = Residency.Pinned
+    && ngroups > 0
+    && iterations <= rank_cache_cap / ngroups
   in
-  let resident_bits = Array.make ngroups false in
-  let visit point =
-    Residency.step residency point;
-    let cost =
-      if use_mask then begin
-        let mask = ref 0 in
+  if use_rank_cache && not sc.s_ranks_ready then begin
+    let need = iterations * ngroups in
+    if Array.length sc.s_ranks < need then sc.s_ranks <- Array.make need 0;
+    let tracker = sc.s_tracker in
+    Analysis.Tracker.reset tracker;
+    let ranks = sc.s_ranks in
+    let idx = ref 0 in
+    Iterspace.iter nest (fun point ->
+        Analysis.Tracker.step tracker point;
         for gid = 0 to ngroups - 1 do
-          let resident = Residency.resident residency gid in
-          charged_bits.(gid) <- not resident;
-          resident_bits.(gid) <- resident;
-          if not resident then mask := !mask lor (1 lsl gid)
-        done;
-        makespan_of_mask !mask
-      end
-      else begin
-        let key = Bytes.make ngroups '0' in
-        for gid = 0 to ngroups - 1 do
-          let resident = Residency.resident residency gid in
-          charged_bits.(gid) <- not resident;
-          resident_bits.(gid) <- resident;
-          if not resident then Bytes.set key gid '1'
-        done;
-        makespan_of_key (Bytes.unsafe_to_string key)
-      end
+          ranks.(!idx) <- Analysis.Tracker.slot_rank tracker gid;
+          incr idx
+        done);
+    sc.s_ranks_ready <- true
+  end;
+  if use_rank_cache then begin
+    (* Fast path: replay the cached ranks against this allocation's
+       thresholds — no tracker stepping, no residency object. *)
+    let pinned = sc.s_pinned and beta = sc.s_beta in
+    for gid = 0 to ngroups - 1 do
+      let e = Allocation.entry alloc gid in
+      pinned.(gid) <- e.Allocation.pinned;
+      beta.(gid) <- e.Allocation.beta
+    done;
+    let ranks = sc.s_ranks in
+    for i = 0 to iterations - 1 do
+      let base = i * ngroups in
+      for gid = 0 to ngroups - 1 do
+        resident_bits.(gid) <-
+          pinned.(gid) && Array.unsafe_get ranks (base + gid) < beta.(gid);
+        charged_bits.(gid) <- not resident_bits.(gid)
+      done;
+      on_iteration (cost_of_pattern ()) resident_bits
+    done
+  end
+  else begin
+    let residency =
+      Residency.create ~tracker:sc.s_tracker config.residency alloc
     in
-    on_iteration cost resident_bits
-  in
-  Iterspace.iter nest visit;
+    let visit point =
+      Residency.step residency point;
+      for gid = 0 to ngroups - 1 do
+        let resident = Residency.resident residency gid in
+        charged_bits.(gid) <- not resident;
+        resident_bits.(gid) <- resident
+      done;
+      on_iteration (cost_of_pattern ()) resident_bits
+    in
+    Iterspace.iter nest visit
+  end;
   match config.execution with
   | Serial -> Cycle_model.compute_makespan model
   | Pipelined ->
     Cycle_model.initiation_interval model ~charged:(fun _ -> false)
 
-let run ?trace ?(config = default_config) alloc =
+let run ?trace ?(config = default_config) ?scratch alloc =
   let analysis = alloc.Allocation.analysis in
   let ngroups = Analysis.num_groups analysis in
   let total = ref 0 in
@@ -151,16 +266,15 @@ let run ?trace ?(config = default_config) alloc =
   let group_ram = Array.make ngroups 0 in
   let on_iteration cost resident_bits =
     total := !total + cost;
-    Array.iteri
-      (fun gid resident ->
-        if resident then incr register_hits
-        else begin
-          incr ram_accesses;
-          group_ram.(gid) <- group_ram.(gid) + 1
-        end)
-      resident_bits
+    for gid = 0 to ngroups - 1 do
+      if resident_bits.(gid) then incr register_hits
+      else begin
+        incr ram_accesses;
+        group_ram.(gid) <- group_ram.(gid) + 1
+      end
+    done
   in
-  let model_baseline = walk ?trace config alloc ~on_iteration in
+  let model_baseline = walk ?trace ?scratch config alloc ~on_iteration in
   let iterations = Nest.iterations analysis.Analysis.nest in
   (* Serial: the baseline per-iteration cost is the pure-compute makespan.
      Pipelined: it is the recurrence-limited II, plus a one-time pipeline
@@ -182,16 +296,21 @@ let run ?trace ?(config = default_config) alloc =
     group_ram_accesses = group_ram;
   }
 
-let profile ?trace ?(config = default_config) alloc =
-  let hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
+let profile ?trace ?(config = default_config) ?scratch:sc alloc =
+  let hist =
+    match sc with
+    | Some s -> s.s_hist
+    | None -> Arena.Table.create ~capacity:64 ()
+  in
+  Arena.Table.reset hist;
   let on_iteration cost _ =
     let cost = cost + config.control_overhead in
-    Hashtbl.replace hist cost
-      (1 + Option.value ~default:0 (Hashtbl.find_opt hist cost))
+    Arena.Table.set hist cost (1 + Arena.Table.find hist cost ~default:0)
   in
-  let _ = walk ?trace config alloc ~on_iteration in
-  Hashtbl.fold (fun cost count acc -> (cost, count) :: acc) hist []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  let _ = walk ?trace ?scratch:sc config alloc ~on_iteration in
+  let acc = ref [] in
+  Arena.Table.iter hist (fun cost count -> acc := (cost, count) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !acc
 
 let memory_cycles_only ?config alloc = (run ?config alloc).memory_cycles
 

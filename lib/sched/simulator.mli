@@ -48,15 +48,36 @@ type result = {
   group_ram_accesses : int array; (** per group id *)
 }
 
+type scratch
+(** Reusable simulation state for one (analysis, latency) pair: the DFG,
+    the prepared {!Cycle_model} half, the residency tracker, the makespan
+    memos and the per-iteration bit buffers. Passing one to {!run} makes
+    repeated simulations of the same nest (a budget ladder, a portfolio, a
+    sweep) allocation-free apart from the result record itself. Not
+    thread-safe: keep one scratch per domain. *)
+
+val scratch :
+  ?config:config -> ?dfg:Srfa_dfg.Graph.t -> Analysis.t -> scratch
+(** [config] supplies the latency table the scratch is specialised to
+    (default {!default_config}); [dfg] donates an already-built graph for
+    the same analysis (checked by identity, else rebuilt). *)
+
 val run :
-  ?trace:Srfa_util.Trace.sink -> ?config:config -> Allocation.t -> result
+  ?trace:Srfa_util.Trace.sink ->
+  ?config:config ->
+  ?scratch:scratch ->
+  Allocation.t ->
+  result
 (** Simulates the allocation's nest. [trace] receives a ["guard.mask"]
     event when the nest exceeds [config.mask_group_cap] groups and the
-    walk degrades to the string-keyed memo. *)
+    walk degrades to the string-keyed memo. A [scratch] built from a
+    different analysis or latency table is ignored (a fresh one is made),
+    so threading one through heterogeneous call sites is always safe. *)
 
 val profile :
   ?trace:Srfa_util.Trace.sink ->
   ?config:config ->
+  ?scratch:scratch ->
   Allocation.t ->
   (int * int) list
 (** Histogram of per-iteration cycle costs: [(cost, iterations)] pairs,

@@ -20,7 +20,7 @@ let setup nest =
 
 let both nest charged =
   let _, dfg, ram_map = setup nest in
-  let model = Cycle_model.create ~dfg ~latency ~ram_map in
+  let model = Cycle_model.create ~dfg ~latency ~ram_map () in
   ( Cycle_model.makespan model ~charged,
     Event_model.makespan ~dfg ~latency ~ram_map ~charged () )
 
@@ -57,7 +57,7 @@ let test_agree_single_bank () =
         Srfa_hw.Ram_map.build_single_bank Srfa_hw.Device.xcv1000
           nest.Srfa_ir.Nest.arrays
       in
-      let model = Cycle_model.create ~dfg ~latency ~ram_map in
+      let model = Cycle_model.create ~dfg ~latency ~ram_map () in
       let charged _ = true in
       Alcotest.(check int)
         (name ^ ": single bank")
@@ -73,7 +73,7 @@ let test_agree_slow_ram () =
       let ram_map =
         Srfa_hw.Ram_map.build Srfa_hw.Device.xcv1000 nest.Srfa_ir.Nest.arrays
       in
-      let model = Cycle_model.create ~dfg ~latency ~ram_map in
+      let model = Cycle_model.create ~dfg ~latency ~ram_map () in
       let charged _ = true in
       Alcotest.(check int)
         (name ^ ": ram latency 3")

@@ -16,7 +16,7 @@ let model_of ?(single_bank = false) nest =
     else
       Srfa_hw.Ram_map.build Srfa_hw.Device.xcv1000 nest.Srfa_ir.Nest.arrays
   in
-  (an, Cycle_model.create ~dfg ~latency ~ram_map)
+  (an, Cycle_model.create ~dfg ~latency ~ram_map ())
 
 let test_ii_private_banks () =
   (* One access per array per iteration on dual-ported private banks:
@@ -57,7 +57,7 @@ let test_ii_recurrence_floor () =
   let ram_map =
     Srfa_hw.Ram_map.build Srfa_hw.Device.xcv1000 nest.Srfa_ir.Nest.arrays
   in
-  let model = Cycle_model.create ~dfg ~latency:slow_add ~ram_map in
+  let model = Cycle_model.create ~dfg ~latency:slow_add ~ram_map () in
   Alcotest.(check int) "recurrence floor" 3
     (Cycle_model.initiation_interval model ~charged:(fun _ -> false))
 

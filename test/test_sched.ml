@@ -11,7 +11,7 @@ let model_of nest =
   let dfg = Graph.build an in
   let arrays = nest.Srfa_ir.Nest.arrays in
   let ram_map = Srfa_hw.Ram_map.build Srfa_hw.Device.xcv1000 arrays in
-  (an, Cycle_model.create ~dfg ~latency ~ram_map)
+  (an, Cycle_model.create ~dfg ~latency ~ram_map ())
 
 let test_example_makespans () =
   let an, model = model_of (Helpers.example ()) in
