@@ -1575,6 +1575,226 @@ let perf_core () =
              points) );
     ]
 
+(* ------------------------------------------------------------ perf-serve *)
+
+(* The daemon measured end-to-end over its own Unix socket: a private
+   server domain, one blocking client, wall-clock per round-trip. Cold
+   is the first request a (kernel, device) pair ever sees — parse,
+   analyse, build the cycle model, allocate, simulate; warm is the same
+   request again, i.e. a tier-2 hit that only renders the cached report.
+   The mixed campaign then replays a 1000-request production-shaped mix
+   (repeats, budget ladders, algorithm spreads, malformed lines, bad
+   fields, infeasible budgets) and requires that not one response is an
+   E-INTERNAL — the daemon's totality contract. *)
+
+let serve_warm_reps = 100
+
+let serve_campaign_requests = 1000
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let perf_serve () =
+  section "perf-serve: the allocation daemon over its Unix socket";
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "srfa-bench-%d.sock" (Unix.getpid ()))
+  in
+  let daemon =
+    Domain.spawn (fun () -> Srfa_server.Server.run ~jobs:2 ~socket ())
+  in
+  let client = Srfa_server.Server.Client.connect socket in
+  let rpc line =
+    let t0 = Unix.gettimeofday () in
+    let resp = Srfa_server.Server.Client.rpc client line in
+    ((Unix.gettimeofday () -. t0) *. 1e6, resp)
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (* -- cold vs warm per kernel ------------------------------------- *)
+  let kernels = List.map fst (Srfa_kernels.Kernels.all ()) in
+  let points =
+    List.map
+      (fun kernel ->
+        let line = Printf.sprintf {|{"kernel": "%s", "budget": %d}|} kernel budget in
+        let cold_us, cold_resp = rpc line in
+        assert (contains cold_resp "\"cache\": \"miss\"");
+        let warm = Array.make serve_warm_reps 0.0 in
+        for i = 0 to serve_warm_reps - 1 do
+          warm.(i) <- fst (rpc line)
+        done;
+        Array.sort compare warm;
+        let p50 = percentile warm 0.50 and p99 = percentile warm 0.99 in
+        (kernel, cold_us, p50, p99, cold_us /. p50))
+      kernels
+  in
+  let table =
+    T.create
+      ~headers:
+        [
+          ("kernel", T.Left); ("cold us", T.Right); ("warm p50 us", T.Right);
+          ("warm p99 us", T.Right); ("cold/warm", T.Right);
+        ]
+  in
+  List.iter
+    (fun (kernel, cold, p50, p99, ratio) ->
+      T.add_row table
+        [
+          kernel;
+          Printf.sprintf "%.0f" cold;
+          Printf.sprintf "%.0f" p50;
+          Printf.sprintf "%.0f" p99;
+          Printf.sprintf "%.0fx" ratio;
+        ])
+    points;
+  T.print table;
+  (* Koka-artifact style: each kernel's columns normalized to its own
+     warm median, so the table reads as cache leverage, not kernel size. *)
+  let table =
+    T.create
+      ~headers:
+        [
+          ("kernel", T.Left); ("warm p50", T.Right); ("warm p99", T.Right);
+          ("cold", T.Right);
+        ]
+  in
+  List.iter
+    (fun (kernel, cold, p50, p99, _) ->
+      T.add_row table
+        [
+          kernel; "1.00";
+          Printf.sprintf "%.2f" (p99 /. p50);
+          Printf.sprintf "%.2f" (cold /. p50);
+        ])
+    points;
+  Printf.printf "round-trip latency normalized to each kernel's warm median:\n\n";
+  T.print table;
+  let bic_ratio =
+    match List.find_opt (fun (k, _, _, _, _) -> k = "bic") points with
+    | Some (_, _, _, _, r) -> r
+    | None -> 0.0
+  in
+  let bic_ok = bic_ratio >= 10.0 in
+  Printf.printf "\nbic cache-hit speedup target >= 10x: %s (%.0fx)\n"
+    (if bic_ok then "ok" else "MISMATCH")
+    bic_ratio;
+  (* -- 1000-request mixed campaign ---------------------------------- *)
+  let algorithms =
+    [ "fr-ra"; "pr-ra"; "cpa-ra"; "cpa-ra+"; "knapsack"; "portfolio" ]
+  in
+  let budgets = [ 8; 16; 32; 64; 128 ] in
+  let seed = ref 0x5f3a9c1 in
+  let rand bound =
+    (* Deterministic xorshift so the campaign replays identically. *)
+    let s = !seed in
+    let s = s lxor (s lsl 13) in
+    let s = s lxor (s lsr 7) in
+    let s = s lxor (s lsl 17) in
+    seed := s land max_int;
+    !seed mod bound
+  in
+  let pick xs = List.nth xs (rand (List.length xs)) in
+  let last = ref {|{"kernel": "fir"}|} in
+  let request () =
+    let roll = rand 100 in
+    if roll < 55 then (
+      let line =
+        Printf.sprintf {|{"kernel": "%s", "budget": %d, "algorithm": "%s"}|}
+          (pick kernels) (pick budgets) (pick algorithms)
+      in
+      last := line;
+      line)
+    else if roll < 75 then !last (* repeat: the hit path *)
+    else if roll < 82 then
+      Printf.sprintf {|{"kernel": "%s", "device": "xc2v6000"}|} (pick kernels)
+    else if roll < 88 then
+      Printf.sprintf {|{"kernel": "%s", "budget": 1}|} (pick kernels)
+    else if roll < 93 then {|{"kernel": "no-such-kernel"}|}
+    else if roll < 97 then "} definitely not json {"
+    else {|{"op": "stats"}|}
+  in
+  let latencies = Array.make serve_campaign_requests 0.0 in
+  let ok = ref 0 and errors = ref 0 and internal = ref 0 in
+  let campaign_t0 = Unix.gettimeofday () in
+  for i = 0 to serve_campaign_requests - 1 do
+    let us, resp = rpc (request ()) in
+    latencies.(i) <- us;
+    if contains resp "E-INTERNAL" then incr internal;
+    if contains resp "\"status\": \"ok\"" then incr ok else incr errors
+  done;
+  let campaign_s = Unix.gettimeofday () -. campaign_t0 in
+  Array.sort compare latencies;
+  let p50 = percentile latencies 0.50 and p99 = percentile latencies 0.99 in
+  let rps = float_of_int serve_campaign_requests /. campaign_s in
+  let internal_ok = !internal = 0 in
+  let rss = vmhwm_kb () in
+  Printf.printf
+    "\nmixed campaign: %d requests in %.2fs — %.0f req/s, p50 %.0fus, p99 \
+     %.0fus (%d ok, %d coded errors)\n"
+    serve_campaign_requests campaign_s rps p50 p99 !ok !errors;
+  Printf.printf "zero E-INTERNAL responses: %s (%d)\n"
+    (if internal_ok then "ok" else "MISMATCH")
+    !internal;
+  Printf.printf "peak RSS: %d kB\n" rss;
+  ignore (Srfa_server.Server.Client.rpc client {|{"op": "shutdown"}|});
+  Srfa_server.Server.Client.close client;
+  Domain.join daemon;
+  write_json "BENCH_serve.json"
+    [
+      ("benchmark", Json.Str "perf-serve");
+      ( "unit",
+        Json.Str
+          "us/round-trip over a Unix-domain socket, daemon in-process \
+           (2 worker domains); cold = first sight of (kernel, device), \
+           warm = tier-2 cache hit" );
+      ("budget", Json.Int budget);
+      ("warm_reps", Json.Int serve_warm_reps);
+      ( "targets",
+        Json.Obj
+          [
+            ("bic_hit_speedup_min_x", Json.Num "10.0");
+            ("campaign_e_internal_max", Json.Int 0);
+          ] );
+      ( "checks",
+        Json.Obj
+          [
+            ("bic_hit_speedup_ok", Json.Bool bic_ok);
+            ("campaign_no_internal_errors", Json.Bool internal_ok);
+          ] );
+      ( "kernels",
+        Json.Arr
+          (List.map
+             (fun (kernel, cold, p50, p99, ratio) ->
+               Json.Obj
+                 [
+                   ("kernel", Json.Str kernel);
+                   ("cold_us", Json.ns cold);
+                   ("warm_p50_us", Json.ns p50);
+                   ("warm_p99_us", Json.ns p99);
+                   ("cold_over_warm_x", Json.float ratio);
+                 ])
+             points) );
+      ( "campaign",
+        Json.Obj
+          [
+            ("requests", Json.Int serve_campaign_requests);
+            ("seconds", Json.float campaign_s);
+            ("requests_per_sec", Json.ns rps);
+            ("p50_us", Json.ns p50);
+            ("p99_us", Json.ns p99);
+            ("ok", Json.Int !ok);
+            ("coded_errors", Json.Int !errors);
+            ("e_internal", Json.Int !internal);
+            ("rss_kb", Json.Int rss);
+          ] );
+    ]
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -1599,6 +1819,7 @@ let sections =
     ("perf-certify", perf_certify);
     ("perf-parallel", perf_parallel);
     ("perf-core", perf_core);
+    ("perf-serve", perf_serve);
   ]
 
 (* `--sections core,cuts,certify` shorthand: bare names expand to their
@@ -1609,6 +1830,7 @@ let expand_section = function
   | "fuzz" -> "perf-fuzz"
   | "certify" -> "perf-certify"
   | "parallel" -> "perf-parallel"
+  | "serve" -> "perf-serve"
   | s -> s
 
 let () =

@@ -1,0 +1,69 @@
+(* srfa-serve — the allocation daemon. Binds a Unix-domain socket and
+   answers JSONL allocation requests from the two-tier content cache;
+   `--self-test` instead spawns a private daemon, runs the scripted
+   request mix and exits 0/1 (the @serve-smoke gate). *)
+
+open Cmdliner
+
+let socket_arg =
+  let doc = "Unix-domain socket path to bind." in
+  Arg.(
+    value
+    & opt string "/tmp/srfa-serve.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for cold requests (0 = one per recommended core)."
+  in
+  Arg.(value & opt int 2 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let mb_arg names default doc =
+  Arg.(value & opt int default & info names ~docv:"MB" ~doc)
+
+let tier1_mb_arg =
+  mb_arg [ "tier1-mb" ] 48 "Tier-1 (analysis) cache budget in megabytes."
+
+let tier2_mb_arg =
+  mb_arg [ "tier2-mb" ] 16 "Tier-2 (report) cache budget in megabytes."
+
+let trace_arg =
+  let doc = "Write cache trace events (JSON lines) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let self_test_arg =
+  let doc = "Run the built-in request-mix self-test and exit." in
+  Arg.(value & flag & info [ "self-test" ] ~doc)
+
+let main socket jobs tier1_mb tier2_mb trace self_test =
+  let module Trace = Srfa_util.Trace in
+  let jobs = if jobs <= 0 then Srfa_util.Pool.recommended () else jobs in
+  if self_test then
+    if Srfa_server.Server.self_test ~jobs ~log:print_endline () then 0 else 1
+  else
+    let with_trace k =
+      match trace with
+      | None -> k Trace.null
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> k (Trace.channel oc))
+    in
+    with_trace (fun sink ->
+        Printf.printf "srfa-serve: listening on %s (jobs=%d)\n%!" socket jobs;
+        Srfa_server.Server.run ~jobs
+          ~tier1_bytes:(tier1_mb * 1024 * 1024)
+          ~tier2_bytes:(tier2_mb * 1024 * 1024)
+          ~trace:sink ~socket ();
+        0)
+
+let cmd =
+  let doc = "Serve register-allocation reports over a Unix-domain socket." in
+  Cmd.v
+    (Cmd.info "srfa-serve" ~doc)
+    Term.(
+      const main $ socket_arg $ jobs_arg $ tier1_mb_arg $ tier2_mb_arg
+      $ trace_arg $ self_test_arg)
+
+let () = exit (Cmd.eval' cmd)

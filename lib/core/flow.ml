@@ -2,290 +2,380 @@ open Srfa_reuse
 module Diag = Srfa_util.Diag
 module Trace = Srfa_util.Trace
 
-type guards = { cut_work_limit : int option; event_model_cap : int }
+(* ---- pure core --------------------------------------------------------
 
-let default_guards = { cut_work_limit = Some 200_000; event_model_cap = 100_000 }
+   Everything below [module Core] is deterministic value-to-value
+   computation: (parsed kernel, device/config, algorithm, budget,
+   scratch) -> report. No filesystem, no formatters, no channels, no
+   exit codes — trace sinks are injected by the caller and the in-memory
+   collector is the only one Core creates itself. The IO shell (the
+   top-level [Flow] functions, the CLI, the serve daemon) owns all
+   rendering and channel state, which is what lets Core values
+   ([prepared], reports) be cached and reused across requests. *)
 
-type config = {
+module Core = struct
+  type guards = { cut_work_limit : int option; event_model_cap : int }
+
+  let default_guards =
+    { cut_work_limit = Some 200_000; event_model_cap = 100_000 }
+
+  type config = {
+    budget : int;
+    sim : Srfa_sched.Simulator.config;
+    clock_params : Srfa_estimate.Clock.params;
+    guards : guards;
+  }
+
+  let default_config =
+    {
+      budget = 64;
+      sim = Srfa_sched.Simulator.default_config;
+      clock_params = Srfa_estimate.Clock.default_params;
+      guards = default_guards;
+    }
+
+  let analyze nest = Analysis.analyze nest
+
+  let allocation ?(config = default_config) ?trace ?prepared ?sim_scratch
+      algorithm analysis =
+    Allocator.run ~latency:config.sim.Srfa_sched.Simulator.latency ?trace
+      ?cut_work_limit:config.guards.cut_work_limit ?prepared
+      ~sim_config:config.sim ?sim_scratch algorithm analysis
+      ~budget:config.budget
+
+  (* The caller's sink (CLI --trace, bench) tees with an in-memory collector
+     so the report can summarise the decision stream either way. *)
+  let tee_collector trace =
+    let collect, events = Trace.collector () in
+    let sink =
+      if Trace.enabled trace then
+        Trace.make (fun e ->
+            Trace.emit trace (fun () -> e);
+            Trace.emit collect (fun () -> e))
+      else collect
+    in
+    (sink, events)
+
+  let evaluate_analysis ?(trace = Trace.null) ?prepared ?sim_scratch config
+      algorithm analysis =
+    let sink, events = tee_collector trace in
+    let alloc =
+      allocation ~config ~trace:sink ?prepared ?sim_scratch algorithm analysis
+    in
+    (* Summarise the allocation decisions only (fixed before the simulator
+       appends its own guard events to the same stream). *)
+    let trace_summary = Trace.summary (events ()) in
+    Srfa_estimate.Report.build ~sim_config:config.sim
+      ~clock_params:config.clock_params ~trace:sink ~trace_summary ?sim_scratch
+      ~version:(Allocator.version_label algorithm)
+      alloc
+
+  (* ---- prepared kernels ---------------------------------------------- *)
+
+  (* Every budget-independent product of one parsed kernel, bundled so a
+     caller (the sweep, the serve tier-1 cache) pays for analysis, CPA
+     scratch and the graph build exactly once per kernel. *)
+  type prepared = {
+    nest : Srfa_ir.Nest.t;
+    analysis : Analysis.t;
+    cpa : Cpa_ra.prepared;
+    dfg : Srfa_dfg.Graph.t;
+    minimum : int;
+  }
+
+  let prepare nest =
+    let analysis = analyze nest in
+    let cpa = Cpa_ra.prepare analysis in
+    {
+      nest;
+      analysis;
+      cpa;
+      dfg = Cpa_ra.dfg cpa;
+      minimum = Ordering.feasibility_minimum analysis;
+    }
+
+  let scratch ~config prepared =
+    Srfa_sched.Simulator.scratch ~config:config.sim ~dfg:prepared.dfg
+      prepared.analysis
+
+  let evaluate_prepared ?trace ?sim_scratch config algorithm prepared =
+    evaluate_analysis ?trace ~prepared:prepared.cpa ?sim_scratch config
+      algorithm prepared.analysis
+
+  (* ---- checked pipeline ---------------------------------------------- *)
+
+  (* Guard trips announce themselves on the trace; translating the collected
+     events into warning diagnostics here keeps the guard sites free of any
+     Diag dependency. *)
+  let warnings_of_events events =
+    let field name (e : Trace.event) =
+      match List.assoc_opt name e.Trace.fields with
+      | Some (Trace.Int v) -> string_of_int v
+      | Some (Trace.String s) -> s
+      | Some (Trace.Bool b) -> string_of_bool b
+      | Some (Trace.Float f) -> string_of_float f
+      | Some (Trace.List _) | None -> "?"
+    in
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.name with
+        | "fallback.pr_ra" ->
+          Some
+            (Diag.warning ~code:"W-GUARD-CUT"
+               "cut work limit exceeded; CPA-RA fell back to PR-RA"
+               ~context:
+                 [
+                   ("work_limit", field "work_limit" e);
+                   ("bfs_phases", field "bfs_phases" e);
+                   ("augmenting_paths", field "augmenting_paths" e);
+                 ])
+        | "guard.mask" ->
+          Some
+            (Diag.warning ~code:"W-GUARD-MASK"
+               "group count exceeds the bitmask memo cap; simulator degraded \
+                to the string-keyed memo"
+               ~context:
+                 [ ("groups", field "groups" e); ("cap", field "cap" e) ])
+        | _ -> None)
+      events
+
+  (* Second-opinion schedule check: re-time the steady-state body with the
+     cycle-stepped event model. A divergence is not an error — the report
+     keeps the (agreeing-by-construction) Cycle_model numbers — but it is
+     worth a warning and a trace event. *)
+  let event_model_warning ~sink ~guards ~sim_config ~dfg alloc =
+    let ram_map = Srfa_sched.Simulator.ram_map_for sim_config alloc in
+    let residual = Allocation.residual_ram_groups alloc in
+    let charged (g : Group.t) = List.mem g.Group.id residual in
+    match
+      Srfa_sched.Event_model.makespan ~cap:guards.event_model_cap ~dfg
+        ~latency:sim_config.Srfa_sched.Simulator.latency ~ram_map ~charged ()
+    with
+    | _ -> None
+    | exception Srfa_sched.Event_model.Diverged { cycles; cap } ->
+      Trace.emit sink (fun () ->
+          Trace.event "fallback.cycle_model"
+            [
+              ("reason", Trace.String "event model diverged");
+              ("cycles", Trace.Int cycles);
+              ("cap", Trace.Int cap);
+            ]);
+      Some
+        (Diag.warning ~code:"W-GUARD-EVENT"
+           "event model failed to converge; report keeps the coarse \
+            Cycle_model timing"
+           ~context:
+             [ ("cycles", string_of_int cycles); ("cap", string_of_int cap) ])
+
+  (* The body shared by the nest-at-a-time entry point and the
+     prepared-kernel one: allocate, report, second-opinion the schedule,
+     translate guard events into warnings. Never raises. *)
+  let checked_prepared ?(trace = Trace.null) ?sim_scratch config algorithm
+      prepared =
+    let sink, events = tee_collector trace in
+    match
+      let sim_scratch =
+        match sim_scratch with
+        | Some s -> s
+        | None ->
+          Srfa_sched.Simulator.scratch ~config:config.sim ~dfg:prepared.dfg
+            prepared.analysis
+      in
+      let alloc =
+        allocation ~config ~trace:sink ~prepared:prepared.cpa ~sim_scratch
+          algorithm prepared.analysis
+      in
+      let trace_summary = Trace.summary (events ()) in
+      let report =
+        Srfa_estimate.Report.build ~sim_config:config.sim
+          ~clock_params:config.clock_params ~trace:sink ~trace_summary
+          ~sim_scratch
+          ~version:(Allocator.version_label algorithm)
+          alloc
+      in
+      let event_warning =
+        event_model_warning ~sink ~guards:config.guards ~sim_config:config.sim
+          ~dfg:prepared.dfg alloc
+      in
+      (report, event_warning)
+    with
+    | report, event_warning ->
+      let warnings =
+        warnings_of_events (events ()) @ Option.to_list event_warning
+      in
+      Ok (report, warnings)
+    | exception exn -> Result.Error [ Diag.of_exn exn ]
+
+  let checked ?(config = default_config) ?(algorithm = Allocator.Cpa_ra)
+      ?trace nest =
+    match prepare nest with
+    | prepared -> checked_prepared ?trace config algorithm prepared
+    | exception exn -> Result.Error [ Diag.of_exn exn ]
+
+  (* Budget monotonicity for the certified portfolio: certification alone
+     makes a point never worse than the greedy baselines at its own budget,
+     but says nothing across budgets — a sweep could still show more
+     registers buying more cycles. Any allocation feasible at a lower
+     budget stays feasible at a higher one (its total only has to fit), so
+     the sweep carries the best certified allocation forward and adopts it
+     whenever the fresh point loses to it, announcing the takeover as a
+     ["certify.monotonic"] trace event. *)
+  let portfolio_point ?(trace = Trace.null) ~prepared ?sim_scratch ~carry
+      config kernel analysis =
+    let sink, events = tee_collector trace in
+    let outcome =
+      Allocator.run_portfolio
+        ~latency:config.sim.Srfa_sched.Simulator.latency ~trace:sink
+        ?cut_work_limit:config.guards.cut_work_limit ~prepared
+        ~sim_config:config.sim ?sim_scratch analysis ~budget:config.budget
+    in
+    let alloc = outcome.Certify.allocation in
+    let trace_summary = Trace.summary (events ()) in
+    let build alloc =
+      Srfa_estimate.Report.build ~sim_config:config.sim
+        ~clock_params:config.clock_params ~trace:sink ~trace_summary
+        ?sim_scratch
+        ~version:(Allocator.version_label Allocator.Portfolio)
+        alloc
+    in
+    (* Reuse the certification's final simulation when the slow path ran;
+       only the dominance fast path needs a fresh one for the report. *)
+    let report =
+      match outcome.Certify.sim with
+      | Some sim ->
+        Srfa_estimate.Report.of_result ~clock_params:config.clock_params
+          ~trace_summary ~sim_config:config.sim
+          ~version:(Allocator.version_label Allocator.Portfolio)
+          alloc sim
+      | None -> build alloc
+    in
+    let report, final_alloc =
+      match !carry with
+      | Some (b0, entries0, cycles0)
+        when b0 <= config.budget && cycles0 < report.Srfa_estimate.Report.cycles
+        ->
+        Trace.emit sink (fun () ->
+            Trace.event "certify.monotonic"
+              [
+                ("kernel", Trace.String kernel);
+                ("budget", Trace.Int config.budget);
+                ("carried_budget", Trace.Int b0);
+                ("carried_cycles", Trace.Int cycles0);
+                ("fresh_cycles", Trace.Int report.Srfa_estimate.Report.cycles);
+              ]);
+        let adopted =
+          Allocation.make ~analysis ~budget:config.budget
+            ~algorithm:Certify.algorithm_name entries0
+        in
+        (build adopted, adopted)
+      | _ -> (report, alloc)
+    in
+    let final_cycles = report.Srfa_estimate.Report.cycles in
+    (match !carry with
+    | Some (_, _, cycles0) when cycles0 <= final_cycles -> ()
+    | _ ->
+      let entries =
+        Array.init (Analysis.num_groups analysis)
+          (Allocation.entry final_alloc)
+      in
+      carry := Some (config.budget, entries, final_cycles));
+    report
+
+  type sweep_point = {
+    kernel : string;
+    algorithm : Allocator.algorithm;
+    budget : int;
+    report : Srfa_estimate.Report.t;
+  }
+
+  let default_budgets = [ 8; 16; 32; 64; 128 ]
+
+  (* One kernel's full budget ladder. This stays sequential even under a
+     pool: the portfolio carry-forward (budget monotonicity) threads state
+     from each budget to the next, so the ladder is the unit of work and
+     kernels are the parallel axis. *)
+  let sweep_kernel ~config ~algorithms ~budgets ?trace (kernel, nest) =
+    let prepared = prepare nest in
+    let analysis = prepared.analysis in
+    (* One simulator scratch per kernel, created inside the task so each
+       pool domain owns its own (the scratch is not thread-safe). *)
+    let sim_scratch = scratch ~config prepared in
+    let carry = ref None in
+    List.concat_map
+      (fun budget ->
+        if budget < prepared.minimum then []
+        else
+          List.map
+            (fun algorithm ->
+              let report =
+                match algorithm with
+                | Allocator.Portfolio ->
+                  portfolio_point ?trace ~prepared:prepared.cpa ~sim_scratch
+                    ~carry { config with budget } kernel analysis
+                | _ ->
+                  evaluate_analysis ?trace ~prepared:prepared.cpa ~sim_scratch
+                    { config with budget } algorithm analysis
+              in
+              { kernel; algorithm; budget; report })
+            algorithms)
+      budgets
+end
+
+(* ---- IO shell ----------------------------------------------------------
+
+   The historical Flow surface, now thin delegations into {!Core}. The
+   subcommands (alloc/sweep/check), the bench and the tests call through
+   these unchanged; anything that needs per-request reuse (the serve
+   daemon) goes to {!Core} directly. *)
+
+type guards = Core.guards = {
+  cut_work_limit : int option;
+  event_model_cap : int;
+}
+
+let default_guards = Core.default_guards
+
+type config = Core.config = {
   budget : int;
   sim : Srfa_sched.Simulator.config;
   clock_params : Srfa_estimate.Clock.params;
   guards : guards;
 }
 
-let default_config =
-  {
-    budget = 64;
-    sim = Srfa_sched.Simulator.default_config;
-    clock_params = Srfa_estimate.Clock.default_params;
-    guards = default_guards;
-  }
+let default_config = Core.default_config
+let analyze = Core.analyze
 
-let analyze nest = Analysis.analyze nest
-
-let allocation ?(config = default_config) ?trace ?prepared ?sim_scratch
+let allocation ?(config = Core.default_config) ?trace ?prepared ?sim_scratch
     algorithm analysis =
-  Allocator.run ~latency:config.sim.Srfa_sched.Simulator.latency ?trace
-    ?cut_work_limit:config.guards.cut_work_limit ?prepared
-    ~sim_config:config.sim ?sim_scratch algorithm analysis
-    ~budget:config.budget
+  Core.allocation ~config ?trace ?prepared ?sim_scratch algorithm analysis
 
-(* The caller's sink (CLI --trace, bench) tees with an in-memory collector
-   so the report can summarise the decision stream either way. *)
-let tee_collector trace =
-  let collect, events = Trace.collector () in
-  let sink =
-    if Trace.enabled trace then
-      Trace.make (fun e ->
-          Trace.emit trace (fun () -> e);
-          Trace.emit collect (fun () -> e))
-    else collect
-  in
-  (sink, events)
+let evaluate ?(config = Core.default_config) ?trace algorithm nest =
+  Core.evaluate_analysis ?trace config algorithm (Core.analyze nest)
 
-let evaluate_analysis ?(trace = Trace.null) ?prepared ?sim_scratch config
-    algorithm analysis =
-  let sink, events = tee_collector trace in
-  let alloc =
-    allocation ~config ~trace:sink ?prepared ?sim_scratch algorithm analysis
-  in
-  (* Summarise the allocation decisions only (fixed before the simulator
-     appends its own guard events to the same stream). *)
-  let trace_summary = Trace.summary (events ()) in
-  Srfa_estimate.Report.build ~sim_config:config.sim
-    ~clock_params:config.clock_params ~trace:sink ~trace_summary ?sim_scratch
-    ~version:(Allocator.version_label algorithm)
-    alloc
-
-let evaluate ?(config = default_config) ?trace algorithm nest =
-  evaluate_analysis ?trace config algorithm (analyze nest)
-
-let evaluate_all ?(config = default_config) ?(algorithms = Allocator.all)
+let evaluate_all ?(config = Core.default_config) ?(algorithms = Allocator.all)
     ?trace nest =
-  let analysis = analyze nest in
-  let prepared = Cpa_ra.prepare analysis in
-  let sim_scratch =
-    Srfa_sched.Simulator.scratch ~config:config.sim
-      ~dfg:(Cpa_ra.dfg prepared) analysis
-  in
+  let prepared = Core.prepare nest in
+  let sim_scratch = Core.scratch ~config prepared in
   List.map
-    (fun alg ->
-      evaluate_analysis ?trace ~prepared ~sim_scratch config alg analysis)
+    (fun alg -> Core.evaluate_prepared ?trace ~sim_scratch config alg prepared)
     algorithms
 
-type sweep_point = {
+type sweep_point = Core.sweep_point = {
   kernel : string;
   algorithm : Allocator.algorithm;
   budget : int;
   report : Srfa_estimate.Report.t;
 }
 
-let default_budgets = [ 8; 16; 32; 64; 128 ]
+let default_budgets = Core.default_budgets
 
-(* ---- checked pipeline -------------------------------------------------- *)
+let run_checked ?(config = Core.default_config)
+    ?(algorithm = Allocator.Cpa_ra) ?trace nest =
+  Core.checked ~config ~algorithm ?trace nest
 
-(* Guard trips announce themselves on the trace; translating the collected
-   events into warning diagnostics here keeps the guard sites free of any
-   Diag dependency. *)
-let warnings_of_events events =
-  let field name (e : Trace.event) =
-    match List.assoc_opt name e.Trace.fields with
-    | Some (Trace.Int v) -> string_of_int v
-    | Some (Trace.String s) -> s
-    | Some (Trace.Bool b) -> string_of_bool b
-    | Some (Trace.Float f) -> string_of_float f
-    | Some (Trace.List _) | None -> "?"
-  in
-  List.filter_map
-    (fun (e : Trace.event) ->
-      match e.Trace.name with
-      | "fallback.pr_ra" ->
-        Some
-          (Diag.warning ~code:"W-GUARD-CUT"
-             "cut work limit exceeded; CPA-RA fell back to PR-RA"
-             ~context:
-               [
-                 ("work_limit", field "work_limit" e);
-                 ("bfs_phases", field "bfs_phases" e);
-                 ("augmenting_paths", field "augmenting_paths" e);
-               ])
-      | "guard.mask" ->
-        Some
-          (Diag.warning ~code:"W-GUARD-MASK"
-             "group count exceeds the bitmask memo cap; simulator degraded \
-              to the string-keyed memo"
-             ~context:
-               [ ("groups", field "groups" e); ("cap", field "cap" e) ])
-      | _ -> None)
-    events
-
-(* Second-opinion schedule check: re-time the steady-state body with the
-   cycle-stepped event model. A divergence is not an error — the report
-   keeps the (agreeing-by-construction) Cycle_model numbers — but it is
-   worth a warning and a trace event. *)
-let event_model_warning ~sink ~guards ~sim_config ~dfg alloc =
-  let ram_map = Srfa_sched.Simulator.ram_map_for sim_config alloc in
-  let residual = Allocation.residual_ram_groups alloc in
-  let charged (g : Group.t) = List.mem g.Group.id residual in
-  match
-    Srfa_sched.Event_model.makespan ~cap:guards.event_model_cap ~dfg
-      ~latency:sim_config.Srfa_sched.Simulator.latency ~ram_map ~charged ()
-  with
-  | _ -> None
-  | exception Srfa_sched.Event_model.Diverged { cycles; cap } ->
-    Trace.emit sink (fun () ->
-        Trace.event "fallback.cycle_model"
-          [
-            ("reason", Trace.String "event model diverged");
-            ("cycles", Trace.Int cycles);
-            ("cap", Trace.Int cap);
-          ]);
-    Some
-      (Diag.warning ~code:"W-GUARD-EVENT"
-         "event model failed to converge; report keeps the coarse \
-          Cycle_model timing"
-         ~context:
-           [ ("cycles", string_of_int cycles); ("cap", string_of_int cap) ])
-
-let run_checked ?(config = default_config) ?(algorithm = Allocator.Cpa_ra)
-    ?(trace = Trace.null) nest =
-  let sink, events = tee_collector trace in
-  match
-    let analysis = analyze nest in
-    let prepared = Cpa_ra.prepare analysis in
-    let dfg = Cpa_ra.dfg prepared in
-    let sim_scratch =
-      Srfa_sched.Simulator.scratch ~config:config.sim ~dfg analysis
-    in
-    let alloc =
-      allocation ~config ~trace:sink ~prepared ~sim_scratch algorithm
-        analysis
-    in
-    let trace_summary = Trace.summary (events ()) in
-    let report =
-      Srfa_estimate.Report.build ~sim_config:config.sim
-        ~clock_params:config.clock_params ~trace:sink ~trace_summary
-        ~sim_scratch
-        ~version:(Allocator.version_label algorithm)
-        alloc
-    in
-    let event_warning =
-      event_model_warning ~sink ~guards:config.guards ~sim_config:config.sim
-        ~dfg alloc
-    in
-    (report, event_warning)
-  with
-  | report, event_warning ->
-    let warnings =
-      warnings_of_events (events ()) @ Option.to_list event_warning
-    in
-    Ok (report, warnings)
-  | exception exn -> Result.Error [ Diag.of_exn exn ]
-
-(* Budget monotonicity for the certified portfolio: certification alone
-   makes a point never worse than the greedy baselines at its own budget,
-   but says nothing across budgets — a sweep could still show more
-   registers buying more cycles. Any allocation feasible at a lower
-   budget stays feasible at a higher one (its total only has to fit), so
-   the sweep carries the best certified allocation forward and adopts it
-   whenever the fresh point loses to it, announcing the takeover as a
-   ["certify.monotonic"] trace event. *)
-let portfolio_point ?(trace = Trace.null) ~prepared ?sim_scratch ~carry config
-    kernel analysis =
-  let sink, events = tee_collector trace in
-  let outcome =
-    Allocator.run_portfolio
-      ~latency:config.sim.Srfa_sched.Simulator.latency ~trace:sink
-      ?cut_work_limit:config.guards.cut_work_limit ~prepared
-      ~sim_config:config.sim ?sim_scratch analysis ~budget:config.budget
-  in
-  let alloc = outcome.Certify.allocation in
-  let trace_summary = Trace.summary (events ()) in
-  let build alloc =
-    Srfa_estimate.Report.build ~sim_config:config.sim
-      ~clock_params:config.clock_params ~trace:sink ~trace_summary
-      ?sim_scratch
-      ~version:(Allocator.version_label Allocator.Portfolio)
-      alloc
-  in
-  (* Reuse the certification's final simulation when the slow path ran;
-     only the dominance fast path needs a fresh one for the report. *)
-  let report =
-    match outcome.Certify.sim with
-    | Some sim ->
-      Srfa_estimate.Report.of_result ~clock_params:config.clock_params
-        ~trace_summary ~sim_config:config.sim
-        ~version:(Allocator.version_label Allocator.Portfolio)
-        alloc sim
-    | None -> build alloc
-  in
-  let report, final_alloc =
-    match !carry with
-    | Some (b0, entries0, cycles0)
-      when b0 <= config.budget && cycles0 < report.Srfa_estimate.Report.cycles
-      ->
-      Trace.emit sink (fun () ->
-          Trace.event "certify.monotonic"
-            [
-              ("kernel", Trace.String kernel);
-              ("budget", Trace.Int config.budget);
-              ("carried_budget", Trace.Int b0);
-              ("carried_cycles", Trace.Int cycles0);
-              ("fresh_cycles", Trace.Int report.Srfa_estimate.Report.cycles);
-            ]);
-      let adopted =
-        Allocation.make ~analysis ~budget:config.budget
-          ~algorithm:Certify.algorithm_name entries0
-      in
-      (build adopted, adopted)
-    | _ -> (report, alloc)
-  in
-  let final_cycles = report.Srfa_estimate.Report.cycles in
-  (match !carry with
-  | Some (_, _, cycles0) when cycles0 <= final_cycles -> ()
-  | _ ->
-    let entries =
-      Array.init (Analysis.num_groups analysis) (Allocation.entry final_alloc)
-    in
-    carry := Some (config.budget, entries, final_cycles));
-  report
-
-(* One kernel's full budget ladder. This stays sequential even under a
-   pool: the portfolio carry-forward (budget monotonicity) threads state
-   from each budget to the next, so the ladder is the unit of work and
-   kernels are the parallel axis. *)
-let sweep_kernel ~config ~algorithms ~budgets ?trace (kernel, nest) =
-  let analysis = analyze nest in
-  let minimum = Ordering.feasibility_minimum analysis in
-  let prepared = Cpa_ra.prepare analysis in
-  (* One simulator scratch per kernel, created inside the task so each
-     pool domain owns its own (the scratch is not thread-safe). *)
-  let sim_scratch =
-    Srfa_sched.Simulator.scratch ~config:config.sim
-      ~dfg:(Cpa_ra.dfg prepared) analysis
-  in
-  let carry = ref None in
-  List.concat_map
-    (fun budget ->
-      if budget < minimum then []
-      else
-        List.map
-          (fun algorithm ->
-            let report =
-              match algorithm with
-              | Allocator.Portfolio ->
-                portfolio_point ?trace ~prepared ~sim_scratch ~carry
-                  { config with budget } kernel analysis
-              | _ ->
-                evaluate_analysis ?trace ~prepared ~sim_scratch
-                  { config with budget } algorithm analysis
-            in
-            { kernel; algorithm; budget; report })
-          algorithms)
-    budgets
-
-let sweep ?(config = default_config) ?(algorithms = Allocator.all)
-    ?(budgets = default_budgets) ?trace ?pool kernels =
+let sweep ?(config = Core.default_config) ?(algorithms = Allocator.all)
+    ?(budgets = Core.default_budgets) ?trace ?pool kernels =
+  let sweep_kernel = Core.sweep_kernel ~config ~algorithms ~budgets in
   match pool with
   | Some pool when Srfa_util.Pool.jobs pool > 1 && List.length kernels > 1 ->
     (* Parallel across kernels, deterministic by construction: results
@@ -298,8 +388,8 @@ let sweep ?(config = default_config) ?(algorithms = Allocator.all)
         (fun kn ->
           if traced then
             let sink, splice = Trace.buffered () in
-            (sweep_kernel ~config ~algorithms ~budgets ~trace:sink kn, splice)
-          else (sweep_kernel ~config ~algorithms ~budgets kn, fun _ -> ()))
+            (sweep_kernel ~trace:sink kn, splice)
+          else (sweep_kernel kn, fun _ -> ()))
         (Array.of_list kernels)
     in
     (match trace with
@@ -307,4 +397,4 @@ let sweep ?(config = default_config) ?(algorithms = Allocator.all)
       Array.iter (fun (_, splice) -> splice t) outputs
     | _ -> ());
     List.concat_map fst (Array.to_list outputs)
-  | _ -> List.concat_map (sweep_kernel ~config ~algorithms ~budgets ?trace) kernels
+  | _ -> List.concat_map (fun kn -> sweep_kernel ?trace kn) kernels

@@ -1,18 +1,140 @@
 (** End-to-end evaluation flow: kernel -> analysis -> allocation ->
     simulation -> design report. This mirrors the paper's experimental
     pipeline (C kernel -> scalar replacement -> HLS -> P&R -> simulate),
-    with the substitutions documented in DESIGN.md §2. *)
+    with the substitutions documented in DESIGN.md §2.
+
+    The module is split in two layers (DESIGN.md §14):
+
+    - {!Core} is the {e pure core}: deterministic functions from (parsed
+      kernel, device/config, algorithm, budget, scratch) to reports and
+      diagnostics. It touches no filesystem, owns no formatter or channel
+      state, and never calls [exit] — the only effects are writes to
+      caller-injected {!Srfa_util.Trace} sinks and to the explicitly
+      passed mutable scratch. Core values ([Core.prepared], reports) are
+      therefore safe to cache and reuse across requests, which is what
+      the serve daemon's content-addressed cache does.
+    - The top-level functions below are the {e IO shell}: the historical
+      [Flow] surface the CLI subcommands ([alloc]/[sweep]/[check]), the
+      bench and the tests call. They are thin delegations into {!Core}
+      (plus the pool-parallel sweep driver) and their outputs are
+      byte-identical to the pre-split code. *)
 
 open Srfa_ir
 open Srfa_reuse
 
-type guards = {
+(** The pure core. See the module header for the purity contract. *)
+module Core : sig
+  type guards = {
+    cut_work_limit : int option;
+        (** max-flow work budget per CPA cut query ([None] = unlimited); a
+            trip degrades CPA-RA to PR-RA (see {!Allocator.run}) *)
+    event_model_cap : int;
+        (** clock cap for the {!Srfa_sched.Event_model} second opinion in
+            {!checked}; a trip keeps the Cycle_model timing *)
+  }
+
+  val default_guards : guards
+
+  type config = {
+    budget : int;                            (** register budget (paper: 64) *)
+    sim : Srfa_sched.Simulator.config;
+    clock_params : Srfa_estimate.Clock.params;
+    guards : guards;
+  }
+
+  val default_config : config
+
+  val analyze : Nest.t -> Analysis.t
+
+  val allocation :
+    ?config:config -> ?trace:Srfa_util.Trace.sink ->
+    ?prepared:Cpa_ra.prepared ->
+    ?sim_scratch:Srfa_sched.Simulator.scratch ->
+    Allocator.algorithm -> Analysis.t -> Allocation.t
+
+  val evaluate_analysis :
+    ?trace:Srfa_util.Trace.sink -> ?prepared:Cpa_ra.prepared ->
+    ?sim_scratch:Srfa_sched.Simulator.scratch ->
+    config -> Allocator.algorithm -> Analysis.t -> Srfa_estimate.Report.t
+  (** Allocate under an in-memory trace collector (teeing into [trace]
+      when given), simulate, and estimate — the single design-point
+      primitive every entry point reduces to. *)
+
+  type prepared = {
+    nest : Nest.t;
+    analysis : Analysis.t;
+    cpa : Cpa_ra.prepared;
+    dfg : Srfa_dfg.Graph.t;
+    minimum : int;  (** {!Ordering.feasibility_minimum} of the analysis *)
+  }
+  (** Every budget-independent product of one parsed kernel. Building one
+      costs one analysis, one {!Cpa_ra.prepare} and one graph build; the
+      sweep pays it once per kernel, the serve daemon once per tier-1
+      cache entry. Immutable once built (the mutable per-evaluation state
+      lives in the separately threaded scratch). *)
+
+  val prepare : Nest.t -> prepared
+
+  val scratch : config:config -> prepared -> Srfa_sched.Simulator.scratch
+  (** A simulator scratch specialised to [prepared] under [config]'s
+      latency table, donating the already-built DFG. Not thread-safe:
+      one per domain (see {!Srfa_sched.Simulator.scratch}). *)
+
+  val evaluate_prepared :
+    ?trace:Srfa_util.Trace.sink ->
+    ?sim_scratch:Srfa_sched.Simulator.scratch ->
+    config -> Allocator.algorithm -> prepared -> Srfa_estimate.Report.t
+  (** {!evaluate_analysis} against a prepared kernel. *)
+
+  val checked_prepared :
+    ?trace:Srfa_util.Trace.sink ->
+    ?sim_scratch:Srfa_sched.Simulator.scratch ->
+    config -> Allocator.algorithm -> prepared ->
+    (Srfa_estimate.Report.t * Srfa_util.Diag.t list, Srfa_util.Diag.t list)
+    result
+  (** The total pipeline against a prepared kernel: never raises, guard
+      trips come back as warning diagnostics (see {!checked}). Builds a
+      private scratch when [sim_scratch] is not supplied. *)
+
+  val checked :
+    ?config:config -> ?algorithm:Allocator.algorithm ->
+    ?trace:Srfa_util.Trace.sink -> Nest.t ->
+    (Srfa_estimate.Report.t * Srfa_util.Diag.t list, Srfa_util.Diag.t list)
+    result
+  (** {!prepare} + {!checked_prepared}, with preparation failures (semantic
+      validation, dependency cycles) classified through
+      {!Srfa_util.Diag.of_exn} like every other stage. *)
+
+  val portfolio_point :
+    ?trace:Srfa_util.Trace.sink -> prepared:Cpa_ra.prepared ->
+    ?sim_scratch:Srfa_sched.Simulator.scratch ->
+    carry:
+      (int * Srfa_reuse.Allocation.entry array * int) option ref ->
+    config -> string -> Analysis.t -> Srfa_estimate.Report.t
+  (** One budget-monotonic certified-portfolio point; [carry] threads the
+      best certified allocation along a budget ladder (see {!sweep}). *)
+
+  type sweep_point = {
+    kernel : string;
+    algorithm : Allocator.algorithm;
+    budget : int;
+    report : Srfa_estimate.Report.t;
+  }
+
+  val default_budgets : int list
+
+  val sweep_kernel :
+    config:config -> algorithms:Allocator.algorithm list ->
+    budgets:int list -> ?trace:Srfa_util.Trace.sink ->
+    string * Nest.t -> sweep_point list
+  (** One kernel's full budget ladder, sequential by construction (the
+      portfolio carry-forward threads state budget to budget). This is
+      the unit of work {!sweep} fans out over kernels. *)
+end
+
+type guards = Core.guards = {
   cut_work_limit : int option;
-      (** max-flow work budget per CPA cut query ([None] = unlimited); a
-          trip degrades CPA-RA to PR-RA (see {!Allocator.run}) *)
   event_model_cap : int;
-      (** clock cap for the {!Srfa_sched.Event_model} second opinion in
-          {!run_checked}; a trip keeps the Cycle_model timing *)
 }
 
 val default_guards : guards
@@ -20,7 +142,7 @@ val default_guards : guards
     needs — the fir kernel's full allocation costs under a hundred work
     units), [event_model_cap = 100_000]. *)
 
-type config = {
+type config = Core.config = {
   budget : int;                              (** register budget (paper: 64) *)
   sim : Srfa_sched.Simulator.config;
   clock_params : Srfa_estimate.Clock.params;
@@ -45,7 +167,7 @@ val evaluate_all :
     v3+, the knapsack baseline and the certified portfolio), sharing a
     single analysis and one {!Cpa_ra.prepare} of the nest. *)
 
-type sweep_point = {
+type sweep_point = Core.sweep_point = {
   kernel : string;
   algorithm : Allocator.algorithm;
   budget : int;

@@ -444,3 +444,10 @@ let print nest =
     nest.Nest.body;
   out "%s}\n}\n" (String.make (2 * (depth + 1)) ' ');
   Buffer.contents buf
+
+(* The canonical hashable form: [print] is deterministic in the nest
+   value alone (fixed layout, lowered sugar, normalised names), so a
+   parsed kernel and its builder-made twin hash identically. Kept as its
+   own name so the serving layer's cache keys are tied to an explicit
+   contract rather than to whatever [print] happens to emit. *)
+let canonical_source = print

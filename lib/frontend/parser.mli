@@ -57,3 +57,12 @@ val print : Srfa_ir.Nest.t -> string
 (** Renders a nest back into parseable source. Round trips preserve the
     analysis (groups, windows, semantics); unary operators are lowered to
     their binary encodings. *)
+
+val canonical_source : Srfa_ir.Nest.t -> string
+(** The stable, hashable rendering of a nest: {!print}, under a contract
+    name. Two nests with equal canonical source are the same kernel for
+    caching purposes (same groups, analysis and reports); any change to
+    this rendering is a cache-key-scheme change and must update the
+    serve key goldens (test_serve). The serving layer hashes this —
+    never the user's raw request text, so formatting and comments never
+    fragment the cache. *)

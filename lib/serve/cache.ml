@@ -1,0 +1,246 @@
+module Flow = Srfa_core.Flow
+module Allocator = Srfa_core.Allocator
+module Diag = Srfa_util.Diag
+module Trace = Srfa_util.Trace
+module Lru = Srfa_util.Lru
+
+(* Bump on any change to the key material layout or to the canonical
+   source rendering's meaning; the test_serve goldens pin the resulting
+   digests so an accidental change fails loudly instead of silently
+   cold-starting every deployed cache. *)
+let scheme_version = "srfa-cache-v1"
+
+let tier1_key ~(device : Srfa_hw.Device.t) source =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" [ scheme_version; device.Srfa_hw.Device.name; source ]))
+
+let tier2_key ~tier1 ~algorithm ~budget ~cut_work_limit =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          [
+            scheme_version;
+            tier1;
+            Allocator.name algorithm;
+            string_of_int budget;
+            (match cut_work_limit with
+            | None -> "guard-default"
+            | Some n -> string_of_int n);
+          ]))
+
+(* ---- resolved requests ------------------------------------------------- *)
+
+type resolved = {
+  nest : Srfa_ir.Nest.t;
+  source : string;
+  device : Srfa_hw.Device.t;
+  algorithm : Allocator.algorithm;
+  budget : int;
+  cut_work_limit : int option;
+}
+
+let device_of_name = function
+  | "xcv1000" -> Some Srfa_hw.Device.xcv1000
+  | "xc2v6000" -> Some Srfa_hw.Device.xc2v6000
+  | _ -> None
+
+let resolve (r : Protocol.request) =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let* nest =
+    match r.Protocol.kernel with
+    | None -> Error [ Protocol.field_error "allocate request without a kernel" ]
+    | Some (Protocol.Named name) -> (
+      match Srfa_kernels.Kernels.find name with
+      | Some nest -> Ok nest
+      | None ->
+        Error
+          [
+            Protocol.field_error
+              (Printf.sprintf "unknown kernel %S (try: %s)" name
+                 (String.concat ", " Srfa_kernels.Kernels.names));
+          ])
+    | Some (Protocol.Source text) -> Srfa_frontend.Parser.parse_result text
+  in
+  let* device =
+    match r.Protocol.device with
+    | None -> Ok Srfa_hw.Device.xcv1000
+    | Some name -> (
+      match device_of_name name with
+      | Some d -> Ok d
+      | None ->
+        Error
+          [
+            Protocol.field_error
+              (Printf.sprintf "unknown device %S (xcv1000, xc2v6000)" name);
+          ])
+  in
+  let* algorithm =
+    match r.Protocol.algorithm with
+    | None -> Ok Allocator.Cpa_ra
+    | Some name -> (
+      match Allocator.of_name name with
+      | Some a -> Ok a
+      | None ->
+        Error
+          [
+            Protocol.field_error
+              (Printf.sprintf "unknown algorithm %S" name);
+          ])
+  in
+  (* The content address hashes the canonical rendering, never the raw
+     request text, so formatting and comments never fragment the cache. *)
+  Ok
+    {
+      nest;
+      source = Srfa_frontend.Parser.canonical_source nest;
+      device;
+      algorithm;
+      budget = Option.value r.Protocol.budget ~default:64;
+      cut_work_limit = r.Protocol.cut_work_limit;
+    }
+
+let config_for r =
+  {
+    Flow.default_config with
+    Flow.budget = r.budget;
+    sim = { Flow.default_config.Flow.sim with device = r.device };
+    guards =
+      (match r.cut_work_limit with
+      | None -> Flow.default_guards
+      | Some n -> { Flow.default_guards with cut_work_limit = Some n });
+  }
+
+(* ---- tiers ------------------------------------------------------------- *)
+
+type entry = {
+  t1 : string;
+  prepared : Flow.Core.prepared;
+  scratch : Srfa_sched.Simulator.scratch;
+  device : Srfa_hw.Device.t;
+}
+(** One tier-1 resident: every budget-independent product of one
+    (kernel, device) pair. The scratch rides along so warm requests are
+    allocation-free, which makes the entry single-owner at any instant —
+    the server guarantees that by batching same-key requests onto one
+    domain. *)
+
+type report_value = {
+  report : Srfa_estimate.Report.t;
+  warnings : Diag.t list;
+}
+
+type t = {
+  tier1 : entry Lru.t;
+  tier2 : report_value Lru.t;
+  trace : Trace.sink;
+}
+
+let create ?(tier1_bytes = 48 * 1024 * 1024) ?(tier2_bytes = 16 * 1024 * 1024)
+    ?(trace = Trace.null) () =
+  {
+    tier1 = Lru.create ~capacity:tier1_bytes;
+    tier2 = Lru.create ~capacity:tier2_bytes;
+    trace;
+  }
+
+let word_bytes = Sys.word_size / 8
+
+let cost_of v = (1 + Obj.reachable_words (Obj.repr v)) * word_bytes
+
+let emit_lookup t ~tier ~key hit =
+  Trace.emit t.trace (fun () ->
+      Trace.event
+        (if hit then "cache.hit" else "cache.miss")
+        [ ("tier", Trace.Int tier); ("key", Trace.String key) ])
+
+let emit_evicted t ~tier evicted =
+  List.iter
+    (fun (key, _) ->
+      Trace.emit t.trace (fun () ->
+          Trace.event "cache.evict"
+            [ ("tier", Trace.Int tier); ("key", Trace.String key) ]))
+    evicted
+
+let build_entry r ~t1 =
+  let prepared = Flow.Core.prepare r.nest in
+  {
+    t1;
+    prepared;
+    scratch = Flow.Core.scratch ~config:(config_for r) prepared;
+    device = r.device;
+  }
+
+let find_report t key =
+  let hit = Lru.find t.tier2 key in
+  emit_lookup t ~tier:2 ~key (hit <> None);
+  hit
+
+let find_entry t key =
+  let hit = Lru.find t.tier1 key in
+  emit_lookup t ~tier:1 ~key (hit <> None);
+  hit
+
+let insert_entry t (e : entry) =
+  emit_evicted t ~tier:1 (Lru.add t.tier1 e.t1 ~cost:(cost_of e) e)
+
+let insert_report t key (v : report_value) =
+  emit_evicted t ~tier:2 (Lru.add t.tier2 key ~cost:(cost_of v) v)
+
+(* Allocate-and-report against a resident (or freshly built) tier-1
+   entry. Pure apart from the entry's scratch: callers on worker domains
+   must own the entry exclusively for the duration. *)
+let compute r (entry : entry) =
+  Flow.Core.checked_prepared ~sim_scratch:entry.scratch (config_for r)
+    r.algorithm entry.prepared
+
+type status = [ `Hit | `Analysis | `Miss ]
+
+(* The single-threaded fast path (tests, jobs=1 servers): look up, build
+   what is missing, cache what was computed. Errors are never cached —
+   they are cheap to recompute and usually the caller's fault. *)
+let respond t (r : resolved) =
+  let t1 = tier1_key ~device:r.device r.source in
+  let t2 =
+    tier2_key ~tier1:t1 ~algorithm:r.algorithm ~budget:r.budget
+      ~cut_work_limit:r.cut_work_limit
+  in
+  match find_report t t2 with
+  | Some v -> Ok (v.report, v.warnings, `Hit)
+  | None -> (
+    match
+      match find_entry t t1 with
+      | Some e -> Ok (e, `Analysis)
+      | None -> (
+        (* Preparation can fail too (semantic validation, dependency
+           cycles); the boundary matches Flow.Core.checked's. *)
+        match build_entry r ~t1 with
+        | e ->
+          insert_entry t e;
+          Ok (e, `Miss)
+        | exception exn -> Error [ Diag.of_exn exn ])
+    with
+    | Error diags -> Error diags
+    | Ok (entry, status) -> (
+      match compute r entry with
+      | Ok (report, warnings) ->
+        insert_report t t2 { report; warnings };
+        Ok (report, warnings, status)
+      | Error diags -> Error diags))
+
+(* Every request performs exactly one tier-2 lookup, so the served count
+   is the tier-2 hit + miss total. *)
+let stats t =
+  [
+    ("served", Lru.hits t.tier2 + Lru.misses t.tier2);
+    ("tier1_entries", Lru.length t.tier1);
+    ("tier1_bytes", Lru.used t.tier1);
+    ("tier1_hits", Lru.hits t.tier1);
+    ("tier1_misses", Lru.misses t.tier1);
+    ("tier1_evictions", Lru.evictions t.tier1);
+    ("tier2_entries", Lru.length t.tier2);
+    ("tier2_bytes", Lru.used t.tier2);
+    ("tier2_hits", Lru.hits t.tier2);
+    ("tier2_misses", Lru.misses t.tier2);
+    ("tier2_evictions", Lru.evictions t.tier2);
+  ]

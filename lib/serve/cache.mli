@@ -1,0 +1,108 @@
+(** The daemon's two-tier content-addressed cache.
+
+    Tier 1 is keyed on hash(canonical kernel source, device) and holds
+    every budget-independent product of the kernel — the parsed IR, the
+    {!Srfa_reuse.Analysis}, the DFG and the prepared cycle model, bundled
+    as a {!Srfa_core.Flow.Core.prepared} plus a warm simulator scratch.
+    Tier 2 is keyed on hash(tier-1 key, algorithm, budget, guard
+    override) and holds finished reports. The split mirrors the paper's
+    observation that the reuse analysis is budget-independent: a budget
+    ladder over a cached kernel pays for analysis once and then only for
+    allocation + simulation, and a repeated request pays for neither.
+
+    Both tiers are byte-budget-bounded {!Srfa_util.Lru}s; lookups,
+    misses and evictions are announced as [cache.hit] / [cache.miss] /
+    [cache.evict] trace events (fields: [tier], [key]). The cache itself
+    is single-owner: the server mutates it from the accept loop only and
+    hands tier-1 entries to at most one worker domain at a time (see
+    {!Server}). Key scheme details: DESIGN.md §14. *)
+
+module Flow = Srfa_core.Flow
+module Allocator = Srfa_core.Allocator
+module Diag = Srfa_util.Diag
+
+val scheme_version : string
+(** Folded into every digest; bump on any key-material change. The
+    test_serve goldens pin the resulting kernel digests. *)
+
+val tier1_key : device:Srfa_hw.Device.t -> string -> string
+(** [tier1_key ~device canonical_source] — hex MD5 of the scheme
+    version, device name and canonical source. *)
+
+val tier2_key :
+  tier1:string -> algorithm:Allocator.algorithm -> budget:int ->
+  cut_work_limit:int option -> string
+
+(** A protocol request resolved against the kernel registry, the device
+    table and the algorithm names — everything hashable. *)
+type resolved = {
+  nest : Srfa_ir.Nest.t;
+  source : string;  (** {!Srfa_frontend.Parser.canonical_source} of [nest] *)
+  device : Srfa_hw.Device.t;
+  algorithm : Allocator.algorithm;
+  budget : int;
+  cut_work_limit : int option;
+}
+
+val device_of_name : string -> Srfa_hw.Device.t option
+
+val resolve : Protocol.request -> (resolved, Diag.t list) result
+(** Look up a named kernel or parse an inline source (diagnostics come
+    back with their [E-LEX-*]/[E-PARSE-*]/[E-SEM-*] codes), validate
+    device and algorithm names, default budget 64. *)
+
+val config_for : resolved -> Flow.config
+(** The pure-core config a resolved request runs under: its budget, its
+    device in the simulator config, and its guard override (if any). *)
+
+type entry = {
+  t1 : string;
+  prepared : Flow.Core.prepared;
+  scratch : Srfa_sched.Simulator.scratch;
+  device : Srfa_hw.Device.t;
+}
+
+type report_value = {
+  report : Srfa_estimate.Report.t;
+  warnings : Diag.t list;
+}
+
+type t
+
+val create :
+  ?tier1_bytes:int -> ?tier2_bytes:int -> ?trace:Srfa_util.Trace.sink ->
+  unit -> t
+(** Defaults: 48 MB for tier 1, 16 MB for tier 2. Entry costs are
+    measured with [Obj.reachable_words], i.e. real heap bytes. *)
+
+type status = [ `Hit | `Analysis | `Miss ]
+
+val respond :
+  t -> resolved ->
+  (Srfa_estimate.Report.t * Diag.t list * status, Diag.t list) result
+(** The single-threaded serving path: tier-2 lookup, then tier-1, then a
+    cold build; computed values are inserted, errors are returned inline
+    and never cached. A tier-2 hit returns the {e physically} same
+    report value as the request that populated it — the IO shell owns
+    all rendering, so a report is a plain immutable value safe to serve
+    any number of times. *)
+
+(* The batched server drives the tiers directly (lookups and inserts on
+   the accept loop, compute on worker domains): *)
+
+val find_report : t -> string -> report_value option
+val find_entry : t -> string -> entry option
+val build_entry : resolved -> t1:string -> entry
+val insert_entry : t -> entry -> unit
+val insert_report : t -> string -> report_value -> unit
+
+val compute :
+  resolved -> entry ->
+  (Srfa_estimate.Report.t * Diag.t list, Diag.t list) result
+(** {!Flow.Core.checked_prepared} against the entry's prepared kernel and
+    scratch. Mutates the entry's scratch: the caller must own the entry
+    exclusively while it runs. *)
+
+val stats : t -> (string * int) list
+(** Served-request count plus per-tier entries/bytes/hits/misses/
+    evictions, as rendered by {!Protocol.response_stats}. *)

@@ -1,0 +1,349 @@
+module Diag = Srfa_util.Diag
+
+(* ---- minimal JSON ------------------------------------------------------
+   The request protocol is one flat JSON object per line; no installed
+   JSON library is assumed, so a small recursive-descent reader lives
+   here. It accepts full JSON (nested values included) — the request
+   decoder then insists on the flat shape it documents. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Malformed of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Malformed (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then (
+      pos := !pos + l;
+      value)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_body () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+        | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with Failure _ -> fail "bad \\u escape"
+          in
+          (* Codepoints above 0x7f are re-encoded as UTF-8. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then (
+            Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f))))
+          else (
+            Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f))));
+          pos := !pos + 4;
+          go ()
+        | _ -> fail "bad escape")
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail "malformed number")
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (
+        advance ();
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let key = string_body () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or }"
+        in
+        members []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (
+        advance ();
+        Arr [])
+      else
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ]"
+        in
+        elements []
+    | Some '"' -> Str (string_body ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+(* ---- requests ---------------------------------------------------------- *)
+
+type op = Allocate | Stats | Shutdown
+
+type kernel_spec = Named of string | Source of string
+
+type request = {
+  id : string option;
+  op : op;
+  kernel : kernel_spec option;
+  device : string option;
+  algorithm : string option;
+  budget : int option;
+  cut_work_limit : int option;
+}
+
+let proto_error msg = Diag.make ~code:"E-PROTO-001" msg
+
+let field_error msg = Diag.make ~code:"E-PROTO-002" msg
+
+let parse_request line =
+  match parse_json line with
+  | exception Malformed msg ->
+    Error (proto_error (Printf.sprintf "malformed request JSON: %s" msg))
+  | Obj _ as json -> (
+    let str key =
+      match member key json with
+      | None -> Ok None
+      | Some (Str s) -> Ok (Some s)
+      | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+    in
+    let int key =
+      match member key json with
+      | None -> Ok None
+      | Some (Int i) -> Ok (Some i)
+      | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+    in
+    let ( let* ) r f =
+      match r with Ok v -> f v | Error msg -> Error (field_error msg)
+    in
+    let* id = str "id" in
+    let* opname = str "op" in
+    let* kernel = str "kernel" in
+    let* source = str "source" in
+    let* device = str "device" in
+    let* algorithm = str "algorithm" in
+    let* budget = int "budget" in
+    let* cut_work_limit = int "cut_work_limit" in
+    let* op =
+      match opname with
+      | None | Some "allocate" -> Ok Allocate
+      | Some "stats" -> Ok Stats
+      | Some "shutdown" -> Ok Shutdown
+      | Some other ->
+        Error (Printf.sprintf "unknown op %S (allocate, stats, shutdown)" other)
+    in
+    let* kernel =
+      match (kernel, source) with
+      | Some _, Some _ -> Error "give either \"kernel\" or \"source\", not both"
+      | Some name, None -> Ok (Some (Named name))
+      | None, Some text -> Ok (Some (Source text))
+      | None, None ->
+        if op = Allocate then
+          Error
+            "an allocate request needs a \"kernel\" name or a \"source\" text"
+        else Ok None
+    in
+    Ok { id; op; kernel; device; algorithm; budget; cut_work_limit })
+  | _ -> Error (proto_error "request must be a JSON object")
+
+(* ---- responses --------------------------------------------------------- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let cache_status_name = function
+  | `Hit -> "hit"
+  | `Analysis -> "analysis"
+  | `Miss -> "miss"
+
+let add_id buf id =
+  match id with
+  | Some id -> Buffer.add_string buf (Printf.sprintf "\"id\": \"%s\", " (escape id))
+  | None -> ()
+
+let json_of_report (r : Srfa_estimate.Report.t) =
+  let buf = Buffer.create 512 in
+  let groups kvs =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (escape k) v) kvs)
+    ^ "}"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"kernel\": \"%s\", \"version\": \"%s\", \"algorithm\": \"%s\", \
+        \"registers\": %d, \"cycles\": %d, \"memory_cycles\": %d, \
+        \"ram_accesses\": %d, \"clock_ns\": %.1f, \"exec_time_us\": %.3f, \
+        \"slices\": %d, \"slice_utilization\": %.4f, \"rams\": %d, \
+        \"required\": %s, \"allocated\": %s"
+       (escape r.Srfa_estimate.Report.kernel)
+       (escape r.Srfa_estimate.Report.version)
+       (escape r.Srfa_estimate.Report.algorithm)
+       r.Srfa_estimate.Report.total_registers r.Srfa_estimate.Report.cycles
+       r.Srfa_estimate.Report.memory_cycles r.Srfa_estimate.Report.ram_accesses
+       r.Srfa_estimate.Report.clock_ns r.Srfa_estimate.Report.exec_time_us
+       r.Srfa_estimate.Report.slices r.Srfa_estimate.Report.slice_utilization
+       r.Srfa_estimate.Report.rams
+       (groups r.Srfa_estimate.Report.required)
+       (groups r.Srfa_estimate.Report.allocated));
+  (match r.Srfa_estimate.Report.trace_summary with
+  | Some s -> Buffer.add_string buf (Printf.sprintf ", \"trace\": \"%s\"" (escape s))
+  | None -> ());
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let response_ok ?id ~cache ~warnings report =
+  let buf = Buffer.create 600 in
+  Buffer.add_string buf "{";
+  add_id buf id;
+  Buffer.add_string buf
+    (Printf.sprintf "\"status\": \"ok\", \"cache\": \"%s\", \"report\": %s"
+       (cache_status_name cache)
+       (json_of_report report));
+  (match warnings with
+  | [] -> ()
+  | ws ->
+    Buffer.add_string buf ", \"warnings\": [";
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Diag.to_json w))
+      ws;
+    Buffer.add_string buf "]");
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let response_error ?id diags =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{";
+  add_id buf id;
+  Buffer.add_string buf "\"status\": \"error\", \"diagnostics\": [";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Diag.to_json d))
+    diags;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let response_stats ?id (kvs : (string * int) list) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{";
+  add_id buf id;
+  Buffer.add_string buf "\"status\": \"ok\", \"stats\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (escape k) v))
+    kvs;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let response_bye ?id () =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "{";
+  add_id buf id;
+  Buffer.add_string buf "\"status\": \"ok\", \"bye\": true}";
+  Buffer.contents buf

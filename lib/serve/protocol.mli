@@ -1,0 +1,82 @@
+(** The serve daemon's wire protocol: JSON lines over a Unix-domain
+    socket, one request object in, one response object out, in order.
+
+    Request fields (flat object; unknown fields are ignored):
+    - ["op"]: ["allocate"] (default), ["stats"] or ["shutdown"];
+    - ["id"]: optional string, echoed verbatim in the response;
+    - ["kernel"]: a built-in kernel name, {e or} ["source"]: kernel DSL
+      text (exactly one for an allocate request);
+    - ["device"]: ["xcv1000"] (default) or ["xc2v6000"];
+    - ["algorithm"]: an {!Srfa_core.Allocator.of_name} string
+      (default ["cpa-ra"]);
+    - ["budget"]: register budget (default 64);
+    - ["cut_work_limit"]: optional override of the CPA cut-work guard.
+
+    Responses: [{"status": "ok", "cache": "hit"|"analysis"|"miss",
+    "report": {...}, "warnings": [...]}] for served allocations (the
+    warnings array carries [W-GUARD-*] diagnostics and is omitted when
+    empty), [{"status": "error", "diagnostics": [...]}] with
+    {!Srfa_util.Diag.to_json} objects otherwise — kernel parse errors
+    arrive inline with their [E-LEX-*]/[E-PARSE-*] codes, protocol
+    errors as [E-PROTO-001] (malformed JSON) / [E-PROTO-002] (bad or
+    missing field). The full scheme is documented in DESIGN.md §14. *)
+
+(** A parsed JSON value (the protocol ships no JSON dependency). *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Malformed of string
+
+val parse_json : string -> json
+(** @raise Malformed on invalid input (with the byte offset). *)
+
+val member : string -> json -> json option
+(** [member key (Obj ...)] — [None] for absent keys and non-objects. *)
+
+type op = Allocate | Stats | Shutdown
+
+type kernel_spec = Named of string | Source of string
+
+type request = {
+  id : string option;
+  op : op;
+  kernel : kernel_spec option;  (** [Some] for every allocate request *)
+  device : string option;
+  algorithm : string option;
+  budget : int option;
+  cut_work_limit : int option;
+}
+
+val proto_error : string -> Srfa_util.Diag.t
+(** An [E-PROTO-001] diagnostic (malformed request JSON). *)
+
+val field_error : string -> Srfa_util.Diag.t
+(** An [E-PROTO-002] diagnostic (bad or missing request field). *)
+
+val parse_request : string -> (request, Srfa_util.Diag.t) result
+(** Decode one request line. Malformed JSON is [E-PROTO-001]; a
+    well-formed object with bad field types, an unknown op, or neither /
+    both of [kernel] and [source] is [E-PROTO-002]. *)
+
+val json_of_report : Srfa_estimate.Report.t -> string
+(** One report as a single-line JSON object (per-group register maps
+    included). *)
+
+val response_ok :
+  ?id:string -> cache:[ `Hit | `Analysis | `Miss ] ->
+  warnings:Srfa_util.Diag.t list -> Srfa_estimate.Report.t -> string
+(** [cache] says what the request cost: [`Hit] = served from the report
+    tier, [`Analysis] = analysis reused, allocation recomputed, [`Miss] =
+    fully cold. *)
+
+val response_error : ?id:string -> Srfa_util.Diag.t list -> string
+
+val response_stats : ?id:string -> (string * int) list -> string
+
+val response_bye : ?id:string -> unit -> string

@@ -1,0 +1,380 @@
+module Diag = Srfa_util.Diag
+module Trace = Srfa_util.Trace
+module Pool = Srfa_util.Pool
+
+(* ---- accept loop -------------------------------------------------------
+
+   Single-threaded IO, pooled compute. The accept loop owns every file
+   descriptor and every cache mutation; each select round drains all
+   complete request lines into one batch, answers what the cache can
+   answer, groups the rest by tier-1 key and fans the groups out through
+   Srfa_util.Pool — so concurrent requests for the same kernel share one
+   analysis build and one simulator scratch (single domain per group,
+   exactly the ownership rule Flow.sweep uses), while distinct kernels
+   run on distinct domains. Responses go out in arrival order. *)
+
+type client = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes read but not yet terminated by '\n' *)
+}
+
+(* One per-batch unit of pooled work: every cold request that resolved
+   to the same tier-1 key. [entry] is the resident tier-1 value when the
+   accept loop found one; otherwise the worker builds it and the accept
+   loop inserts it afterwards. *)
+type job = {
+  t1 : string;
+  entry : Cache.entry option;
+  items : (int * string option * Cache.resolved * string) list;
+      (* (slot, request id, resolved, tier-2 key) in arrival order *)
+}
+
+type item_result = {
+  slot : int;
+  rid : string option;
+  t2 : string;
+  outcome : (Srfa_estimate.Report.t * Diag.t list, Diag.t list) result;
+  status : Cache.status;
+  fresh : bool;  (* computed this batch: insert into tier 2 *)
+}
+
+let run_job job =
+  let entry =
+    match job.entry with
+    | Some e -> Ok e
+    | None -> (
+      match job.items with
+      | (_, _, r, _) :: _ -> (
+        match Cache.build_entry r ~t1:job.t1 with
+        | e -> Ok e
+        | exception exn -> Error [ Diag.of_exn exn ])
+      | [] -> assert false)
+  in
+  match entry with
+  | Error diags ->
+    ( None,
+      List.map
+        (fun (slot, rid, _, t2) ->
+          { slot; rid; t2; outcome = Error diags; status = `Miss; fresh = false })
+        job.items )
+  | Ok entry ->
+    let resident = Option.is_some job.entry in
+    let memo = Hashtbl.create 4 in
+    let results =
+      List.mapi
+        (fun i (slot, rid, r, t2) ->
+          match Hashtbl.find_opt memo t2 with
+          | Some (report, warnings) ->
+            (* A within-batch duplicate: served from the report computed
+               a moment ago, physically the same value — a hit. *)
+            {
+              slot;
+              rid;
+              t2;
+              outcome = Ok (report, warnings);
+              status = `Hit;
+              fresh = false;
+            }
+          | None ->
+            let status = if resident || i > 0 then `Analysis else `Miss in
+            let outcome = Cache.compute r entry in
+            (match outcome with
+            | Ok (report, warnings) -> Hashtbl.add memo t2 (report, warnings)
+            | Error _ -> ());
+            { slot; rid; t2; outcome; status; fresh = true })
+        job.items
+    in
+    ((if resident then None else Some entry), results)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+(* Process one batch of complete request lines. Returns the responses in
+   arrival order plus whether a shutdown was requested. *)
+let process_batch ~cache ~pool (lines : (client * string) list) =
+  let stop = ref false in
+  let slots = Array.make (List.length lines) "" in
+  let jobs : (string, job) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iteri
+    (fun slot (_, line) ->
+      match Protocol.parse_request line with
+      | Error diag -> slots.(slot) <- Protocol.response_error [ diag ]
+      | Ok req -> (
+        let rid = req.Protocol.id in
+        match req.Protocol.op with
+        | Protocol.Stats ->
+          slots.(slot) <- Protocol.response_stats ?id:rid (Cache.stats cache)
+        | Protocol.Shutdown ->
+          stop := true;
+          slots.(slot) <- Protocol.response_bye ?id:rid ()
+        | Protocol.Allocate -> (
+          match Cache.resolve req with
+          | Error diags -> slots.(slot) <- Protocol.response_error ?id:rid diags
+          | Ok r -> (
+            let t1 = Cache.tier1_key ~device:r.Cache.device r.Cache.source in
+            let t2 =
+              Cache.tier2_key ~tier1:t1 ~algorithm:r.Cache.algorithm
+                ~budget:r.Cache.budget ~cut_work_limit:r.Cache.cut_work_limit
+            in
+            match Cache.find_report cache t2 with
+            | Some v ->
+              slots.(slot) <-
+                Protocol.response_ok ?id:rid ~cache:`Hit
+                  ~warnings:v.Cache.warnings v.Cache.report
+            | None ->
+              let item = (slot, rid, r, t2) in
+              (match Hashtbl.find_opt jobs t1 with
+              | Some job ->
+                Hashtbl.replace jobs t1 { job with items = job.items @ [ item ] }
+              | None ->
+                order := t1 :: !order;
+                Hashtbl.replace jobs t1
+                  { t1; entry = Cache.find_entry cache t1; items = [ item ] })))))
+    lines;
+  let jobs_arr =
+    Array.of_list (List.rev_map (fun t1 -> Hashtbl.find jobs t1) !order)
+  in
+  let outputs = Pool.map pool run_job jobs_arr in
+  Array.iter
+    (fun (built, results) ->
+      Option.iter (Cache.insert_entry cache) built;
+      List.iter
+        (fun { slot; rid; t2; outcome; status; fresh } ->
+          match outcome with
+          | Ok (report, warnings) ->
+            if fresh then
+              Cache.insert_report cache t2 { Cache.report; warnings };
+            slots.(slot) <-
+              Protocol.response_ok ?id:rid ~cache:status ~warnings report
+          | Error diags -> slots.(slot) <- Protocol.response_error ?id:rid diags)
+        results)
+    outputs;
+  (slots, !stop)
+
+let run ?(jobs = 1) ?tier1_bytes ?tier2_bytes ?(trace = Trace.null)
+    ?(backlog = 64) ~socket () =
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd backlog;
+  let cache = Cache.create ?tier1_bytes ?tier2_bytes ~trace () in
+  let clients = ref [] in
+  let drop c =
+    clients := List.filter (fun c' -> c'.fd != c.fd) !clients;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
+  let finally () =
+    List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !clients;
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    try Unix.unlink socket with Unix.Unix_error _ -> ()
+  in
+  let chunk = Bytes.create 65536 in
+  Pool.with_pool ~jobs (fun pool ->
+      let stop = ref false in
+      while not !stop do
+        let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
+        match Unix.select fds [] [] (-1.0) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | readable, _, _ ->
+          if List.memq listen_fd readable then begin
+            match Unix.accept listen_fd with
+            | fd, _ -> clients := !clients @ [ { fd; buf = Buffer.create 256 } ]
+            | exception Unix.Unix_error _ -> ()
+          end;
+          (* Drain every readable client, splitting complete lines off
+             its buffer; partial lines wait for the next round. *)
+          let batch = ref [] in
+          List.iter
+            (fun c ->
+              if List.memq c.fd readable then
+                match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+                | exception Unix.Unix_error _ -> drop c
+                | 0 -> drop c
+                | n ->
+                  Buffer.add_subbytes c.buf chunk 0 n;
+                  let data = Buffer.contents c.buf in
+                  Buffer.clear c.buf;
+                  let parts = String.split_on_char '\n' data in
+                  let rec split_last = function
+                    | [ last ] -> ([], last)
+                    | x :: rest ->
+                      let done_, last = split_last rest in
+                      (x :: done_, last)
+                    | [] -> ([], "")
+                  in
+                  let complete, partial = split_last parts in
+                  Buffer.add_string c.buf partial;
+                  List.iter
+                    (fun line ->
+                      if String.trim line <> "" then
+                        batch := (c, line) :: !batch)
+                    complete)
+            (List.filter (fun c -> c.fd != listen_fd) !clients);
+          let lines = List.rev !batch in
+          if lines <> [] then begin
+            let slots, shutdown = process_batch ~cache ~pool lines in
+            List.iteri
+              (fun i (c, _) -> write_all c.fd (slots.(i) ^ "\n"))
+              lines;
+            if shutdown then stop := true
+          end
+      done);
+  finally ()
+
+(* ---- client ------------------------------------------------------------ *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; ic : in_channel }
+
+  let connect ?(retries = 200) path =
+    let rec go attempt =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> { fd; ic = Unix.in_channel_of_descr fd }
+      | exception
+          Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when attempt < retries ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.01;
+        go (attempt + 1)
+    in
+    go 0
+
+  let send t line = write_all t.fd (line ^ "\n")
+
+  let recv t = input_line t.ic
+
+  let rpc t line =
+    send t line;
+    recv t
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end
+
+(* ---- self-test ---------------------------------------------------------
+
+   Spawn the daemon (own domain, private socket), fire a scripted
+   request mix covering the cold / analysis-reuse / hit paths, an inline
+   parse error, a guard trip (W-GUARD-CUT via a cut_work_limit override),
+   an infeasible budget and the protocol error codes, check every
+   response, and shut the daemon down. *)
+
+let self_test ?(jobs = 2) ?(log = ignore) () =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "srfa-serve-%d.sock" (Unix.getpid ()))
+  in
+  let daemon = Domain.spawn (fun () -> run ~jobs ~socket ()) in
+  let client = Client.connect socket in
+  let failures = ref [] in
+  let check name ok =
+    log (Printf.sprintf "self-test: %-32s %s" name (if ok then "ok" else "FAIL"));
+    if not ok then failures := name :: !failures
+  in
+  let str_member key json =
+    match Protocol.member key json with
+    | Some (Protocol.Str s) -> Some s
+    | _ -> None
+  in
+  let response line = Protocol.parse_json (Client.rpc client line) in
+  let has_code code json =
+    match Protocol.member "diagnostics" json with
+    | Some (Protocol.Arr ds) ->
+      List.exists (fun d -> str_member "code" d = Some code) ds
+    | _ -> false
+  in
+  let warning_code code json =
+    match Protocol.member "warnings" json with
+    | Some (Protocol.Arr ws) ->
+      List.exists (fun w -> str_member "code" w = Some code) ws
+    | _ -> false
+  in
+  (* 1. cold allocate of a named kernel *)
+  let r1 = response {|{"id": "c1", "kernel": "fir", "budget": 64}|} in
+  check "fir cold is a miss"
+    (str_member "status" r1 = Some "ok"
+    && str_member "cache" r1 = Some "miss"
+    && str_member "id" r1 = Some "c1");
+  (* 2. identical request: tier-2 hit with the identical report *)
+  let raw2 = Client.rpc client {|{"id": "c2", "kernel": "fir", "budget": 64}|} in
+  let r2 = Protocol.parse_json raw2 in
+  check "fir repeat is a hit" (str_member "cache" r2 = Some "hit");
+  check "hit serves the same report"
+    (Protocol.member "report" r1 = Protocol.member "report" r2);
+  (* 3. same kernel, new budget: analysis tier reused *)
+  let r3 = response {|{"kernel": "fir", "budget": 32}|} in
+  check "budget ladder reuses analysis"
+    (str_member "cache" r3 = Some "analysis");
+  (* 4. inline source allocates like the named kernel *)
+  let source =
+    Srfa_frontend.Parser.canonical_source (Srfa_kernels.Kernels.example ())
+  in
+  let r4 =
+    response
+      (Printf.sprintf {|{"source": "%s", "algorithm": "cpa-ra+"}|}
+         (String.concat "\\n" (String.split_on_char '\n' source)))
+  in
+  check "inline source allocates" (str_member "status" r4 = Some "ok");
+  (* 5. a parse error comes back as an inline coded diagnostic *)
+  let r5 = response {|{"id": "bad", "source": "kernel oops {"}|} in
+  check "parse error is E-PARSE-001"
+    (str_member "status" r5 = Some "error" && has_code "E-PARSE-001" r5);
+  (* 6. unknown kernel name: protocol field error *)
+  let r6 = response {|{"kernel": "no-such-kernel"}|} in
+  check "unknown kernel is E-PROTO-002" (has_code "E-PROTO-002" r6);
+  (* 7. malformed JSON: protocol error *)
+  let r7 = response "this is not json" in
+  check "malformed line is E-PROTO-001" (has_code "E-PROTO-001" r7);
+  (* 8. guard trip: a starved cut budget degrades CPA-RA with W-GUARD-CUT *)
+  let r8 = response {|{"kernel": "bic", "cut_work_limit": 1}|} in
+  check "starved cut guard warns W-GUARD-CUT"
+    (str_member "status" r8 = Some "ok" && warning_code "W-GUARD-CUT" r8);
+  (* 9. infeasible budget: coded error, not a crash *)
+  let r9 = response {|{"kernel": "fir", "budget": 1}|} in
+  check "infeasible budget is E-BUDGET-001" (has_code "E-BUDGET-001" r9);
+  (* 10. pipelined batch: two requests in one write, answered in order *)
+  Client.send client
+    {|{"id": "b1", "kernel": "mat", "budget": 16}|};
+  Client.send client
+    {|{"id": "b2", "kernel": "mat", "budget": 16, "algorithm": "fr-ra"}|};
+  let rb1 = Protocol.parse_json (Client.recv client) in
+  let rb2 = Protocol.parse_json (Client.recv client) in
+  check "batched responses keep order"
+    (str_member "id" rb1 = Some "b1" && str_member "id" rb2 = Some "b2");
+  check "batched same-kernel requests share the analysis"
+    (str_member "cache" rb1 = Some "miss"
+    && str_member "cache" rb2 = Some "analysis");
+  (* 11. stats reflect the mix *)
+  let rs = response {|{"op": "stats"}|} in
+  let stat key =
+    match Protocol.member "stats" rs with
+    | Some s -> (
+      match Protocol.member key s with Some (Protocol.Int i) -> i | _ -> -1)
+    | None -> -1
+  in
+  check "stats count the hits" (stat "tier2_hits" >= 1 && stat "served" >= 8);
+  (* 12. shutdown *)
+  let bye = response {|{"op": "shutdown"}|} in
+  check "shutdown answers bye" (Protocol.member "bye" bye = Some (Protocol.Bool true));
+  Client.close client;
+  Domain.join daemon;
+  match !failures with
+  | [] ->
+    log "self-test: ok";
+    true
+  | names ->
+    log
+      (Printf.sprintf "self-test: FAILED (%s)"
+         (String.concat ", " (List.rev names)));
+    false

@@ -1,0 +1,51 @@
+(** The allocation daemon: a Unix-domain-socket accept loop speaking the
+    JSONL {!Protocol}, backed by a two-tier {!Cache}.
+
+    Concurrency model — single-threaded IO, pooled compute. The accept
+    loop owns every file descriptor and every cache mutation. Each
+    [select] round drains all complete request lines into one batch:
+    tier-2 hits (and stats/shutdown/protocol errors) are answered
+    immediately from the loop; the remaining cold requests are grouped
+    by tier-1 key and the groups fanned out through {!Srfa_util.Pool},
+    one group per worker call, so concurrent requests for the same
+    kernel share one analysis build and one simulator scratch — the
+    scratch is not thread-safe, and grouping is what makes each tier-1
+    entry single-owner for the duration of a batch. Workers only
+    compute; the loop inserts the built entries and reports afterwards
+    and writes responses in arrival order. *)
+
+val run :
+  ?jobs:int ->
+  ?tier1_bytes:int ->
+  ?tier2_bytes:int ->
+  ?trace:Srfa_util.Trace.sink ->
+  ?backlog:int ->
+  socket:string ->
+  unit ->
+  unit
+(** Bind [socket] (unlinking any stale file), serve until a [shutdown]
+    request arrives, then close every client and remove the socket.
+    [jobs] sizes the worker pool (default 1). *)
+
+(** A small blocking client, used by the self-test and the bench. *)
+module Client : sig
+  type t
+
+  val connect : ?retries:int -> string -> t
+  (** Retry while the socket does not exist / refuses connections
+      (20 ms apart, default 200 attempts) so callers can connect
+      immediately after spawning the daemon. *)
+
+  val send : t -> string -> unit
+  val recv : t -> string
+  val rpc : t -> string -> string
+  val close : t -> unit
+end
+
+val self_test : ?jobs:int -> ?log:(string -> unit) -> unit -> bool
+(** Spawn a private daemon, run the scripted request mix (cold miss /
+    tier-2 hit / analysis reuse / inline source / parse error / unknown
+    kernel / malformed JSON / guard trip / infeasible budget / pipelined
+    batch / stats / shutdown), check every response and join the daemon.
+    Prints via [log] and ends with ["self-test: ok"] iff all checks
+    passed. *)

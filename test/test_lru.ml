@@ -1,0 +1,106 @@
+(* Srfa_util.Lru: the byte-budget LRU behind the serve caches.
+   Insert/hit/evict order, exact cost accounting, and the zero-capacity
+   degeneracy the server relies on for cacheless operation. *)
+
+module Lru = Srfa_util.Lru
+
+let keys t = List.map fst (Lru.to_alist t)
+
+let test_insert_hit_evict_order () =
+  let t = Lru.create ~capacity:30 in
+  List.iter
+    (fun k -> assert (Lru.add t k ~cost:10 k = []))
+    [ "a"; "b"; "c" ];
+  Alcotest.(check (list string)) "mru first" [ "c"; "b"; "a" ] (keys t);
+  (* A hit moves the entry to the warm end... *)
+  Alcotest.(check (option string)) "hit" (Some "a") (Lru.find t "a");
+  Alcotest.(check (list string)) "after hit" [ "a"; "c"; "b" ] (keys t);
+  (* ...so the next eviction takes the coldest, now "b". *)
+  Alcotest.(check (list (pair string string)))
+    "evicted coldest" [ ("b", "b") ]
+    (Lru.add t "d" ~cost:10 "d");
+  Alcotest.(check (list string)) "after evict" [ "d"; "a"; "c" ] (keys t)
+
+let test_cost_accounting () =
+  let t = Lru.create ~capacity:100 in
+  ignore (Lru.add t "a" ~cost:40 "a");
+  ignore (Lru.add t "b" ~cost:50 "b");
+  Alcotest.(check int) "used" 90 (Lru.used t);
+  (* Replacement re-accounts the old cost. *)
+  ignore (Lru.add t "a" ~cost:10 "a2");
+  Alcotest.(check int) "used after replace" 60 (Lru.used t);
+  Alcotest.(check (option string)) "replaced value" (Some "a2")
+    (Lru.find t "a");
+  (* A multi-entry cascade keeps the invariant used <= capacity. *)
+  let evicted = Lru.add t "big" ~cost:95 "big" in
+  Alcotest.(check (list string))
+    "cascade evicts coldest first" [ "b"; "a" ] (List.map fst evicted);
+  Alcotest.(check int) "used after cascade" 95 (Lru.used t);
+  Alcotest.(check int) "length" 1 (Lru.length t);
+  Lru.remove t "big";
+  Alcotest.(check int) "used after remove" 0 (Lru.used t);
+  (* Negative costs clamp to zero instead of creating budget. *)
+  ignore (Lru.add t "n" ~cost:(-5) "n");
+  Alcotest.(check int) "negative cost clamps" 0 (Lru.used t)
+
+let test_oversized_value () =
+  let t = Lru.create ~capacity:10 in
+  ignore (Lru.add t "a" ~cost:4 "a");
+  let evicted = Lru.add t "huge" ~cost:11 "huge" in
+  (* The oversized value itself falls out; the resident small entry is
+     only sacrificed if it had to be (it did: eviction is cold-first and
+     "a" was colder). *)
+  Alcotest.(check (list string))
+    "oversized never resident" [ "a"; "huge" ] (List.map fst evicted);
+  Alcotest.(check int) "empty after oversized" 0 (Lru.length t);
+  Alcotest.(check int) "no cost retained" 0 (Lru.used t)
+
+let test_zero_capacity () =
+  let t = Lru.create ~capacity:0 in
+  Alcotest.(check (list (pair string string)))
+    "add bounces" [ ("k", "v") ]
+    (Lru.add t "k" ~cost:1 "v");
+  Alcotest.(check (option string)) "never hits" None (Lru.find t "k");
+  Alcotest.(check int) "stays empty" 0 (Lru.length t);
+  Alcotest.(check int) "no cost" 0 (Lru.used t);
+  (* Zero-cost entries do fit a zero budget: the degenerate cache only
+     rejects positive costs. Negative capacity behaves like zero. *)
+  Alcotest.(check (list (pair string string)))
+    "zero-cost entry fits" []
+    (Lru.add t "free" ~cost:0 "v");
+  let neg = Lru.create ~capacity:(-7) in
+  Alcotest.(check bool) "negative capacity bounces" true
+    (Lru.add neg "k" ~cost:1 "v" <> [])
+
+let test_counters () =
+  let t = Lru.create ~capacity:20 in
+  ignore (Lru.add t "a" ~cost:10 "a");
+  ignore (Lru.find t "a");
+  ignore (Lru.find t "a");
+  ignore (Lru.find t "ghost");
+  ignore (Lru.add t "b" ~cost:10 "b");
+  ignore (Lru.add t "c" ~cost:10 "c");
+  Alcotest.(check int) "hits" 2 (Lru.hits t);
+  Alcotest.(check int) "misses" 1 (Lru.misses t);
+  Alcotest.(check int) "evictions" 1 (Lru.evictions t);
+  Lru.remove t "b";
+  Alcotest.(check int) "remove is not an eviction" 1 (Lru.evictions t);
+  (* mem is a peek: no recency change, no counter change. *)
+  ignore (Lru.add t "d" ~cost:10 "d");
+  assert (Lru.mem t "c");
+  Alcotest.(check int) "mem counts nothing" 2 (Lru.hits t);
+  Alcotest.(check (list string)) "mem leaves order" [ "d"; "c" ] (keys t)
+
+let () =
+  Alcotest.run "lru"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "insert/hit/evict order" `Quick
+            test_insert_hit_evict_order;
+          Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+          Alcotest.test_case "oversized value" `Quick test_oversized_value;
+          Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+          Alcotest.test_case "hit/miss/evict counters" `Quick test_counters;
+        ] );
+    ]

@@ -1,0 +1,316 @@
+(* The serving layer: content-address goldens, the wire protocol, and
+   the two-tier cache's behavioural contract.
+
+   The digest goldens are the canary for the whole key scheme — they
+   pin hash(scheme version, device name, canonical source) for every
+   built-in kernel, so any drift in Parser.canonical_source, in the
+   scheme version, or in device naming fails here by name instead of
+   silently cold-starting every deployed cache. When a change to the
+   canonical rendering is *intentional*, bump Cache.scheme_version and
+   re-pin. *)
+
+module Protocol = Srfa_server.Protocol
+module Cache = Srfa_server.Cache
+module Kernels = Srfa_kernels.Kernels
+module Parser = Srfa_frontend.Parser
+module Device = Srfa_hw.Device
+module Trace = Srfa_util.Trace
+module Diag = Srfa_util.Diag
+
+(* ---- golden digests ---------------------------------------------------- *)
+
+let golden_digests =
+  [
+    ("example", "6416c81cf187f60ec66c3438e7b2b827");
+    ("fir", "58ae9f54c0f9e1d0ef29c8421f286934");
+    ("dec-fir", "9080bf02051a2f97e9df5d6976ed5d74");
+    ("imi", "bc5fffca83a4f77feb66bdd70753b3b7");
+    ("mat", "13c783479aaa3759f70a49855f75a7de");
+    ("pat", "c7ea5f6dee49929081e86f3e325ba9db");
+    ("bic", "6723dee16facf5c14ddc200d9b992397");
+  ]
+
+let test_golden_digests () =
+  let nests = ("example", Kernels.example ()) :: Kernels.all () in
+  Alcotest.(check int)
+    "every kernel has a pinned digest" (List.length nests)
+    (List.length golden_digests);
+  List.iter
+    (fun (name, nest) ->
+      let source = Parser.canonical_source nest in
+      let key = Cache.tier1_key ~device:Device.xcv1000 source in
+      Alcotest.(check string)
+        (Printf.sprintf "tier-1 digest of %s" name)
+        (List.assoc name golden_digests)
+        key)
+    nests
+
+let test_key_sensitivity () =
+  let source = Parser.canonical_source (Kernels.example ()) in
+  let k1 = Cache.tier1_key ~device:Device.xcv1000 source in
+  let k2 = Cache.tier1_key ~device:Device.xc2v6000 source in
+  Alcotest.(check bool) "device is key material" false (k1 = k2);
+  let t2 a b cwl =
+    Cache.tier2_key ~tier1:k1 ~algorithm:a ~budget:b ~cut_work_limit:cwl
+  in
+  let base = t2 Srfa_core.Allocator.Cpa_ra 64 None in
+  Alcotest.(check bool)
+    "algorithm is key material" false
+    (base = t2 Srfa_core.Allocator.Fr_ra 64 None);
+  Alcotest.(check bool)
+    "budget is key material" false
+    (base = t2 Srfa_core.Allocator.Cpa_ra 32 None);
+  Alcotest.(check bool)
+    "guard override is key material" false
+    (base = t2 Srfa_core.Allocator.Cpa_ra 64 (Some 1));
+  Alcotest.(check string)
+    "keys are deterministic" base
+    (t2 Srfa_core.Allocator.Cpa_ra 64 None)
+
+(* Formatting must never fragment the cache: a re-rendered kernel hashes
+   to the same address as the original. *)
+let test_canonical_stability () =
+  List.iter
+    (fun (name, nest) ->
+      let once = Parser.canonical_source nest in
+      match Parser.parse_result once with
+      | Error _ -> Alcotest.failf "%s: canonical source does not re-parse" name
+      | Ok reparsed ->
+        Alcotest.(check string)
+          (Printf.sprintf "%s round-trips" name)
+          once
+          (Parser.canonical_source reparsed))
+    (("example", Kernels.example ()) :: Kernels.all ())
+
+(* ---- protocol ---------------------------------------------------------- *)
+
+let test_parse_request () =
+  (match
+     Protocol.parse_request
+       {|{"id": "r1", "kernel": "fir", "budget": 32, "algorithm": "cpa-ra+", "device": "xc2v6000", "cut_work_limit": 9}|}
+   with
+  | Ok r ->
+    Alcotest.(check (option string)) "id" (Some "r1") r.Protocol.id;
+    Alcotest.(check bool) "op" true (r.Protocol.op = Protocol.Allocate);
+    Alcotest.(check bool)
+      "kernel" true
+      (r.Protocol.kernel = Some (Protocol.Named "fir"));
+    Alcotest.(check (option int)) "budget" (Some 32) r.Protocol.budget;
+    Alcotest.(check (option string))
+      "algorithm" (Some "cpa-ra+") r.Protocol.algorithm;
+    Alcotest.(check (option int)) "cwl" (Some 9) r.Protocol.cut_work_limit
+  | Error d -> Alcotest.failf "unexpected error: %s" (Diag.to_json d));
+  let code line =
+    match Protocol.parse_request line with
+    | Error d -> d.Diag.code
+    | Ok _ -> "(ok)"
+  in
+  Alcotest.(check string) "malformed JSON" "E-PROTO-001" (code "{nope");
+  Alcotest.(check string) "non-object" "E-PROTO-001" (code "[1, 2]");
+  Alcotest.(check string)
+    "bad field type" "E-PROTO-002"
+    (code {|{"kernel": 3}|});
+  Alcotest.(check string)
+    "unknown op" "E-PROTO-002"
+    (code {|{"op": "dance"}|});
+  Alcotest.(check string)
+    "kernel and source" "E-PROTO-002"
+    (code {|{"kernel": "fir", "source": "x"}|});
+  Alcotest.(check string)
+    "allocate without kernel" "E-PROTO-002"
+    (code {|{"budget": 8}|});
+  (match Protocol.parse_request {|{"op": "stats"}|} with
+  | Ok r -> Alcotest.(check bool) "stats op" true (r.Protocol.op = Protocol.Stats)
+  | Error _ -> Alcotest.fail "stats request rejected")
+
+let test_json_reader () =
+  let open Protocol in
+  Alcotest.(check bool)
+    "nested values" true
+    (parse_json {|{"a": [1, -2.5, true, null], "b": {"c": "d\ne"}}|}
+    = Obj
+        [
+          ("a", Arr [ Int 1; Float (-2.5); Bool true; Null ]);
+          ("b", Obj [ ("c", Str "d\ne") ]);
+        ]);
+  Alcotest.(check bool)
+    "unicode escape" true
+    (parse_json "\"\\u00e9\"" = Str "\xc3\xa9");
+  let malformed s =
+    match parse_json s with exception Malformed _ -> true | _ -> false
+  in
+  Alcotest.(check bool) "trailing garbage" true (malformed {|{} {}|});
+  Alcotest.(check bool) "bare word" true (malformed "hello");
+  Alcotest.(check bool) "unterminated" true (malformed {|{"a": "b|})
+
+(* ---- cache ------------------------------------------------------------- *)
+
+let resolve_exn line =
+  match Protocol.parse_request line with
+  | Error d -> Alcotest.failf "request: %s" (Diag.to_json d)
+  | Ok req -> (
+    match Cache.resolve req with
+    | Ok r -> r
+    | Error ds ->
+      Alcotest.failf "resolve: %s" (String.concat "; " (List.map Diag.to_json ds)))
+
+let respond_exn cache r =
+  match Cache.respond cache r with
+  | Ok v -> v
+  | Error ds ->
+    Alcotest.failf "respond: %s" (String.concat "; " (List.map Diag.to_json ds))
+
+(* The IO-shell seam: reports are plain values the shell renders without
+   mutating, so a repeated request is answered with the physically same
+   report — no copy, no re-render, no per-request state. *)
+let test_physical_hit () =
+  let cache = Cache.create () in
+  let r = resolve_exn {|{"kernel": "fir", "budget": 64}|} in
+  let report1, _, status1 = respond_exn cache r in
+  let report2, _, status2 = respond_exn cache r in
+  Alcotest.(check bool) "first is a miss" true (status1 = `Miss);
+  Alcotest.(check bool) "second is a hit" true (status2 = `Hit);
+  Alcotest.(check bool)
+    "hit is physically the cached report" true (report1 == report2)
+
+let test_analysis_reuse () =
+  let cache = Cache.create () in
+  let point budget =
+    resolve_exn (Printf.sprintf {|{"kernel": "mat", "budget": %d}|} budget)
+  in
+  let _, _, s1 = respond_exn cache (point 64) in
+  let _, _, s2 = respond_exn cache (point 32) in
+  let _, _, s3 = respond_exn cache (point 16) in
+  Alcotest.(check bool) "first budget is cold" true (s1 = `Miss);
+  Alcotest.(check bool)
+    "budget ladder reuses the analysis" true
+    (s2 = `Analysis && s3 = `Analysis);
+  let stats = Cache.stats cache in
+  Alcotest.(check int) "one tier-1 build" 1 (List.assoc "tier1_entries" stats);
+  Alcotest.(check int) "three reports" 3 (List.assoc "tier2_entries" stats)
+
+let test_guard_warning_passthrough () =
+  let cache = Cache.create () in
+  let r = resolve_exn {|{"kernel": "bic", "cut_work_limit": 1}|} in
+  let _, warnings, _ = respond_exn cache r in
+  Alcotest.(check bool)
+    "starved cut guard surfaces W-GUARD-CUT" true
+    (List.exists (fun (d : Diag.t) -> d.Diag.code = "W-GUARD-CUT") warnings);
+  (* ... and the warnings ride the cache with the report. *)
+  let _, warnings2, status2 = respond_exn cache r in
+  Alcotest.(check bool) "warned report still cached" true (status2 = `Hit);
+  Alcotest.(check bool)
+    "warnings physically cached too" true (warnings == warnings2)
+
+let test_errors_not_cached () =
+  let cache = Cache.create () in
+  let r = resolve_exn {|{"kernel": "fir", "budget": 1}|} in
+  (match Cache.respond cache r with
+  | Ok _ -> Alcotest.fail "budget 1 should be infeasible"
+  | Error ds ->
+    Alcotest.(check bool)
+      "coded E-BUDGET-001" true
+      (List.exists (fun (d : Diag.t) -> d.Diag.code = "E-BUDGET-001") ds));
+  let stats = Cache.stats cache in
+  Alcotest.(check int) "no report cached" 0 (List.assoc "tier2_entries" stats);
+  (* The analysis *is* budget-independent, so tier 1 keeps its entry and
+     a feasible retry pays only for allocation. *)
+  let _, _, status = respond_exn cache (resolve_exn {|{"kernel": "fir"}|}) in
+  Alcotest.(check bool) "analysis survives the error" true (status = `Analysis)
+
+let test_eviction_events () =
+  let point budget =
+    resolve_exn (Printf.sprintf {|{"kernel": "fir", "budget": %d}|} budget)
+  in
+  (* Calibrate: measure what one cached report actually costs, then
+     budget tier 2 for one and a half of them — every further insert
+     must evict its predecessor. *)
+  let probe = Cache.create () in
+  ignore (respond_exn probe (point 64));
+  let one_report = List.assoc "tier2_bytes" (Cache.stats probe) in
+  Alcotest.(check bool) "probe cost is positive" true (one_report > 0);
+  let sink, events = Trace.collector () in
+  let cache = Cache.create ~tier2_bytes:(one_report * 3 / 2) ~trace:sink () in
+  List.iter (fun b -> ignore (respond_exn cache (point b))) [ 8; 16; 32; 64 ];
+  let named name =
+    List.filter (fun (e : Trace.event) -> e.Trace.name = name) (events ())
+  in
+  Alcotest.(check bool)
+    "evictions were announced" true
+    (List.length (named "cache.evict") >= 3);
+  Alcotest.(check int) "four tier-2 misses" 4
+    (List.length
+       (List.filter
+          (fun (e : Trace.event) ->
+            List.assoc_opt "tier" e.Trace.fields = Some (Trace.Int 2))
+          (named "cache.miss")));
+  Alcotest.(check bool)
+    "evict events carry tier and key" true
+    (List.for_all
+       (fun (e : Trace.event) ->
+         List.mem_assoc "tier" e.Trace.fields
+         && List.mem_assoc "key" e.Trace.fields)
+       (named "cache.evict"));
+  Alcotest.(check int)
+    "tier 2 stayed within budget, keeping at most the newest" 1
+    (List.assoc "tier2_entries" (Cache.stats cache))
+
+let test_resolve_errors () =
+  let code line =
+    match Cache.resolve (Result.get_ok (Protocol.parse_request line)) with
+    | Error ((d : Diag.t) :: _) -> d.Diag.code
+    | Error [] -> "(empty)"
+    | Ok _ -> "(ok)"
+  in
+  Alcotest.(check string)
+    "unknown kernel" "E-PROTO-002"
+    (code {|{"kernel": "quux"}|});
+  Alcotest.(check string)
+    "unknown device" "E-PROTO-002"
+    (code {|{"kernel": "fir", "device": "asic"}|});
+  Alcotest.(check string)
+    "unknown algorithm" "E-PROTO-002"
+    (code {|{"kernel": "fir", "algorithm": "magic"}|});
+  Alcotest.(check string)
+    "source parse error" "E-PARSE-001"
+    (code {|{"source": "kernel oops {"}|});
+  (* Inline source and the named kernel content-address identically. *)
+  let named = resolve_exn {|{"kernel": "example"}|} in
+  let inline =
+    resolve_exn
+      (Printf.sprintf {|{"source": "%s"}|}
+         (String.concat "\\n"
+            (String.split_on_char '\n'
+               (Parser.canonical_source (Kernels.example ())))))
+  in
+  Alcotest.(check string)
+    "inline source hashes like the named kernel"
+    (Cache.tier1_key ~device:named.Cache.device named.Cache.source)
+    (Cache.tier1_key ~device:inline.Cache.device inline.Cache.source)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "goldens",
+        [
+          Alcotest.test_case "kernel digests" `Quick test_golden_digests;
+          Alcotest.test_case "key sensitivity" `Quick test_key_sensitivity;
+          Alcotest.test_case "canonical stability" `Quick
+            test_canonical_stability;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "parse_request" `Quick test_parse_request;
+          Alcotest.test_case "json reader" `Quick test_json_reader;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "physical hit" `Quick test_physical_hit;
+          Alcotest.test_case "analysis reuse" `Quick test_analysis_reuse;
+          Alcotest.test_case "guard warning passthrough" `Quick
+            test_guard_warning_passthrough;
+          Alcotest.test_case "errors not cached" `Quick test_errors_not_cached;
+          Alcotest.test_case "eviction events" `Quick test_eviction_events;
+          Alcotest.test_case "resolve errors" `Quick test_resolve_errors;
+        ] );
+    ]
