@@ -34,6 +34,10 @@
                            kernel across a GC minor-heap matrix, against
                            the recorded pre-arena baselines
                            (BENCH_core.json)
+     perf-robust           the daemon under a seeded fault plan and a
+                           pipelined overload flood: clean vs faulted
+                           throughput/latency and the shed rate
+                           (BENCH_robust.json)
 
    Sections can also be picked with `--sections core,cuts,certify` —
    shorthand names expand to their perf-* section. *)
@@ -1795,6 +1799,247 @@ let perf_serve () =
           ] );
     ]
 
+(* The resilience layer priced: the same production-shaped request mix
+   against a clean daemon and against one running a ~10% fault plan
+   (stalling and raising workers, failing cache inserts — the sites
+   that do not sever the measuring client's own connection), then a
+   pipelined cold flood against a max_inflight:4 daemon to price
+   overload shedding. The totality contract shifts under faults: raising
+   workers *should* surface as isolated E-INTERNAL responses; what must
+   still hold is one response per request and a live daemon at the end. *)
+
+let robust_requests = 400
+
+let perf_robust () =
+  section "perf-robust: the daemon under injected faults and overload";
+  let module Server = Srfa_server.Server in
+  let module Client = Srfa_server.Server.Client in
+  let module Fault = Srfa_util.Fault in
+  let robust_socket tag =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "srfa-bench-robust-%s-%d.sock" tag (Unix.getpid ()))
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let kernels = List.map fst (Srfa_kernels.Kernels.all ()) in
+  let mix () =
+    (* Deterministic xorshift, regenerated per campaign so clean and
+       faulted daemons answer the byte-identical request sequence. *)
+    let seed = ref 0x2f6e25 in
+    let rand bound =
+      let s = !seed in
+      let s = s lxor (s lsl 13) in
+      let s = s lxor (s lsr 7) in
+      let s = s lxor (s lsl 17) in
+      seed := s land max_int;
+      !seed mod bound
+    in
+    let pick xs = List.nth xs (rand (List.length xs)) in
+    let last = ref {|{"kernel": "fir"}|} in
+    Array.init robust_requests (fun _ ->
+        let roll = rand 100 in
+        if roll < 60 then (
+          (* A wide budget spread keeps most of the mix cold — the fault
+             sites live on the cold path (pool jobs, cache inserts), so a
+             hit-dominated mix would leave the plan nothing to bite. *)
+          let line =
+            Printf.sprintf {|{"kernel": "%s", "budget": %d}|} (pick kernels)
+              (16 + rand 185)
+          in
+          last := line;
+          line)
+        else !last)
+  in
+  let campaign ~faults tag =
+    let sock = robust_socket tag in
+    let daemon =
+      Domain.spawn (fun () -> Server.run ~jobs:2 ~faults ~socket:sock ())
+    in
+    let client = Client.connect sock in
+    let lines = mix () in
+    let lat = Array.make robust_requests 0.0 in
+    let ok = ref 0 and internal = ref 0 and other = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    Array.iteri
+      (fun i line ->
+        let r0 = Unix.gettimeofday () in
+        let resp = Client.rpc client line in
+        lat.(i) <- (Unix.gettimeofday () -. r0) *. 1e6;
+        if contains resp {|"status": "ok"|} then incr ok
+        else if contains resp "E-INTERNAL" then incr internal
+        else incr other)
+      lines;
+    let seconds = Unix.gettimeofday () -. t0 in
+    (* The daemon must still be standing to answer this. *)
+    let alive = contains (Client.rpc client {|{"op": "stats"}|}) "stats" in
+    ignore (Client.rpc client {|{"op": "shutdown"}|});
+    Client.close client;
+    Domain.join daemon;
+    Array.sort compare lat;
+    ( float_of_int robust_requests /. seconds,
+      percentile lat 0.50,
+      percentile lat 0.99,
+      !ok,
+      !internal,
+      !other,
+      alive )
+  in
+  let clean_rps, clean_p50, clean_p99, clean_ok, clean_int, clean_other, clean_alive
+      =
+    campaign ~faults:Fault.off "clean"
+  in
+  let plan = "pool.job:delay:1@0.06,pool.job:raise@0.04,cache.insert:error@0.15" in
+  let faults =
+    match Fault.parse ~seed:42 plan with
+    | Ok f -> f
+    | Error msg -> failwith msg
+  in
+  let fault_rps, fault_p50, fault_p99, fault_ok, fault_int, fault_other, fault_alive
+      =
+    campaign ~faults "faulted"
+  in
+  let injected = Fault.injected faults in
+  let fault_rate = float_of_int injected /. float_of_int robust_requests in
+  let table =
+    T.create
+      ~headers:
+        [
+          ("campaign", T.Left); ("req/s", T.Right); ("p50 us", T.Right);
+          ("p99 us", T.Right); ("ok", T.Right); ("E-INTERNAL", T.Right);
+          ("other", T.Right);
+        ]
+  in
+  let row name rps p50 p99 ok int_ other =
+    T.add_row table
+      [
+        name;
+        Printf.sprintf "%.0f" rps;
+        Printf.sprintf "%.0f" p50;
+        Printf.sprintf "%.0f" p99;
+        string_of_int ok;
+        string_of_int int_;
+        string_of_int other;
+      ]
+  in
+  row "clean" clean_rps clean_p50 clean_p99 clean_ok clean_int clean_other;
+  row "faulted" fault_rps fault_p50 fault_p99 fault_ok fault_int fault_other;
+  T.print table;
+  Printf.printf
+    "\nfault plan: %s\ninjected %d faults over %d requests (%.1f%%)\n" plan
+    injected robust_requests (100.0 *. fault_rate);
+  let clean_total_ok = clean_int = 0 in
+  Printf.printf "clean campaign free of E-INTERNAL: %s (%d)\n"
+    (if clean_total_ok then "ok" else "MISMATCH")
+    clean_int;
+  let answered_ok =
+    clean_ok + clean_int + clean_other = robust_requests
+    && fault_ok + fault_int + fault_other = robust_requests
+  in
+  Printf.printf "every request answered in both campaigns: %s\n"
+    (if answered_ok then "ok" else "MISMATCH");
+  Printf.printf "daemons alive after the campaigns: %s\n"
+    (if clean_alive && fault_alive then "ok" else "MISMATCH");
+  (* -- overload: a pipelined cold flood against max_inflight:4 ------- *)
+  let sock = robust_socket "overload" in
+  let max_inflight = 4 in
+  let daemon =
+    Domain.spawn (fun () -> Server.run ~jobs:2 ~max_inflight ~socket:sock ())
+  in
+  let client = Client.connect sock in
+  let flood_n = 64 in
+  let flood =
+    String.concat ""
+      (List.init flood_n (fun i ->
+           Printf.sprintf "{\"id\": \"f%d\", \"kernel\": \"%s\", \"budget\": %d}\n"
+             i
+             (List.nth kernels (i mod List.length kernels))
+             (20 + i)))
+  in
+  let t0 = Unix.gettimeofday () in
+  let wrote = Unix.write_substring client.Client.fd flood 0 (String.length flood) in
+  assert (wrote = String.length flood);
+  let shed = ref 0 and flood_ok = ref 0 and flood_other = ref 0 in
+  for _ = 1 to flood_n do
+    let resp = Client.recv client in
+    if contains resp "E-OVERLOAD" then incr shed
+    else if contains resp {|"status": "ok"|} then incr flood_ok
+    else incr flood_other
+  done;
+  let flood_s = Unix.gettimeofday () -. t0 in
+  let overload_alive = contains (Client.rpc client {|{"op": "stats"}|}) "stats" in
+  ignore (Client.rpc client {|{"op": "shutdown"}|});
+  Client.close client;
+  Domain.join daemon;
+  let shed_rate = float_of_int !shed /. float_of_int flood_n in
+  Printf.printf
+    "\noverload flood: %d pipelined cold requests vs max_inflight=%d in %.3fs \
+     — %d ok, %d shed (%.0f%%), %d other errors\n"
+    flood_n max_inflight flood_s !flood_ok !shed (100.0 *. shed_rate)
+    !flood_other;
+  let overload_ok = !shed > 0 && !flood_ok >= max_inflight && overload_alive in
+  Printf.printf "overload shed some, served some, daemon alive: %s\n"
+    (if overload_ok then "ok" else "MISMATCH");
+  let rss = vmhwm_kb () in
+  Printf.printf "peak RSS: %d kB\n" rss;
+  let campaign_json rps p50 p99 ok int_ other alive =
+    Json.Obj
+      [
+        ("requests", Json.Int robust_requests);
+        ("requests_per_sec", Json.ns rps);
+        ("p50_us", Json.ns p50);
+        ("p99_us", Json.ns p99);
+        ("ok", Json.Int ok);
+        ("e_internal", Json.Int int_);
+        ("other_errors", Json.Int other);
+        ("daemon_alive_after", Json.Bool alive);
+      ]
+  in
+  write_json "BENCH_robust.json"
+    [
+      ("benchmark", Json.Str "perf-robust");
+      ( "unit",
+        Json.Str
+          "us/round-trip over a Unix-domain socket, daemon in-process \
+           (2 worker domains); identical seeded request mix against a \
+           clean daemon and one under the fault plan; overload = one \
+           pipelined cold flood against max_inflight=4" );
+      ("fault_plan", Json.Str plan);
+      ("fault_seed", Json.Int 42);
+      ("injected_faults", Json.Int injected);
+      ("injected_rate", Json.float fault_rate);
+      ( "checks",
+        Json.Obj
+          [
+            ("clean_no_internal_errors", Json.Bool clean_total_ok);
+            ("every_request_answered", Json.Bool answered_ok);
+            ("daemons_survived", Json.Bool (clean_alive && fault_alive));
+            ("overload_shed_and_served", Json.Bool overload_ok);
+          ] );
+      ( "clean",
+        campaign_json clean_rps clean_p50 clean_p99 clean_ok clean_int
+          clean_other clean_alive );
+      ( "faulted",
+        campaign_json fault_rps fault_p50 fault_p99 fault_ok fault_int
+          fault_other fault_alive );
+      ( "overload",
+        Json.Obj
+          [
+            ("flood_requests", Json.Int flood_n);
+            ("max_inflight", Json.Int max_inflight);
+            ("seconds", Json.float flood_s);
+            ("ok", Json.Int !flood_ok);
+            ("shed", Json.Int !shed);
+            ("shed_rate", Json.float shed_rate);
+            ("other_errors", Json.Int !flood_other);
+            ("daemon_alive_after", Json.Bool overload_alive);
+          ] );
+      ("rss_kb", Json.Int rss);
+    ]
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -1820,6 +2065,7 @@ let sections =
     ("perf-parallel", perf_parallel);
     ("perf-core", perf_core);
     ("perf-serve", perf_serve);
+    ("perf-robust", perf_robust);
   ]
 
 (* `--sections core,cuts,certify` shorthand: bare names expand to their
@@ -1831,6 +2077,7 @@ let expand_section = function
   | "certify" -> "perf-certify"
   | "parallel" -> "perf-parallel"
   | "serve" -> "perf-serve"
+  | "robust" -> "perf-robust"
   | s -> s
 
 let () =

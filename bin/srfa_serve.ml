@@ -1,7 +1,9 @@
 (* srfa-serve — the allocation daemon. Binds a Unix-domain socket and
    answers JSONL allocation requests from the two-tier content cache;
    `--self-test` instead spawns a private daemon, runs the scripted
-   request mix and exits 0/1 (the @serve-smoke gate). *)
+   request mix and exits 0/1 (the @serve-smoke gate); `--chaos` runs the
+   seeded fault-injection campaign against a private daemon and exits
+   0/1 (the @chaos-smoke gate). *)
 
 open Cmdliner
 
@@ -35,12 +37,82 @@ let self_test_arg =
   let doc = "Run the built-in request-mix self-test and exit." in
   Arg.(value & flag & info [ "self-test" ] ~doc)
 
-let main socket jobs tier1_mb tier2_mb trace self_test =
+let chaos_arg =
+  let doc =
+    "Run the seeded chaos campaign (fault injection + hostile clients \
+     against a private daemon) and exit."
+  in
+  Arg.(value & flag & info [ "chaos" ] ~doc)
+
+let seed_arg =
+  let doc = "Seed for the chaos campaign and the fault plan." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Number of requests the chaos campaign sends." in
+  Arg.(value & opt int 600 & info [ "chaos-requests" ] ~docv:"N" ~doc)
+
+let faults_arg =
+  let doc =
+    "Fault-injection plan: comma-separated site:action[:param]@rate \
+     clauses over io.read, io.write, pool.job, cache.insert (actions: \
+     error, delay:MS, short-read, raise). Also read from $(b,SRFA_FAULTS) \
+     / $(b,SRFA_FAULT_SEED) when the flag is absent."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"PLAN" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Default per-request deadline in milliseconds (requests may override \
+     with their own deadline_ms field); tripping it answers E-DEADLINE."
+  in
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_inflight_arg =
+  let doc =
+    "Cold-compute bound per batch; requests beyond it are shed with \
+     E-OVERLOAD."
+  in
+  Arg.(value & opt int 256 & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let max_buffer_arg =
+  let doc =
+    "Per-connection cap in bytes on an unterminated request line \
+     (E-PROTO-003 and a drop beyond it)."
+  in
+  Arg.(value & opt int (1 lsl 20) & info [ "max-buffer" ] ~docv:"BYTES" ~doc)
+
+let read_timeout_arg =
+  let doc =
+    "How long a partial request line may sit before the connection is \
+     dropped with E-PROTO-003, in milliseconds."
+  in
+  Arg.(
+    value & opt int 10_000 & info [ "read-timeout-ms" ] ~docv:"MS" ~doc)
+
+let main socket jobs tier1_mb tier2_mb trace self_test chaos seed requests
+    faults_plan deadline_ms max_inflight max_buffer read_timeout_ms =
   let module Trace = Srfa_util.Trace in
+  let module Fault = Srfa_util.Fault in
   let jobs = if jobs <= 0 then Srfa_util.Pool.recommended () else jobs in
   if self_test then
     if Srfa_server.Server.self_test ~jobs ~log:print_endline () then 0 else 1
+  else if chaos then
+    if Srfa_server.Server.chaos ~seed ~requests ~jobs ~log:print_endline ()
+    then 0
+    else 1
   else
+    let faults =
+      match
+        match faults_plan with
+        | Some plan -> Fault.parse ~seed plan
+        | None -> Fault.from_env ()
+      with
+      | Ok f -> f
+      | Error msg ->
+        prerr_endline ("srfa-serve: " ^ msg);
+        exit 2
+    in
     let with_trace k =
       match trace with
       | None -> k Trace.null
@@ -51,11 +123,15 @@ let main socket jobs tier1_mb tier2_mb trace self_test =
           (fun () -> k (Trace.channel oc))
     in
     with_trace (fun sink ->
-        Printf.printf "srfa-serve: listening on %s (jobs=%d)\n%!" socket jobs;
+        Printf.printf "srfa-serve: listening on %s (jobs=%d%s)\n%!" socket jobs
+          (if Fault.enabled faults then
+             "; faults: " ^ Fault.to_string faults
+           else "");
         Srfa_server.Server.run ~jobs
           ~tier1_bytes:(tier1_mb * 1024 * 1024)
           ~tier2_bytes:(tier2_mb * 1024 * 1024)
-          ~trace:sink ~socket ();
+          ~trace:sink ~faults ?deadline_ms ~max_inflight ~max_buffer
+          ~read_timeout_ms ~signals:true ~log:print_endline ~socket ();
         0)
 
 let cmd =
@@ -64,6 +140,8 @@ let cmd =
     (Cmd.info "srfa-serve" ~doc)
     Term.(
       const main $ socket_arg $ jobs_arg $ tier1_mb_arg $ tier2_mb_arg
-      $ trace_arg $ self_test_arg)
+      $ trace_arg $ self_test_arg $ chaos_arg $ seed_arg $ requests_arg
+      $ faults_arg $ deadline_arg $ max_inflight_arg $ max_buffer_arg
+      $ read_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

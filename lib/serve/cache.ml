@@ -3,6 +3,7 @@ module Allocator = Srfa_core.Allocator
 module Diag = Srfa_util.Diag
 module Trace = Srfa_util.Trace
 module Lru = Srfa_util.Lru
+module Fault = Srfa_util.Fault
 
 (* Bump on any change to the key material layout or to the canonical
    source rendering's meaning; the test_serve goldens pin the resulting
@@ -134,14 +135,16 @@ type t = {
   tier1 : entry Lru.t;
   tier2 : report_value Lru.t;
   trace : Trace.sink;
+  faults : Fault.t;
 }
 
 let create ?(tier1_bytes = 48 * 1024 * 1024) ?(tier2_bytes = 16 * 1024 * 1024)
-    ?(trace = Trace.null) () =
+    ?(trace = Trace.null) ?(faults = Fault.off) () =
   {
     tier1 = Lru.create ~capacity:tier1_bytes;
     tier2 = Lru.create ~capacity:tier2_bytes;
     trace;
+    faults;
   }
 
 let word_bytes = Sys.word_size / 8
@@ -181,11 +184,27 @@ let find_entry t key =
   emit_lookup t ~tier:1 ~key (hit <> None);
   hit
 
+(* The cache.insert fault site: an injected failure means the store did
+   not happen (a full disk, an allocation failure). Whatever the action,
+   the contract is "skip the insert and stay correct" — the value is
+   recomputed on the next miss; the daemon must never die here because
+   inserts run on the accept thread. *)
+let insert_faulted t ~tier ~key =
+  match Fault.check t.faults "cache.insert" with
+  | None -> false
+  | Some _ ->
+    Trace.emit t.trace (fun () ->
+        Trace.event "fault.cache.insert"
+          [ ("tier", Trace.Int tier); ("key", Trace.String key) ]);
+    true
+
 let insert_entry t (e : entry) =
-  emit_evicted t ~tier:1 (Lru.add t.tier1 e.t1 ~cost:(cost_of e) e)
+  if not (insert_faulted t ~tier:1 ~key:e.t1) then
+    emit_evicted t ~tier:1 (Lru.add t.tier1 e.t1 ~cost:(cost_of e) e)
 
 let insert_report t key (v : report_value) =
-  emit_evicted t ~tier:2 (Lru.add t.tier2 key ~cost:(cost_of v) v)
+  if not (insert_faulted t ~tier:2 ~key) then
+    emit_evicted t ~tier:2 (Lru.add t.tier2 key ~cost:(cost_of v) v)
 
 (* Allocate-and-report against a resident (or freshly built) tier-1
    entry. Pure apart from the entry's scratch: callers on worker domains

@@ -71,9 +71,12 @@ type t
 
 val create :
   ?tier1_bytes:int -> ?tier2_bytes:int -> ?trace:Srfa_util.Trace.sink ->
-  unit -> t
+  ?faults:Srfa_util.Fault.t -> unit -> t
 (** Defaults: 48 MB for tier 1, 16 MB for tier 2. Entry costs are
-    measured with [Obj.reachable_words], i.e. real heap bytes. *)
+    measured with [Obj.reachable_words], i.e. real heap bytes. [faults]
+    arms the [cache.insert] injection site: a firing rule makes the
+    insert silently not happen (traced as [fault.cache.insert]) — the
+    value is recomputed on the next miss, correctness is unaffected. *)
 
 type status = [ `Hit | `Analysis | `Miss ]
 

@@ -180,11 +180,74 @@ type request = {
   algorithm : string option;
   budget : int option;
   cut_work_limit : int option;
+  deadline_ms : int option;
 }
 
 let proto_error msg = Diag.make ~code:"E-PROTO-001" msg
 
 let field_error msg = Diag.make ~code:"E-PROTO-002" msg
+
+let abuse_error msg = Diag.make ~code:"E-PROTO-003" msg
+
+let deadline_error ~deadline_ms ~elapsed_ms =
+  Diag.make ~code:"E-DEADLINE"
+    (Printf.sprintf "request exceeded its %d ms deadline (%d ms elapsed)"
+       deadline_ms elapsed_ms)
+    ~context:
+      [
+        ("deadline_ms", string_of_int deadline_ms);
+        ("elapsed_ms", string_of_int elapsed_ms);
+      ]
+
+let overload_error ~retry_after_ms =
+  Diag.make ~code:"E-OVERLOAD"
+    (Printf.sprintf "server at capacity; retry in %d ms" retry_after_ms)
+    ~context:[ ("retry_after_ms", string_of_int retry_after_ms) ]
+
+(* Best-effort id recovery from a line that failed to decode, so
+   pipelining clients can still correlate the error response. Finds the
+   first "id" key and reads its string value; bails on anything
+   surprising — a wrong [None] only costs the client its correlation. *)
+let recover_id line =
+  let n = String.length line in
+  let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false in
+  let rec skip_ws i = if i < n && is_ws line.[i] then skip_ws (i + 1) else i in
+  let rec find_key i =
+    if i + 4 > n then None
+    else if
+      String.sub line i 4 = "\"id\""
+      && (i = 0 || line.[i - 1] <> '\\')
+    then Some (i + 4)
+    else find_key (i + 1)
+  in
+  match find_key 0 with
+  | None -> None
+  | Some after_key -> (
+    let i = skip_ws after_key in
+    if i >= n || line.[i] <> ':' then None
+    else
+      let i = skip_ws (i + 1) in
+      if i >= n || line.[i] <> '"' then None
+      else
+        let buf = Buffer.create 16 in
+        let rec go i =
+          if i >= n then None
+          else
+            match line.[i] with
+            | '"' -> Some (Buffer.contents buf)
+            | '\\' when i + 1 < n ->
+              (match line.[i + 1] with
+              | '"' -> Buffer.add_char buf '"'
+              | '\\' -> Buffer.add_char buf '\\'
+              | 'n' -> Buffer.add_char buf '\n'
+              | 't' -> Buffer.add_char buf '\t'
+              | c -> Buffer.add_char buf c);
+              go (i + 2)
+            | c ->
+              Buffer.add_char buf c;
+              go (i + 1)
+        in
+        go (i + 1))
 
 let parse_request line =
   match parse_json line with
@@ -214,6 +277,7 @@ let parse_request line =
     let* algorithm = str "algorithm" in
     let* budget = int "budget" in
     let* cut_work_limit = int "cut_work_limit" in
+    let* deadline_ms = int "deadline_ms" in
     let* op =
       match opname with
       | None | Some "allocate" -> Ok Allocate
@@ -233,7 +297,7 @@ let parse_request line =
             "an allocate request needs a \"kernel\" name or a \"source\" text"
         else Ok None
     in
-    Ok { id; op; kernel; device; algorithm; budget; cut_work_limit })
+    Ok { id; op; kernel; device; algorithm; budget; cut_work_limit; deadline_ms })
   | _ -> Error (proto_error "request must be a JSON object")
 
 (* ---- responses --------------------------------------------------------- *)

@@ -10,7 +10,9 @@
     - ["algorithm"]: an {!Srfa_core.Allocator.of_name} string
       (default ["cpa-ra"]);
     - ["budget"]: register budget (default 64);
-    - ["cut_work_limit"]: optional override of the CPA cut-work guard.
+    - ["cut_work_limit"]: optional override of the CPA cut-work guard;
+    - ["deadline_ms"]: optional per-request wall-clock deadline
+      (overrides the server default; tripping it is [E-DEADLINE]).
 
     Responses: [{"status": "ok", "cache": "hit"|"analysis"|"miss",
     "report": {...}, "warnings": [...]}] for served allocations (the
@@ -19,7 +21,11 @@
     {!Srfa_util.Diag.to_json} objects otherwise — kernel parse errors
     arrive inline with their [E-LEX-*]/[E-PARSE-*] codes, protocol
     errors as [E-PROTO-001] (malformed JSON) / [E-PROTO-002] (bad or
-    missing field). The full scheme is documented in DESIGN.md §14. *)
+    missing field) / [E-PROTO-003] (abusive connection: oversized
+    request line or read timeout), resource errors as [E-DEADLINE]
+    (deadline tripped; never cached) and [E-OVERLOAD] (shed under load;
+    carries a [retry_after_ms] context hint). The full scheme is
+    documented in DESIGN.md §14–§15. *)
 
 (** A parsed JSON value (the protocol ships no JSON dependency). *)
 type json =
@@ -51,6 +57,7 @@ type request = {
   algorithm : string option;
   budget : int option;
   cut_work_limit : int option;
+  deadline_ms : int option;
 }
 
 val proto_error : string -> Srfa_util.Diag.t
@@ -58,6 +65,22 @@ val proto_error : string -> Srfa_util.Diag.t
 
 val field_error : string -> Srfa_util.Diag.t
 (** An [E-PROTO-002] diagnostic (bad or missing request field). *)
+
+val abuse_error : string -> Srfa_util.Diag.t
+(** An [E-PROTO-003] diagnostic (oversized request line, read timeout —
+    the connection is dropped after this response). *)
+
+val deadline_error : deadline_ms:int -> elapsed_ms:int -> Srfa_util.Diag.t
+(** An [E-DEADLINE] diagnostic with both figures in the context. *)
+
+val overload_error : retry_after_ms:int -> Srfa_util.Diag.t
+(** An [E-OVERLOAD] diagnostic carrying the [retry_after_ms] hint. *)
+
+val recover_id : string -> string option
+(** Best-effort extraction of the ["id"] field from a request line that
+    failed to decode, so error responses can still echo it and
+    pipelining clients can correlate failures. [None] when no plausible
+    id is found — correlation is lost, nothing else. *)
 
 val parse_request : string -> (request, Srfa_util.Diag.t) result
 (** Decode one request line. Malformed JSON is [E-PROTO-001]; a

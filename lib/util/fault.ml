@@ -1,0 +1,166 @@
+(* Deterministic, seeded fault injection. A plan names sites in the
+   serving stack (io.read, io.write, pool.job, cache.insert) and attaches
+   an action and a firing rate to each; call sites ask [check] whether to
+   misbehave this time. Modeled on Trace: the disabled registry is a
+   constant and [check] on it is one branch returning a constant, so
+   production code threads a [t] everywhere at zero cost.
+
+   Determinism: every rule owns a child Prng stream derived from
+   (seed, rule index), so the fire/skip sequence per rule depends only on
+   the plan string, the seed and how often that rule's site is checked —
+   not on wall clock, scheduling or other rules. A mutex guards the draw
+   because pool.job is checked from worker domains. *)
+
+type action =
+  | Error  (** the site reports a failure (dropped write, failed insert) *)
+  | Delay of int  (** the site stalls for this many milliseconds *)
+  | Short_read  (** an IO read delivers only a prefix of the bytes *)
+  | Raise  (** the site raises {!Injected} *)
+
+exception Injected of string
+
+type rule = {
+  site : string;
+  action : action;
+  rate : float;
+  prng : Prng.t;
+  mutable fired : int;
+  mutable checked : int;
+}
+
+type state = { rules : rule list; mutex : Mutex.t }
+
+type t = Off | On of state
+
+let off = Off
+
+let enabled = function Off -> false | On _ -> true
+
+let sites = [ "io.read"; "io.write"; "pool.job"; "cache.insert" ]
+
+let action_name = function
+  | Error -> "error"
+  | Delay ms -> Printf.sprintf "delay:%d" ms
+  | Short_read -> "short-read"
+  | Raise -> "raise"
+
+(* Plan syntax: comma-separated [site:action[:param]@rate] clauses, e.g.
+   "io.read:short-read@0.1,pool.job:delay:5@0.05,cache.insert:error@1".
+   Rates are probabilities in [0, 1]. *)
+let parse_rule ~seed index clause =
+  let clause = String.trim clause in
+  let fail msg = Result.Error (Printf.sprintf "%s in fault clause %S" msg clause) in
+  match String.index_opt clause '@' with
+  | None -> fail "missing @rate"
+  | Some at -> (
+    let head = String.sub clause 0 at in
+    let rate_text = String.sub clause (at + 1) (String.length clause - at - 1) in
+    match float_of_string_opt (String.trim rate_text) with
+    | None -> fail "malformed rate"
+    | Some rate when rate < 0.0 || rate > 1.0 -> fail "rate outside [0, 1]"
+    | Some rate -> (
+      let parts = String.split_on_char ':' head in
+      let build site action =
+        if not (List.mem site sites) then
+          fail
+            (Printf.sprintf "unknown site %S (one of: %s)" site
+               (String.concat ", " sites))
+        else
+          Result.Ok
+            {
+              site;
+              action;
+              rate;
+              prng = Prng.create ~seed:(Prng.mix seed index);
+              fired = 0;
+              checked = 0;
+            }
+      in
+      match List.map String.trim parts with
+      | [ site; "error" ] -> build site Error
+      | [ site; "short-read" ] -> build site Short_read
+      | [ site; "raise" ] -> build site Raise
+      | [ site; "delay"; ms ] -> (
+        match int_of_string_opt ms with
+        | Some ms when ms >= 0 -> build site (Delay ms)
+        | _ -> fail "malformed delay milliseconds")
+      | _ -> fail "expected site:action[:param]"))
+
+let parse ?(seed = 42) plan =
+  let plan = String.trim plan in
+  if plan = "" then Result.Ok Off
+  else
+    let clauses = String.split_on_char ',' plan in
+    let rec go index acc = function
+      | [] -> Result.Ok (On { rules = List.rev acc; mutex = Mutex.create () })
+      | clause :: rest -> (
+        match parse_rule ~seed index clause with
+        | Result.Ok rule -> go (index + 1) (rule :: acc) rest
+        | Result.Error _ as e -> e)
+    in
+    go 0 [] clauses
+
+(* SRFA_FAULTS / SRFA_FAULT_SEED let an operator inject faults into an
+   unmodified binary; an unset plan is the disabled registry. *)
+let from_env ?(plan_var = "SRFA_FAULTS") ?(seed_var = "SRFA_FAULT_SEED") () =
+  match Sys.getenv_opt plan_var with
+  | None | Some "" -> Result.Ok Off
+  | Some plan ->
+    let seed =
+      Option.bind (Sys.getenv_opt seed_var) int_of_string_opt
+      |> Option.value ~default:42
+    in
+    parse ~seed plan
+
+let check t site =
+  match t with
+  | Off -> None
+  | On st ->
+    let rec scan = function
+      | [] -> None
+      | rule :: rest ->
+        if String.equal rule.site site then begin
+          Mutex.lock st.mutex;
+          rule.checked <- rule.checked + 1;
+          let fire = rule.rate > 0.0 && Prng.float rule.prng 1.0 < rule.rate in
+          if fire then rule.fired <- rule.fired + 1;
+          Mutex.unlock st.mutex;
+          if fire then Some rule.action else scan rest
+        end
+        else scan rest
+    in
+    scan st.rules
+
+let injected t =
+  match t with
+  | Off -> 0
+  | On st ->
+    Mutex.lock st.mutex;
+    let n = List.fold_left (fun acc r -> acc + r.fired) 0 st.rules in
+    Mutex.unlock st.mutex;
+    n
+
+let stats t =
+  match t with
+  | Off -> []
+  | On st ->
+    Mutex.lock st.mutex;
+    let kvs =
+      List.map
+        (fun r ->
+          ( Printf.sprintf "fault.%s.%s" r.site (action_name r.action),
+            r.fired ))
+        st.rules
+    in
+    Mutex.unlock st.mutex;
+    kvs
+
+let to_string t =
+  match t with
+  | Off -> ""
+  | On st ->
+    String.concat ","
+      (List.map
+         (fun r ->
+           Printf.sprintf "%s:%s@%g" r.site (action_name r.action) r.rate)
+         st.rules)

@@ -72,6 +72,58 @@ let test_zero_capacity () =
   Alcotest.(check bool) "negative capacity bounces" true
     (Lru.add neg "k" ~cost:1 "v" <> [])
 
+(* Boundary arithmetic: cost == capacity is a fit, capacity + 1 is not,
+   and a replacement that grows an entry past the budget evicts through
+   the entry's own old incarnation rather than double-counting it. *)
+let test_exact_fit () =
+  let t = Lru.create ~capacity:10 in
+  Alcotest.(check (list (pair string string)))
+    "cost == capacity fits" []
+    (Lru.add t "a" ~cost:10 "a");
+  Alcotest.(check int) "budget saturated" 10 (Lru.used t);
+  (* Any further positive-cost insert must push "a" out. *)
+  let evicted = Lru.add t "b" ~cost:1 "b" in
+  Alcotest.(check (list string)) "saturation evicts" [ "a" ]
+    (List.map fst evicted);
+  Alcotest.(check int) "used tracks the survivor" 1 (Lru.used t);
+  (* Growing "b" in place to exactly the budget is still a fit... *)
+  Alcotest.(check (list (pair string string)))
+    "replacement to exact fit" []
+    (Lru.add t "b" ~cost:10 "b2");
+  Alcotest.(check int) "exact after growth" 10 (Lru.used t);
+  (* ...but growing it past the budget bounces the new incarnation
+     without resurrecting the old one. *)
+  let bounced = Lru.add t "b" ~cost:11 "b3" in
+  Alcotest.(check bool) "over-budget growth bounces" true
+    (List.mem_assoc "b" bounced);
+  Alcotest.(check (option string)) "old incarnation gone" None (Lru.find t "b");
+  Alcotest.(check int) "nothing left resident" 0 (Lru.used t)
+
+let test_oversized_into_empty () =
+  let t = Lru.create ~capacity:10 in
+  (* No scapegoats available: the oversized entry alone falls out. *)
+  Alcotest.(check (list (pair string string)))
+    "only the oversized entry bounces" [ ("huge", "huge") ]
+    (Lru.add t "huge" ~cost:11 "huge");
+  Alcotest.(check int) "still empty" 0 (Lru.length t);
+  Alcotest.(check int) "still unused" 0 (Lru.used t);
+  (* The failed insert leaves no ghost state behind. *)
+  Alcotest.(check bool) "not resident" false (Lru.mem t "huge");
+  Alcotest.(check (list (pair string string)))
+    "a fitting entry still fits" []
+    (Lru.add t "small" ~cost:10 "small")
+
+let test_zero_capacity_counters () =
+  let t = Lru.create ~capacity:0 in
+  ignore (Lru.add t "k" ~cost:1 "v");
+  ignore (Lru.find t "k");
+  ignore (Lru.find t "k");
+  (* The degenerate cache is all misses — and the bounced insert counts
+     as an eviction so stats still reveal the churn. *)
+  Alcotest.(check int) "no hits" 0 (Lru.hits t);
+  Alcotest.(check int) "all misses" 2 (Lru.misses t);
+  Alcotest.(check int) "bounce counted as eviction" 1 (Lru.evictions t)
+
 let test_counters () =
   let t = Lru.create ~capacity:20 in
   ignore (Lru.add t "a" ~cost:10 "a");
@@ -101,6 +153,11 @@ let () =
           Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
           Alcotest.test_case "oversized value" `Quick test_oversized_value;
           Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+          Alcotest.test_case "exact fit boundary" `Quick test_exact_fit;
+          Alcotest.test_case "oversized into empty" `Quick
+            test_oversized_into_empty;
+          Alcotest.test_case "zero-capacity counters" `Quick
+            test_zero_capacity_counters;
           Alcotest.test_case "hit/miss/evict counters" `Quick test_counters;
         ] );
     ]

@@ -123,6 +123,92 @@ let test_parse_request () =
   | Ok r -> Alcotest.(check bool) "stats op" true (r.Protocol.op = Protocol.Stats)
   | Error _ -> Alcotest.fail "stats request rejected")
 
+let test_recover_id () =
+  let rid = Protocol.recover_id in
+  Alcotest.(check (option string))
+    "well-formed line" (Some "r1")
+    (rid {|{"id": "r1", "kernel": "fir"}|});
+  Alcotest.(check (option string))
+    "truncated after id" (Some "r2")
+    (rid {|{"id": "r2", "kernel": "fi|});
+  Alcotest.(check (option string))
+    "malformed value field" (Some "r3")
+    (rid {|{"id": "r3", "budget": }|});
+  Alcotest.(check (option string))
+    "id later in the line" (Some "r4")
+    (rid {|{"kernel": "fir", "id": "r4"|});
+  Alcotest.(check (option string))
+    "escaped quote inside id" (Some {|a"b|})
+    (rid {|{"id": "a\"b", ...|});
+  Alcotest.(check (option string)) "no id" None (rid {|{"kernel": "fir"}|});
+  Alcotest.(check (option string)) "not json at all" None (rid "hello world");
+  Alcotest.(check (option string))
+    "id cut before the value" None (rid {|{"id": |})
+
+let test_deadline_field () =
+  (match Protocol.parse_request {|{"kernel": "fir", "deadline_ms": 250}|} with
+  | Ok r -> Alcotest.(check (option int)) "deadline" (Some 250) r.Protocol.deadline_ms
+  | Error _ -> Alcotest.fail "deadline_ms rejected");
+  match Protocol.parse_request {|{"kernel": "fir", "deadline_ms": "soon"}|} with
+  | Error d -> Alcotest.(check string) "typed" "E-PROTO-002" d.Diag.code
+  | Ok _ -> Alcotest.fail "non-integer deadline accepted"
+
+let test_resilience_diags () =
+  Alcotest.(check string)
+    "abuse code" "E-PROTO-003"
+    (Protocol.abuse_error "too big").Diag.code;
+  let d = Protocol.deadline_error ~deadline_ms:10 ~elapsed_ms:25 in
+  Alcotest.(check string) "deadline code" "E-DEADLINE" d.Diag.code;
+  Alcotest.(check (option string))
+    "deadline context" (Some "10")
+    (List.assoc_opt "deadline_ms" d.Diag.context);
+  let o = Protocol.overload_error ~retry_after_ms:50 in
+  Alcotest.(check string) "overload code" "E-OVERLOAD" o.Diag.code;
+  Alcotest.(check (option string))
+    "retry hint" (Some "50")
+    (List.assoc_opt "retry_after_ms" o.Diag.context)
+
+(* ---- fault registry ----------------------------------------------------- *)
+
+module Fault = Srfa_util.Fault
+
+let test_fault_registry () =
+  Alcotest.(check bool) "off is disabled" false (Fault.enabled Fault.off);
+  Alcotest.(check bool) "off never fires" true
+    (Fault.check Fault.off "io.read" = None);
+  Alcotest.(check bool) "empty plan is off" true
+    (match Fault.parse "" with Ok f -> not (Fault.enabled f) | Error _ -> false);
+  (match Fault.parse ~seed:7 "io.read:short-read@0.5,pool.job:delay:3@1" with
+  | Error msg -> Alcotest.failf "plan rejected: %s" msg
+  | Ok f ->
+    Alcotest.(check bool) "plan enables" true (Fault.enabled f);
+    Alcotest.(check bool)
+      "delay fires every time" true
+      (Fault.check f "pool.job" = Some (Fault.Delay 3));
+    Alcotest.(check bool)
+      "unknown site never fires" true
+      (Fault.check f "cache.insert" = None);
+    (* Determinism: the same plan + seed replays the same fire/skip
+       sequence, whatever happened on other sites in between. *)
+    let draw g = List.init 64 (fun _ -> Fault.check g "io.read" <> None) in
+    let a = draw f in
+    let same =
+      match Fault.parse ~seed:7 "io.read:short-read@0.5,pool.job:delay:3@1" with
+      | Ok g -> draw g
+      | Error _ -> []
+    in
+    Alcotest.(check bool) "seeded stream replays" true (a = same);
+    Alcotest.(check bool) "some draws fire" true (List.mem true a);
+    Alcotest.(check bool) "some draws skip" true (List.mem false a);
+    Alcotest.(check bool) "fires were counted" true (Fault.injected f > 0));
+  let rejected plan =
+    match Fault.parse plan with Error _ -> true | Ok _ -> false
+  in
+  Alcotest.(check bool) "unknown site rejected" true (rejected "disk.spin:error@0.5");
+  Alcotest.(check bool) "bad rate rejected" true (rejected "io.read:error@1.5");
+  Alcotest.(check bool) "missing rate rejected" true (rejected "io.read:error");
+  Alcotest.(check bool) "bad action rejected" true (rejected "io.read:explode@0.5")
+
 let test_json_reader () =
   let open Protocol in
   Alcotest.(check bool)
@@ -159,6 +245,27 @@ let respond_exn cache r =
   | Ok v -> v
   | Error ds ->
     Alcotest.failf "respond: %s" (String.concat "; " (List.map Diag.to_json ds))
+
+(* A cache whose every insert is faulted still answers correctly — it
+   just recomputes. Injection must never change an answer, only cost. *)
+let test_fault_cache_insert () =
+  let faults =
+    match Fault.parse "cache.insert:error@1" with
+    | Ok f -> f
+    | Error msg -> Alcotest.failf "plan: %s" msg
+  in
+  let cache = Cache.create ~faults () in
+  let r = resolve_exn {|{"kernel": "fir", "budget": 64}|} in
+  let report1, _, s1 = respond_exn cache r in
+  let report2, _, s2 = respond_exn cache r in
+  Alcotest.(check bool) "inserts all fail" true (s1 = `Miss && s2 = `Miss);
+  Alcotest.(check string)
+    "recomputed report identical"
+    (Protocol.json_of_report report1)
+    (Protocol.json_of_report report2);
+  let stats = Cache.stats cache in
+  Alcotest.(check int) "nothing resident" 0
+    (List.assoc "tier1_entries" stats + List.assoc "tier2_entries" stats)
 
 (* The IO-shell seam: reports are plain values the shell renders without
    mutating, so a repeated request is answered with the physically same
@@ -288,6 +395,99 @@ let test_resolve_errors () =
     (Cache.tier1_key ~device:named.Cache.device named.Cache.source)
     (Cache.tier1_key ~device:inline.Cache.device inline.Cache.source)
 
+(* ---- live daemon ------------------------------------------------------- *)
+
+(* The two resilience paths the self-test cannot probe in isolation:
+   a client that vanishes mid-batch must not cost anyone else their
+   answer, and an oversized line must be answered (E-PROTO-003, id
+   recovered) before the drop — in both cases with the daemon provably
+   alive afterwards. *)
+
+module Server = Srfa_server.Server
+module Client = Srfa_server.Server.Client
+
+let with_daemon ?max_buffer ?read_timeout_ms tag k =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "srfa-test-%s-%d.sock" tag (Unix.getpid ()))
+  in
+  (try Sys.remove socket with Sys_error _ -> ());
+  let d =
+    Domain.spawn (fun () ->
+        Server.run ?max_buffer ?read_timeout_ms ~jobs:2 ~socket ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Client.connect ~retries:5 socket in
+         Client.send c {|{"op": "shutdown"}|};
+         ignore (Client.recv_opt c);
+         Client.close c
+       with _ -> ());
+      Domain.join d)
+    (fun () -> k socket)
+
+let str_member key line =
+  match Protocol.member key (Protocol.parse_json line) with
+  | Some (Protocol.Str s) -> Some s
+  | _ -> None
+
+let has_code code line =
+  match Protocol.member "diagnostics" (Protocol.parse_json line) with
+  | Some (Protocol.Arr ds) ->
+    List.exists
+      (fun d -> Protocol.member "code" d = Some (Protocol.Str code))
+      ds
+  | _ -> false
+
+let test_disconnect_mid_batch () =
+  with_daemon "disc" (fun socket ->
+      (* A sends a cold request and hangs up before the answer exists. *)
+      let a = Client.connect socket in
+      Client.send a {|{"id": "gone", "kernel": "mat", "budget": 24}|};
+      Client.close a;
+      (* B, on its own connection, is served normally regardless. *)
+      let b = Client.connect socket in
+      let rb = Client.rpc b {|{"id": "b1", "kernel": "fir", "budget": 64}|} in
+      Alcotest.(check (option string))
+        "b answered ok" (Some "ok") (str_member "status" rb);
+      Alcotest.(check (option string))
+        "b correlated" (Some "b1") (str_member "id" rb);
+      Client.close b;
+      (* Replaying the abandoned request still yields a full answer —
+         the daemon neither crashed on the dead fd nor poisoned the
+         cache entry A never read. *)
+      let c = Client.connect socket in
+      let rc = Client.rpc c {|{"id": "r", "kernel": "mat", "budget": 24}|} in
+      Alcotest.(check (option string))
+        "abandoned request replays clean" (Some "ok") (str_member "status" rc);
+      Client.close c)
+
+let test_oversized_request () =
+  with_daemon ~max_buffer:256 ~read_timeout_ms:5_000 "big" (fun socket ->
+      let c = Client.connect socket in
+      let junk = {|{"id": "big", "pad": "|} ^ String.make 1024 'x' in
+      let n = Unix.write_substring c.Client.fd junk 0 (String.length junk) in
+      Alcotest.(check int) "junk fully written" (String.length junk) n;
+      (match Client.recv_opt c with
+      | Some line ->
+        Alcotest.(check (option string))
+          "abuse is an error response" (Some "error") (str_member "status" line);
+        Alcotest.(check bool) "coded E-PROTO-003" true
+          (has_code "E-PROTO-003" line);
+        Alcotest.(check (option string))
+          "id recovered from the junk" (Some "big") (str_member "id" line)
+      | None -> Alcotest.fail "dropped without the E-PROTO-003 response");
+      Alcotest.(check (option string))
+        "then the connection is dropped" None (Client.recv_opt c);
+      Client.close c;
+      (* The daemon is unharmed: a well-formed client still gets served. *)
+      let d = Client.connect socket in
+      let rd = Client.rpc d {|{"kernel": "fir", "budget": 64}|} in
+      Alcotest.(check (option string))
+        "daemon survives the abuse" (Some "ok") (str_member "status" rd);
+      Client.close d)
+
 let () =
   Alcotest.run "serve"
     [
@@ -302,6 +502,15 @@ let () =
         [
           Alcotest.test_case "parse_request" `Quick test_parse_request;
           Alcotest.test_case "json reader" `Quick test_json_reader;
+          Alcotest.test_case "recover_id" `Quick test_recover_id;
+          Alcotest.test_case "deadline field" `Quick test_deadline_field;
+          Alcotest.test_case "resilience diags" `Quick test_resilience_diags;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "registry" `Quick test_fault_registry;
+          Alcotest.test_case "cache insert faulted" `Quick
+            test_fault_cache_insert;
         ] );
       ( "cache",
         [
@@ -312,5 +521,11 @@ let () =
           Alcotest.test_case "errors not cached" `Quick test_errors_not_cached;
           Alcotest.test_case "eviction events" `Quick test_eviction_events;
           Alcotest.test_case "resolve errors" `Quick test_resolve_errors;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "disconnect mid-batch" `Quick
+            test_disconnect_mid_batch;
+          Alcotest.test_case "oversized request" `Quick test_oversized_request;
         ] );
     ]
