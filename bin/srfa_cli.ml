@@ -575,6 +575,136 @@ let orders_cmd =
        ~doc:"Explore loop interchanges of a kernel under an allocator.")
     Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg)
 
+(* rebudget: replay a budget-event stream against a live allocation *)
+
+(* The events file is JSON (parsed with the serve protocol's dependency-
+   free parser): either a bare array of events, or an object
+   {"initial": N, "events": [...]} that also pins the opening budget.
+   Each event is an absolute target — a bare integer or {"budget": N} —
+   or a relative {"delta": D} against the previous effective budget. *)
+let rebudget_events_of_json ~initial json =
+  let module P = Srfa_server.Protocol in
+  let bad what = failwith (Printf.sprintf "events file: %s" what) in
+  let initial, events =
+    match json with
+    | P.Arr events -> (initial, events)
+    | P.Obj _ as obj ->
+      let initial =
+        match P.member "initial" obj with
+        | Some (P.Int n) -> n
+        | None -> initial
+        | Some _ -> bad "\"initial\" must be an integer"
+      in
+      (match P.member "events" obj with
+      | Some (P.Arr events) -> (initial, events)
+      | _ -> bad "expected an \"events\" array")
+    | _ -> bad "expected an array of events or an object with one"
+  in
+  let last = ref initial in
+  let absolute = function
+    | P.Int n -> n
+    | P.Obj _ as obj -> (
+      match (P.member "budget" obj, P.member "delta" obj) with
+      | Some (P.Int n), None -> n
+      | None, Some (P.Int d) -> !last + d
+      | _ -> bad "event objects carry \"budget\" or \"delta\" (integer)")
+    | _ -> bad "events are integers or {\"budget\"|\"delta\": N} objects"
+  in
+  ( initial,
+    List.map
+      (fun ev ->
+        let target = absolute ev in
+        last := target;
+        target)
+      events )
+
+let rebudget_cmd =
+  let events_arg =
+    let doc =
+      "JSON budget-event stream to replay: an array of events, or an \
+       object {\"initial\": N, \"events\": [...]}. Events are absolute \
+       targets (integers or {\"budget\": N}) or relative \
+       ({\"delta\": -8}) against the previous effective budget."
+    in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "events" ] ~docv:"FILE" ~doc)
+  in
+  let initial_arg =
+    let doc =
+      "Budget the stream opens at (overridden by the events file's \
+       \"initial\" field when present)."
+    in
+    Arg.(value & opt int 64 & info [ "initial" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one JSON object per step instead of a table." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run nest initial events_file json_out =
+    guarded @@ fun () ->
+    let module Flow = Srfa_core.Flow in
+    let json =
+      let text =
+        In_channel.with_open_text events_file In_channel.input_all
+      in
+      try Srfa_server.Protocol.parse_json text
+      with Srfa_server.Protocol.Malformed why ->
+        failwith (Printf.sprintf "events file: %s" why)
+    in
+    let initial, events = rebudget_events_of_json ~initial json in
+    let prepared = Flow.Core.prepare nest in
+    let steps =
+      Flow.Core.rebudget Flow.default_config prepared ~initial ~events
+    in
+    if json_out then
+      List.iteri
+        (fun k (s : Flow.Core.rebudget_step) ->
+          let r = s.Flow.Core.report in
+          Format.printf
+            "{\"event\": %d, \"requested\": %d, \"effective\": %d, \
+             \"clamped\": %b, \"memoized\": %b, \"freed\": %d, \
+             \"respent\": %d, \"registers\": %d, \"cycles\": %d, \
+             \"memory_cycles\": %d}@."
+            (k - 1) s.Flow.Core.requested s.Flow.Core.effective
+            s.Flow.Core.clamped s.Flow.Core.memoized s.Flow.Core.freed
+            s.Flow.Core.respent r.Srfa_estimate.Report.total_registers
+            r.Srfa_estimate.Report.cycles
+            r.Srfa_estimate.Report.memory_cycles)
+        steps
+    else begin
+      Format.printf "%6s %9s %9s %6s %7s %9s %10s %6s@." "event" "request"
+        "budget" "freed" "respent" "registers" "cycles" "notes";
+      List.iteri
+        (fun k (s : Flow.Core.rebudget_step) ->
+          let notes =
+            String.concat ","
+              ((if s.Flow.Core.clamped then [ "clamped" ] else [])
+              @ (if s.Flow.Core.memoized then [ "memo" ] else []))
+          in
+          Format.printf "%6s %9d %9d %6d %7d %9d %10d %6s@."
+            (if k = 0 then "open" else string_of_int (k - 1))
+            s.Flow.Core.requested s.Flow.Core.effective s.Flow.Core.freed
+            s.Flow.Core.respent
+            s.Flow.Core.report.Srfa_estimate.Report.total_registers
+            s.Flow.Core.report.Srfa_estimate.Report.cycles notes)
+        steps
+    end;
+    let warnings =
+      List.concat_map (fun s -> s.Flow.Core.warnings) steps
+      |> List.sort_uniq compare
+    in
+    report_diags warnings
+  in
+  Cmd.v
+    (Cmd.info "rebudget"
+       ~doc:
+         "Replay a budget shrink/grow event stream incrementally against \
+          a live certified allocation (partial reconfiguration; see \
+          DESIGN.md \xC2\xA716).")
+    Term.(const run $ kernel_pos $ initial_arg $ events_arg $ json_arg)
+
 let main_cmd =
   let doc =
     "Register allocation in the presence of scalar replacement for \
@@ -593,6 +723,7 @@ let main_cmd =
       cuts_cmd;
       codegen_cmd;
       sweep_cmd;
+      rebudget_cmd;
       orders_cmd;
       profile_cmd;
       export_cmd;

@@ -67,6 +67,13 @@ type outcome = {
           and certification adopted it *)
 }
 
+val respend : Engine.t -> unit
+(** CPA+'s stranded-register spender over an open engine: cover full
+    reuse windows in benefit/cost order while they fit, then one partial
+    top-up. Exposed for the incremental re-budgeting path
+    ({!Flow.Core.rebudget}), which re-spends the headroom a grow event
+    credits before re-certifying. *)
+
 val covers : Allocation.t -> Allocation.t -> bool
 (** [covers a b]: [a]'s entries dominate [b]'s pointwise — every group
     [b] pins is pinned by [a] with at least the same beta — so [a]

@@ -4,7 +4,7 @@ module Trace = Srfa_util.Trace
 type t = {
   analysis : Analysis.t;
   entries : Allocation.entry array;
-  budget : int;
+  mutable budget : int;
   mutable remaining : int;
   mutable round : int;
   trace : Trace.sink;
@@ -130,6 +130,85 @@ let reclaim ?(reason = "") t gid =
           ])
   end;
   max freed 0
+
+(* Take back up to [amount] registers from one group (never below the
+   feasibility register), crediting them to the remaining budget. The
+   partial sibling of [reclaim], used by [rebudget]'s shrink walk so a
+   deficit of 3 does not strip a window of 20. *)
+let take_back ?(reason = "") t gid ~amount =
+  let e = t.entries.(gid) in
+  let taken = min (max amount 0) (e.Allocation.beta - 1) in
+  if taken > 0 then begin
+    t.entries.(gid) <- { e with Allocation.beta = e.Allocation.beta - taken };
+    t.remaining <- t.remaining + taken;
+    Trace.emit t.trace (fun () ->
+        Trace.event "repair.reclaim"
+          [
+            ("group", Trace.String (group_name t gid));
+            ("freed", Trace.Int taken);
+            ("remaining", Trace.Int t.remaining);
+            ("reason", Trace.String reason);
+          ])
+  end;
+  taken
+
+type rebudget_outcome = {
+  requested : int;
+  effective : int;
+  clamped : bool;
+  freed : int;
+}
+
+(* Answer one budget shrink/grow event in place. A grow only credits the
+   new headroom; a shrink walks the held registers back cheapest-loss
+   first until the entries fit the new budget. The walk order is the
+   reverse of the allocators' benefit/cost order, refined in two passes:
+   partial windows first (their registers cover the fewest accesses per
+   register of anything pinned — the same suspicion ranking the repair
+   layer uses), then full windows, cheapest first. Pinned entries are
+   honored for as long as the budget allows; when the requested budget
+   drops below the feasibility minimum even spilling every pinned entry
+   cannot fit it, so the budget clamps there instead of raising — the
+   caller surfaces that as a W-GUARD-REBUDGET warning. *)
+let rebudget ?(reason = "rebudget") t ~budget =
+  let minimum = Ordering.feasibility_minimum t.analysis in
+  let effective = max budget minimum in
+  let clamped = budget < minimum in
+  let held = t.budget - t.remaining in
+  t.budget <- effective;
+  t.remaining <- effective - held;
+  let freed = ref 0 in
+  if t.remaining < 0 then begin
+    let victims =
+      let cheapest_first = List.rev (Ordering.sorted_infos t.analysis) in
+      let partial, full =
+        List.partition
+          (fun (i : Analysis.info) ->
+            let b = t.entries.(i.Analysis.group.Group.id).Allocation.beta in
+            b < i.Analysis.nu)
+          cheapest_first
+      in
+      partial @ full
+    in
+    List.iter
+      (fun (i : Analysis.info) ->
+        if t.remaining < 0 then
+          let gid = i.Analysis.group.Group.id in
+          freed := !freed + take_back ~reason t gid ~amount:(-t.remaining))
+      victims
+  end;
+  let outcome = { requested = budget; effective; clamped; freed = !freed } in
+  Trace.emit t.trace (fun () ->
+      Trace.event "engine.rebudget"
+        [
+          ("requested", Trace.Int budget);
+          ("effective", Trace.Int effective);
+          ("clamped", Trace.Bool clamped);
+          ("freed", Trace.Int !freed);
+          ("remaining", Trace.Int t.remaining);
+          ("reason", Trace.String reason);
+        ]);
+  outcome
 
 let drain ?(reason = "") t =
   let stranded = t.remaining in

@@ -11,7 +11,9 @@
     Invariants maintained:
     - [remaining t = budget - total registers held by the entries];
     - betas never exceed the group's window size [nu], and never drop
-      except through {!reclaim}, the repair layer's explicit takeback;
+      except through the explicit takebacks {!reclaim} and {!take_back}
+      (the repair layer's full and partial moves, also driven by
+      {!rebudget}'s shrink walk);
     - an entry is pinned exactly when some assignment touched it
       (CPA-style strategies pin the rest at {!finalize} time).
 
@@ -86,6 +88,35 @@ val reclaim : ?reason:string -> t -> int -> int
     This is the one sanctioned way a beta decreases — the repair layer
     uses it to undo partial cut shares that simulated worse than a
     greedy baseline before re-spending them benefit/cost-first. *)
+
+val take_back : ?reason:string -> t -> int -> amount:int -> int
+(** [take_back t gid ~amount] removes up to [amount] registers from the
+    group (never below the feasibility register, beta 1), credits them
+    to the remaining budget and returns the count actually taken. The
+    partial sibling of {!reclaim} — same ["repair.reclaim"] trace event,
+    same pinned-flag preservation — used by {!rebudget}'s shrink walk so
+    a small deficit does not strip a whole window. *)
+
+type rebudget_outcome = {
+  requested : int;  (** the budget the event asked for *)
+  effective : int;  (** after clamping at the feasibility minimum *)
+  clamped : bool;   (** [requested < feasibility minimum] *)
+  freed : int;      (** registers taken back to fit a shrink *)
+}
+
+val rebudget : ?reason:string -> t -> budget:int -> rebudget_outcome
+(** Answer one budget shrink/grow event against the live state — the
+    incremental primitive under dynamic re-allocation (DESIGN.md §16).
+    A grow credits the new headroom to [remaining] (re-spending it is
+    the caller's move, e.g. {!Certify.respend}). A shrink takes held
+    registers back cheapest-loss-first — reverse benefit/cost order,
+    partial windows before full ones — until the entries fit, emitting
+    one ["repair.reclaim"] event per touched group; pinned entries are
+    spilled like any other once nothing cheaper is left. A request below
+    the feasibility minimum cannot be honored even by spilling every
+    pinned entry, so the budget degrades gracefully: it clamps at the
+    minimum and [clamped] is set (callers report W-GUARD-REBUDGET)
+    instead of raising. Always emits one ["engine.rebudget"] event. *)
 
 val drain : ?reason:string -> t -> unit
 (** Zero the remaining budget: the strategy declares the rest unspendable

@@ -319,6 +319,189 @@ module Core = struct
               { kernel; algorithm; budget; report })
             algorithms)
       budgets
+
+  (* ---- dynamic re-budgeting (DESIGN.md §16) -------------------------- *)
+
+  type rebudget_step = {
+    requested : int;
+    effective : int;
+    clamped : bool;
+    freed : int;
+    respent : int;
+    memoized : bool;
+    allocation : Allocation.t;
+    report : Srfa_estimate.Report.t;
+    warnings : Srfa_util.Diag.t list;
+  }
+
+  (* The live allocation plus everything an event needs to be answered
+     without a from-scratch rerun: the prepared kernel, the warm
+     simulator scratch, and a per-effective-budget memo of steps already
+     certified in this stream (a budget ladder that oscillates revisits
+     budgets constantly; re-deriving an identical certified allocation
+     would be pure waste). Single-owner like every scratch-bearing value
+     in this module: one session per domain at a time. *)
+  type rebudget_session = {
+    rb_prepared : prepared;
+    rb_config : config;
+    rb_scratch : Srfa_sched.Simulator.scratch;
+    mutable rb_current : Allocation.t;
+    rb_memo :
+      (int, Allocation.t * Srfa_estimate.Report.t * Srfa_util.Diag.t list)
+      Hashtbl.t;
+  }
+
+  (* The pinned-shrink rule: a request below the feasibility minimum is
+     not an error — the budget clamps there (the engine spills every
+     entry cheapest-first to fit) and the event is answered under the
+     clamp, with the degradation announced as a trace event and a
+     W-GUARD-REBUDGET warning. *)
+  let rebudget_guard ~sink ~requested ~minimum =
+    Trace.emit sink (fun () ->
+        Trace.event "guard.rebudget"
+          [
+            ("requested", Trace.Int requested);
+            ("minimum", Trace.Int minimum);
+          ]);
+    Diag.warning ~code:"W-GUARD-REBUDGET"
+      "budget event below the feasibility minimum (one register per \
+       reference group); budget clamped at the minimum"
+      ~context:
+        [
+          ("requested", string_of_int requested);
+          ("minimum", string_of_int minimum);
+        ]
+
+  let rebudget_report ~cfg ~sink ~trace_summary ~sim_scratch outcome =
+    let alloc = outcome.Certify.allocation in
+    match outcome.Certify.sim with
+    | Some sim ->
+      Srfa_estimate.Report.of_result ~clock_params:cfg.clock_params
+        ~trace_summary ~sim_config:cfg.sim
+        ~version:(Allocator.version_label Allocator.Portfolio)
+        alloc sim
+    | None ->
+      Srfa_estimate.Report.build ~sim_config:cfg.sim
+        ~clock_params:cfg.clock_params ~trace:sink ~trace_summary ~sim_scratch
+        ~version:(Allocator.version_label Allocator.Portfolio)
+        alloc
+
+  let rebudget_start ?(trace = Trace.null) ?sim_scratch config prepared
+      ~budget =
+    let sim_scratch =
+      match sim_scratch with Some s -> s | None -> scratch ~config prepared
+    in
+    let sink, events = tee_collector trace in
+    let minimum = prepared.minimum in
+    let effective = max budget minimum in
+    let clamped = budget < minimum in
+    let clamp_warning =
+      if clamped then [ rebudget_guard ~sink ~requested:budget ~minimum ]
+      else []
+    in
+    let cfg = { config with budget = effective } in
+    let outcome =
+      Allocator.run_portfolio ~latency:cfg.sim.Srfa_sched.Simulator.latency
+        ~trace:sink ?cut_work_limit:cfg.guards.cut_work_limit
+        ~prepared:prepared.cpa ~sim_config:cfg.sim ~sim_scratch
+        prepared.analysis ~budget:effective
+    in
+    let trace_summary = Trace.summary (events ()) in
+    let report = rebudget_report ~cfg ~sink ~trace_summary ~sim_scratch outcome in
+    let base_warnings = warnings_of_events (events ()) in
+    let alloc = outcome.Certify.allocation in
+    let session =
+      {
+        rb_prepared = prepared;
+        rb_config = config;
+        rb_scratch = sim_scratch;
+        rb_current = alloc;
+        rb_memo = Hashtbl.create 8;
+      }
+    in
+    Hashtbl.replace session.rb_memo effective (alloc, report, base_warnings);
+    ( session,
+      {
+        requested = budget;
+        effective;
+        clamped;
+        freed = 0;
+        respent = 0;
+        memoized = false;
+        allocation = alloc;
+        report;
+        warnings = clamp_warning @ base_warnings;
+      } )
+
+  let rebudget_step ?(trace = Trace.null) session ~budget =
+    let prepared = session.rb_prepared in
+    let minimum = prepared.minimum in
+    let effective = max budget minimum in
+    let clamped = budget < minimum in
+    let sink, events = tee_collector trace in
+    let clamp_warning =
+      if clamped then [ rebudget_guard ~sink ~requested:budget ~minimum ]
+      else []
+    in
+    match Hashtbl.find_opt session.rb_memo effective with
+    | Some (alloc, report, base_warnings) ->
+      session.rb_current <- alloc;
+      {
+        requested = budget;
+        effective;
+        clamped;
+        freed = 0;
+        respent = 0;
+        memoized = true;
+        allocation = alloc;
+        report;
+        warnings = clamp_warning @ base_warnings;
+      }
+    | None ->
+      let cfg = { session.rb_config with budget = effective } in
+      let eng = Engine.of_allocation ~trace:sink session.rb_current in
+      let moved = Engine.rebudget ~reason:"rebudget event" eng ~budget:effective in
+      let headroom = Engine.remaining eng in
+      Certify.respend eng;
+      let respent = headroom - Engine.remaining eng in
+      let candidate =
+        Engine.finalize ~pin_all:true eng ~algorithm:Certify.algorithm_name
+      in
+      (* Re-establish the certified never-worse contract at the new
+         budget: the reclaimed/re-spent candidate is certified against
+         FR-RA and PR-RA exactly like a from-scratch portfolio point. *)
+      let outcome =
+        Certify.certify ~trace:sink ~sim_config:cfg.sim
+          ~sim_scratch:session.rb_scratch candidate
+      in
+      let trace_summary = Trace.summary (events ()) in
+      let report =
+        rebudget_report ~cfg ~sink ~trace_summary
+          ~sim_scratch:session.rb_scratch outcome
+      in
+      let base_warnings = warnings_of_events (events ()) in
+      let alloc = outcome.Certify.allocation in
+      Hashtbl.replace session.rb_memo effective (alloc, report, base_warnings);
+      session.rb_current <- alloc;
+      {
+        requested = budget;
+        effective;
+        clamped;
+        freed = moved.Engine.freed;
+        respent;
+        memoized = false;
+        allocation = alloc;
+        report;
+        warnings = clamp_warning @ base_warnings;
+      }
+
+  let rebudget_current session = session.rb_current
+
+  let rebudget ?trace ?sim_scratch config prepared ~initial ~events =
+    let session, first =
+      rebudget_start ?trace ?sim_scratch config prepared ~budget:initial
+    in
+    first :: List.map (fun b -> rebudget_step ?trace session ~budget:b) events
 end
 
 (* ---- IO shell ----------------------------------------------------------

@@ -130,6 +130,70 @@ module Core : sig
   (** One kernel's full budget ladder, sequential by construction (the
       portfolio carry-forward threads state budget to budget). This is
       the unit of work {!sweep} fans out over kernels. *)
+
+  (** {2 Dynamic re-budgeting}
+
+      Partial reconfiguration modeled as a stream of budget shrink/grow
+      events against a live allocation, answered incrementally through
+      {!Engine.rebudget} (cheapest-loss-first reclaim on shrink,
+      {!Certify.respend} of the new headroom on grow) instead of
+      from-scratch reruns, with the certified never-worse contract
+      re-established by {!Certify.certify} after every event. Semantics,
+      the pinned-shrink rule and the serve protocol extension are
+      documented in DESIGN.md §16. *)
+
+  type rebudget_step = {
+    requested : int;  (** the budget the event asked for *)
+    effective : int;  (** after clamping at the feasibility minimum *)
+    clamped : bool;
+        (** the pinned-shrink rule fired: [requested] was below the
+            kernel's feasibility minimum; a [W-GUARD-REBUDGET] warning
+            and a ["guard.rebudget"] trace event accompany the clamp *)
+    freed : int;      (** registers reclaimed by the shrink walk *)
+    respent : int;    (** registers re-spent out of the grown headroom *)
+    memoized : bool;
+        (** served from the stream's per-budget memo — the effective
+            budget was already visited, no engine or certify work ran *)
+    allocation : Allocation.t;  (** certified, [algorithm = "portfolio"] *)
+    report : Srfa_estimate.Report.t;
+    warnings : Srfa_util.Diag.t list;
+  }
+
+  type rebudget_session
+  (** A live allocation under a budget-event stream: the prepared
+      kernel, a warm simulator scratch, the current certified
+      allocation and the per-budget memo. Holds mutable state (scratch,
+      memo): single-owner, one domain at a time — the same ownership
+      rule as {!scratch}. *)
+
+  val rebudget_start :
+    ?trace:Srfa_util.Trace.sink ->
+    ?sim_scratch:Srfa_sched.Simulator.scratch ->
+    config -> prepared -> budget:int -> rebudget_session * rebudget_step
+  (** Open a stream at an initial budget: one from-scratch certified
+      portfolio point ([config.budget] is superseded by [budget], which
+      clamps at the feasibility minimum like any event). Builds a
+      private scratch when [sim_scratch] is not supplied. *)
+
+  val rebudget_step :
+    ?trace:Srfa_util.Trace.sink ->
+    rebudget_session -> budget:int -> rebudget_step
+  (** Answer one budget event incrementally against the session's live
+      allocation. Never raises on any [budget] (the pinned-shrink rule
+      clamps instead); after every event the returned allocation is
+      certified never-worse than FR-RA/PR-RA at the effective budget. *)
+
+  val rebudget_current : rebudget_session -> Allocation.t
+  (** The live certified allocation after the last event. *)
+
+  val rebudget :
+    ?trace:Srfa_util.Trace.sink ->
+    ?sim_scratch:Srfa_sched.Simulator.scratch ->
+    config -> prepared -> initial:int -> events:int list ->
+    rebudget_step list
+  (** Replay a whole event stream: {!rebudget_start} at [initial], then
+      one {!rebudget_step} per event, returning the steps in order
+      (initial point first — [1 + length events] steps). *)
 end
 
 type guards = Core.guards = {

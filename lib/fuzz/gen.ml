@@ -207,6 +207,54 @@ let mutate rng spec =
   in
   (label, source, budget)
 
+(* ---- budget-event streams ---------------------------------------------
+
+   Fuzz input for the dynamic re-budgeting path (Flow.Core.rebudget):
+   a named library kernel plus a stream of absolute budget targets
+   mixing shrinks, grows, no-ops (the previous target repeated) and
+   deliberately starved targets below any kernel's feasibility minimum,
+   so the differential harness exercises the clamp rule too. Kernel
+   names are plain strings — resolving them against Srfa_kernels is the
+   consumer's job, which keeps this library's dependencies unchanged. *)
+
+type stream = {
+  stream_id : int;
+  stream_seed : int;
+  kernel : string;
+  initial : int;
+  events : int list;
+}
+
+let stream_kernels =
+  [ "example"; "fir"; "dec-fir"; "imi"; "mat"; "pat"; "bic" ]
+
+let stream_ladder = [ 4; 6; 8; 12; 16; 24; 32; 48; 64; 96; 128 ]
+
+(* Streams are decorrelated from the kernel-source cases above by
+   folding a salt into the campaign seed before splitting by id; the
+   same (seed, id) pair otherwise names both a case and a stream. *)
+let stream_salt = 0x5eb
+
+let generate_stream ~seed ~id =
+  let stream_seed = Prng.mix (Prng.mix seed stream_salt) id in
+  let rng = Prng.split (Prng.create ~seed:(Prng.mix seed stream_salt)) id in
+  let kernel = Prng.pick rng stream_kernels in
+  let initial = Prng.pick rng [ 8; 16; 32; 64; 128 ] in
+  let n = 6 + Prng.int rng 11 in
+  let last = ref initial in
+  let events =
+    List.init n (fun _ ->
+        let target =
+          match Prng.int rng 10 with
+          | 0 | 1 -> !last (* no-op: the previous target again *)
+          | 2 -> 1 + Prng.int rng 3 (* starved: below every minimum *)
+          | _ -> Prng.pick rng stream_ladder
+        in
+        last := target;
+        target)
+  in
+  { stream_id = id; stream_seed; kernel; initial; events }
+
 (* Each case's stream is Prng.split of the campaign generator by case
    id — order-independent by construction, which is what lets a pool
    deal case ids to domains in any order and still regenerate the exact

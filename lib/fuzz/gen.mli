@@ -34,3 +34,20 @@ val generate : seed:int -> id:int -> case
 
 val kind_name : kind -> string
 (** ["valid"], ["mask-stress"] or ["broken:<label>"]. *)
+
+type stream = {
+  stream_id : int;    (** stream index within the campaign *)
+  stream_seed : int;  (** derived PRNG seed (identifies the stream) *)
+  kernel : string;    (** a library kernel name (consumer resolves it) *)
+  initial : int;      (** budget the stream opens at *)
+  events : int list;  (** absolute budget targets, in order *)
+}
+(** Fuzz input for the dynamic re-budgeting path: a library kernel plus
+    a stream of budget events mixing shrinks, grows, no-ops (the
+    previous target repeated) and starved targets below any kernel's
+    feasibility minimum (exercising the pinned-shrink clamp rule). *)
+
+val generate_stream : seed:int -> id:int -> stream
+(** [generate_stream ~seed ~id] is the [id]-th budget-event stream of
+    campaign [seed]; deterministic in both arguments, and decorrelated
+    from {!generate}'s case streams at the same [(seed, id)]. *)

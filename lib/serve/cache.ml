@@ -16,6 +16,15 @@ let tier1_key ~(device : Srfa_hw.Device.t) source =
     (Digest.string
        (String.concat "\n" [ scheme_version; device.Srfa_hw.Device.name; source ]))
 
+(* Rebudget sessions live in their own key namespace (the "rebudget"
+   component): a session must never collide with — or be inserted into —
+   the allocate tiers, whose entries the chaos campaign re-verifies
+   byte-identical against a fault-free baseline. *)
+let session_key ~tier1 ~stream =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" [ scheme_version; tier1; "rebudget"; stream ]))
+
 let tier2_key ~tier1 ~algorithm ~budget ~cut_work_limit =
   Digest.to_hex
     (Digest.string
@@ -134,15 +143,23 @@ type report_value = {
 type t = {
   tier1 : entry Lru.t;
   tier2 : report_value Lru.t;
+  sessions : Flow.Core.rebudget_session Lru.t;
+      (* live rebudget streams (DESIGN.md §16), keyed by (tier-1,
+         stream name). Mutable single-owner values: every step runs on
+         the accept thread, never on a pool domain, so they share the
+         tier-1 scratch without racing it. Eviction just cold-starts
+         the stream on its next event. *)
   trace : Trace.sink;
   faults : Fault.t;
 }
 
 let create ?(tier1_bytes = 48 * 1024 * 1024) ?(tier2_bytes = 16 * 1024 * 1024)
-    ?(trace = Trace.null) ?(faults = Fault.off) () =
+    ?(session_bytes = 16 * 1024 * 1024) ?(trace = Trace.null)
+    ?(faults = Fault.off) () =
   {
     tier1 = Lru.create ~capacity:tier1_bytes;
     tier2 = Lru.create ~capacity:tier2_bytes;
+    sessions = Lru.create ~capacity:session_bytes;
     trace;
     faults;
   }
@@ -215,6 +232,53 @@ let compute r (entry : entry) =
 
 type status = [ `Hit | `Analysis | `Miss ]
 
+(* ---- rebudget sessions (DESIGN.md §16) --------------------------------
+
+   One budget event against a live stream. [`Hit] = the session existed
+   and the event was answered incrementally; [`Analysis] = no session
+   yet but the tier-1 entry was resident, so only the bootstrap
+   portfolio point was paid; [`Miss] = fully cold. Accept-thread only:
+   sessions mutate in place and share the tier-1 scratch. *)
+
+let find_session t key =
+  let hit = Lru.find t.sessions key in
+  emit_lookup t ~tier:3 ~key (hit <> None);
+  hit
+
+let insert_session t key (s : Flow.Core.rebudget_session) =
+  if not (insert_faulted t ~tier:3 ~key) then
+    emit_evicted t ~tier:3 (Lru.add t.sessions key ~cost:(cost_of s) s)
+
+let rebudget t (r : resolved) ~stream =
+  let t1 = tier1_key ~device:r.device r.source in
+  let skey = session_key ~tier1:t1 ~stream in
+  match find_session t skey with
+  | Some session -> (
+    match Flow.Core.rebudget_step session ~budget:r.budget with
+    | step -> Ok (step, `Hit)
+    | exception exn -> Error [ Diag.of_exn exn ])
+  | None -> (
+    match
+      match find_entry t t1 with
+      | Some e -> Ok (e, `Analysis)
+      | None -> (
+        match build_entry r ~t1 with
+        | e ->
+          insert_entry t e;
+          Ok (e, `Miss)
+        | exception exn -> Error [ Diag.of_exn exn ])
+    with
+    | Error diags -> Error diags
+    | Ok (entry, status) -> (
+      match
+        Flow.Core.rebudget_start ~sim_scratch:entry.scratch (config_for r)
+          entry.prepared ~budget:r.budget
+      with
+      | session, step ->
+        insert_session t skey session;
+        Ok (step, status)
+      | exception exn -> Error [ Diag.of_exn exn ]))
+
 (* The single-threaded fast path (tests, jobs=1 servers): look up, build
    what is missing, cache what was computed. Errors are never cached —
    they are cheap to recompute and usually the caller's fault. *)
@@ -262,4 +326,8 @@ let stats t =
     ("tier2_hits", Lru.hits t.tier2);
     ("tier2_misses", Lru.misses t.tier2);
     ("tier2_evictions", Lru.evictions t.tier2);
+    ("sessions", Lru.length t.sessions);
+    ("session_hits", Lru.hits t.sessions);
+    ("session_misses", Lru.misses t.sessions);
+    ("session_evictions", Lru.evictions t.sessions);
   ]

@@ -10,12 +10,20 @@
     ladder over a cached kernel pays for analysis once and then only for
     allocation + simulation, and a repeated request pays for neither.
 
-    Both tiers are byte-budget-bounded {!Srfa_util.Lru}s; lookups,
+    A third store holds live {e rebudget sessions} — mutable
+    {!Srfa_core.Flow.Core.rebudget_session} values keyed on
+    hash(tier-1 key, "rebudget", stream name) — in their own key
+    namespace, never the allocate tiers (DESIGN.md §16).
+
+    All stores are byte-budget-bounded {!Srfa_util.Lru}s; lookups,
     misses and evictions are announced as [cache.hit] / [cache.miss] /
-    [cache.evict] trace events (fields: [tier], [key]). The cache itself
-    is single-owner: the server mutates it from the accept loop only and
-    hands tier-1 entries to at most one worker domain at a time (see
-    {!Server}). Key scheme details: DESIGN.md §14. *)
+    [cache.evict] trace events (fields: [tier] — 3 is the session
+    store — and [key]). The cache itself is single-owner: the server
+    mutates it from the accept loop only and hands tier-1 entries to at
+    most one worker domain at a time (see {!Server}). Rebudget steps
+    additionally run on the accept thread itself, which is what lets a
+    session share its tier-1 entry's scratch without racing the pooled
+    compute. Key scheme details: DESIGN.md §14. *)
 
 module Flow = Srfa_core.Flow
 module Allocator = Srfa_core.Allocator
@@ -32,6 +40,11 @@ val tier1_key : device:Srfa_hw.Device.t -> string -> string
 val tier2_key :
   tier1:string -> algorithm:Allocator.algorithm -> budget:int ->
   cut_work_limit:int option -> string
+
+val session_key : tier1:string -> stream:string -> string
+(** The rebudget-session namespace: hex MD5 of the scheme version, the
+    tier-1 key, the literal ["rebudget"] and the stream name. Disjoint
+    from {!tier2_key} material by construction. *)
 
 (** A protocol request resolved against the kernel registry, the device
     table and the algorithm names — everything hashable. *)
@@ -70,13 +83,15 @@ type report_value = {
 type t
 
 val create :
-  ?tier1_bytes:int -> ?tier2_bytes:int -> ?trace:Srfa_util.Trace.sink ->
-  ?faults:Srfa_util.Fault.t -> unit -> t
-(** Defaults: 48 MB for tier 1, 16 MB for tier 2. Entry costs are
-    measured with [Obj.reachable_words], i.e. real heap bytes. [faults]
-    arms the [cache.insert] injection site: a firing rule makes the
-    insert silently not happen (traced as [fault.cache.insert]) — the
-    value is recomputed on the next miss, correctness is unaffected. *)
+  ?tier1_bytes:int -> ?tier2_bytes:int -> ?session_bytes:int ->
+  ?trace:Srfa_util.Trace.sink -> ?faults:Srfa_util.Fault.t -> unit -> t
+(** Defaults: 48 MB for tier 1, 16 MB for tier 2, 16 MB for sessions.
+    Entry costs are measured with [Obj.reachable_words], i.e. real heap
+    bytes. [faults] arms the [cache.insert] injection site: a firing
+    rule makes the insert silently not happen (traced as
+    [fault.cache.insert]) — the value is recomputed on the next miss
+    (for a session: the stream cold-starts on its next event),
+    correctness is unaffected. *)
 
 type status = [ `Hit | `Analysis | `Miss ]
 
@@ -106,6 +121,18 @@ val compute :
     scratch. Mutates the entry's scratch: the caller must own the entry
     exclusively while it runs. *)
 
+val rebudget :
+  t -> resolved -> stream:string ->
+  (Flow.Core.rebudget_step * status, Diag.t list) result
+(** One budget event ([resolved.budget]) against the stream's live
+    session, creating it on first touch. [`Hit] = the session existed
+    and the event was answered incrementally; [`Analysis] = fresh
+    session over a resident tier-1 entry (only the bootstrap portfolio
+    point was paid); [`Miss] = fully cold. Accept-thread only: the
+    session mutates in place and shares the tier-1 scratch. Results
+    are never inserted into the allocate tiers. *)
+
 val stats : t -> (string * int) list
 (** Served-request count plus per-tier entries/bytes/hits/misses/
-    evictions, as rendered by {!Protocol.response_stats}. *)
+    evictions (the session store included), as rendered by
+    {!Protocol.response_stats}. *)

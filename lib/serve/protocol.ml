@@ -168,7 +168,7 @@ let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 
 (* ---- requests ---------------------------------------------------------- *)
 
-type op = Allocate | Stats | Shutdown
+type op = Allocate | Rebudget | Stats | Shutdown
 
 type kernel_spec = Named of string | Source of string
 
@@ -181,6 +181,7 @@ type request = {
   budget : int option;
   cut_work_limit : int option;
   deadline_ms : int option;
+  stream : string option;
 }
 
 let proto_error msg = Diag.make ~code:"E-PROTO-001" msg
@@ -205,49 +206,82 @@ let overload_error ~retry_after_ms =
     ~context:[ ("retry_after_ms", string_of_int retry_after_ms) ]
 
 (* Best-effort id recovery from a line that failed to decode, so
-   pipelining clients can still correlate the error response. Finds the
-   first "id" key and reads its string value; bails on anything
-   surprising — a wrong [None] only costs the client its correlation. *)
+   pipelining clients can still correlate the error response. The scan
+   is string-aware: it walks the line reading complete JSON string
+   tokens (with full escape decoding, \u included, mirroring
+   [parse_json]) and accepts the first "id" token that is actually a
+   key — followed by ':' and a string value. A string value that merely
+   contains or equals "id" is stepped over as one token, so its
+   characters can neither shadow the real key nor end the scan; a
+   wrong [None] only costs the client its correlation. *)
 let recover_id line =
   let n = String.length line in
   let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false in
   let rec skip_ws i = if i < n && is_ws line.[i] then skip_ws (i + 1) else i in
-  let rec find_key i =
-    if i + 4 > n then None
-    else if
-      String.sub line i 4 = "\"id\""
-      && (i = 0 || line.[i - 1] <> '\\')
-    then Some (i + 4)
-    else find_key (i + 1)
-  in
-  match find_key 0 with
-  | None -> None
-  | Some after_key -> (
-    let i = skip_ws after_key in
-    if i >= n || line.[i] <> ':' then None
-    else
-      let i = skip_ws (i + 1) in
-      if i >= n || line.[i] <> '"' then None
+  (* Read the string token opening at [i] ([line.[i] = '"']): the decoded
+     contents plus the index one past the closing quote, or [None] when
+     the line truncates mid-token (nothing past it is trustworthy). *)
+  let read_string i =
+    let buf = Buffer.create 16 in
+    let rec go i =
+      if i >= n then None
       else
-        let buf = Buffer.create 16 in
-        let rec go i =
-          if i >= n then None
+        match line.[i] with
+        | '"' -> Some (Buffer.contents buf, i + 1)
+        | '\\' when i + 1 < n -> (
+          match line.[i + 1] with
+          | '"' -> Buffer.add_char buf '"'; go (i + 2)
+          | '\\' -> Buffer.add_char buf '\\'; go (i + 2)
+          | '/' -> Buffer.add_char buf '/'; go (i + 2)
+          | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+          | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+          | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
+          | 'b' -> Buffer.add_char buf '\b'; go (i + 2)
+          | 'f' -> Buffer.add_char buf '\012'; go (i + 2)
+          | 'u' when i + 6 <= n -> (
+            match int_of_string_opt ("0x" ^ String.sub line (i + 2) 4) with
+            | None -> None
+            | Some code ->
+              if code < 0x80 then Buffer.add_char buf (Char.chr code)
+              else if code < 0x800 then (
+                Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f))))
+              else (
+                Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+                Buffer.add_char buf
+                  (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+                Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f))));
+              go (i + 6))
+          | _ -> None)
+        | '\\' -> None
+        | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+    in
+    go (i + 1)
+  in
+  let rec scan i =
+    if i >= n then None
+    else if line.[i] <> '"' then scan (i + 1)
+    else
+      match read_string i with
+      | None -> None
+      | Some (tok, after) ->
+        if tok <> "id" then scan after
+        else
+          let j = skip_ws after in
+          if j >= n || line.[j] <> ':' then
+            (* a string value spelling "id", not the key — keep looking *)
+            scan after
           else
-            match line.[i] with
-            | '"' -> Some (Buffer.contents buf)
-            | '\\' when i + 1 < n ->
-              (match line.[i + 1] with
-              | '"' -> Buffer.add_char buf '"'
-              | '\\' -> Buffer.add_char buf '\\'
-              | 'n' -> Buffer.add_char buf '\n'
-              | 't' -> Buffer.add_char buf '\t'
-              | c -> Buffer.add_char buf c);
-              go (i + 2)
-            | c ->
-              Buffer.add_char buf c;
-              go (i + 1)
-        in
-        go (i + 1))
+            let j = skip_ws (j + 1) in
+            if j < n && line.[j] = '"' then
+              match read_string j with
+              | Some (v, _) -> Some v
+              | None -> None
+            else None (* the id is not a string; correlation is impossible *)
+  in
+  scan 0
 
 let parse_request line =
   match parse_json line with
@@ -278,13 +312,17 @@ let parse_request line =
     let* budget = int "budget" in
     let* cut_work_limit = int "cut_work_limit" in
     let* deadline_ms = int "deadline_ms" in
+    let* stream = str "stream" in
     let* op =
       match opname with
       | None | Some "allocate" -> Ok Allocate
+      | Some "rebudget" -> Ok Rebudget
       | Some "stats" -> Ok Stats
       | Some "shutdown" -> Ok Shutdown
       | Some other ->
-        Error (Printf.sprintf "unknown op %S (allocate, stats, shutdown)" other)
+        Error
+          (Printf.sprintf "unknown op %S (allocate, rebudget, stats, shutdown)"
+             other)
     in
     let* kernel =
       match (kernel, source) with
@@ -295,9 +333,21 @@ let parse_request line =
         if op = Allocate then
           Error
             "an allocate request needs a \"kernel\" name or a \"source\" text"
+        else if op = Rebudget then
+          Error
+            "a rebudget request needs a \"kernel\" name or a \"source\" text"
         else Ok None
     in
-    Ok { id; op; kernel; device; algorithm; budget; cut_work_limit; deadline_ms })
+    let* () =
+      if op = Rebudget && budget = None then
+        Error "a rebudget request needs a \"budget\" event target"
+      else Ok ()
+    in
+    Ok
+      {
+        id; op; kernel; device; algorithm; budget; cut_work_limit;
+        deadline_ms; stream;
+      })
   | _ -> Error (proto_error "request must be a JSON object")
 
 (* ---- responses --------------------------------------------------------- *)
@@ -358,7 +408,23 @@ let json_of_report (r : Srfa_estimate.Report.t) =
   Buffer.add_string buf "}";
   Buffer.contents buf
 
-let response_ok ?id ~cache ~warnings report =
+type rebudget_info = {
+  rb_requested : int;
+  rb_effective : int;
+  rb_clamped : bool;
+  rb_freed : int;
+  rb_respent : int;
+  rb_memoized : bool;
+}
+
+let json_of_rebudget rb =
+  Printf.sprintf
+    "{\"requested\": %d, \"effective\": %d, \"clamped\": %b, \"freed\": %d, \
+     \"respent\": %d, \"memoized\": %b}"
+    rb.rb_requested rb.rb_effective rb.rb_clamped rb.rb_freed rb.rb_respent
+    rb.rb_memoized
+
+let response_ok ?id ?rebudget ~cache ~warnings report =
   let buf = Buffer.create 600 in
   Buffer.add_string buf "{";
   add_id buf id;
@@ -366,6 +432,11 @@ let response_ok ?id ~cache ~warnings report =
     (Printf.sprintf "\"status\": \"ok\", \"cache\": \"%s\", \"report\": %s"
        (cache_status_name cache)
        (json_of_report report));
+  (match rebudget with
+  | Some rb ->
+    Buffer.add_string buf
+      (Printf.sprintf ", \"rebudget\": %s" (json_of_rebudget rb))
+  | None -> ());
   (match warnings with
   | [] -> ()
   | ws ->

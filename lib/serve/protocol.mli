@@ -2,17 +2,23 @@
     socket, one request object in, one response object out, in order.
 
     Request fields (flat object; unknown fields are ignored):
-    - ["op"]: ["allocate"] (default), ["stats"] or ["shutdown"];
+    - ["op"]: ["allocate"] (default), ["rebudget"], ["stats"] or
+      ["shutdown"];
     - ["id"]: optional string, echoed verbatim in the response;
     - ["kernel"]: a built-in kernel name, {e or} ["source"]: kernel DSL
-      text (exactly one for an allocate request);
+      text (exactly one for an allocate or rebudget request);
     - ["device"]: ["xcv1000"] (default) or ["xc2v6000"];
     - ["algorithm"]: an {!Srfa_core.Allocator.of_name} string
-      (default ["cpa-ra"]);
-    - ["budget"]: register budget (default 64);
+      (default ["cpa-ra"]; rebudget always answers with the certified
+      portfolio);
+    - ["budget"]: register budget (default 64; for a rebudget request
+      it is the mandatory event target);
     - ["cut_work_limit"]: optional override of the CPA cut-work guard;
     - ["deadline_ms"]: optional per-request wall-clock deadline
-      (overrides the server default; tripping it is [E-DEADLINE]).
+      (overrides the server default; tripping it is [E-DEADLINE]);
+    - ["stream"]: optional rebudget session name (default
+      ["default"]) — requests naming the same kernel, device and stream
+      mutate the same live allocation (DESIGN.md §16).
 
     Responses: [{"status": "ok", "cache": "hit"|"analysis"|"miss",
     "report": {...}, "warnings": [...]}] for served allocations (the
@@ -45,19 +51,21 @@ val parse_json : string -> json
 val member : string -> json -> json option
 (** [member key (Obj ...)] — [None] for absent keys and non-objects. *)
 
-type op = Allocate | Stats | Shutdown
+type op = Allocate | Rebudget | Stats | Shutdown
 
 type kernel_spec = Named of string | Source of string
 
 type request = {
   id : string option;
   op : op;
-  kernel : kernel_spec option;  (** [Some] for every allocate request *)
+  kernel : kernel_spec option;
+      (** [Some] for every allocate/rebudget request *)
   device : string option;
   algorithm : string option;
-  budget : int option;
+  budget : int option;  (** [Some] for every rebudget request *)
   cut_work_limit : int option;
   deadline_ms : int option;
+  stream : string option;  (** rebudget session name *)
 }
 
 val proto_error : string -> Srfa_util.Diag.t
@@ -79,8 +87,12 @@ val overload_error : retry_after_ms:int -> Srfa_util.Diag.t
 val recover_id : string -> string option
 (** Best-effort extraction of the ["id"] field from a request line that
     failed to decode, so error responses can still echo it and
-    pipelining clients can correlate failures. [None] when no plausible
-    id is found — correlation is lost, nothing else. *)
+    pipelining clients can correlate failures. The scan reads complete
+    JSON string tokens (full escape decoding, [\u] included), so ids
+    containing escaped quotes decode correctly and a string {e value}
+    spelling or containing ["id"] cannot shadow the real key. [None]
+    when no plausible id is found — correlation is lost, nothing
+    else. *)
 
 val parse_request : string -> (request, Srfa_util.Diag.t) result
 (** Decode one request line. Malformed JSON is [E-PROTO-001]; a
@@ -91,12 +103,26 @@ val json_of_report : Srfa_estimate.Report.t -> string
 (** One report as a single-line JSON object (per-group register maps
     included). *)
 
+type rebudget_info = {
+  rb_requested : int;
+  rb_effective : int;  (** after the feasibility-minimum clamp *)
+  rb_clamped : bool;
+  rb_freed : int;
+  rb_respent : int;
+  rb_memoized : bool;  (** served from the session's per-budget memo *)
+}
+(** The incremental bookkeeping a rebudget response carries alongside
+    the report, as a ["rebudget"] sub-object. *)
+
 val response_ok :
-  ?id:string -> cache:[ `Hit | `Analysis | `Miss ] ->
+  ?id:string -> ?rebudget:rebudget_info ->
+  cache:[ `Hit | `Analysis | `Miss ] ->
   warnings:Srfa_util.Diag.t list -> Srfa_estimate.Report.t -> string
 (** [cache] says what the request cost: [`Hit] = served from the report
-    tier, [`Analysis] = analysis reused, allocation recomputed, [`Miss] =
-    fully cold. *)
+    tier (for rebudget: the session existed), [`Analysis] = analysis
+    reused, allocation recomputed, [`Miss] = fully cold. [rebudget]
+    adds the incremental bookkeeping sub-object (rebudget responses
+    only). *)
 
 val response_error : ?id:string -> Srfa_util.Diag.t list -> string
 

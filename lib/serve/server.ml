@@ -202,6 +202,32 @@ let process_batch ~cache ~pool ~faults ~counters ~stats ~default_deadline_ms
         | Protocol.Shutdown ->
           stop := true;
           slots.(slot) <- Protocol.response_bye ?id:rid ()
+        | Protocol.Rebudget -> (
+          (* Answered inline on the accept thread: a step against a warm
+             session is engine work on a handful of entries, far cheaper
+             than a pooled cold compute, and inline execution is what
+             makes the mutable session single-owner by construction. *)
+          match Cache.resolve req with
+          | Error diags -> slots.(slot) <- Protocol.response_error ?id:rid diags
+          | Ok r -> (
+            let stream = Option.value req.Protocol.stream ~default:"default" in
+            match Cache.rebudget cache r ~stream with
+            | Error diags -> slots.(slot) <- Protocol.response_error ?id:rid diags
+            | Ok (step, status) ->
+              let rb =
+                {
+                  Protocol.rb_requested = step.Srfa_core.Flow.Core.requested;
+                  rb_effective = step.Srfa_core.Flow.Core.effective;
+                  rb_clamped = step.Srfa_core.Flow.Core.clamped;
+                  rb_freed = step.Srfa_core.Flow.Core.freed;
+                  rb_respent = step.Srfa_core.Flow.Core.respent;
+                  rb_memoized = step.Srfa_core.Flow.Core.memoized;
+                }
+              in
+              slots.(slot) <-
+                Protocol.response_ok ?id:rid ~rebudget:rb ~cache:status
+                  ~warnings:step.Srfa_core.Flow.Core.warnings
+                  step.Srfa_core.Flow.Core.report))
         | Protocol.Allocate -> (
           match Cache.resolve req with
           | Error diags -> slots.(slot) <- Protocol.response_error ?id:rid diags
@@ -593,6 +619,48 @@ let self_test ?(jobs = 2) ?(log = ignore) () =
   (* 9. infeasible budget: coded error, not a crash *)
   let r9 = response {|{"kernel": "fir", "budget": 1}|} in
   check "infeasible budget is E-BUDGET-001" (has_code "E-BUDGET-001" r9);
+  (* 9b. rebudget: a live budget-event stream over the resident kernel.
+     The bootstrap rides the tier-1 entry allocate already cached
+     (analysis), later events answer incrementally from the session
+     (hit), revisited budgets come from the session memo, and a starved
+     target clamps with W-GUARD-REBUDGET instead of the E-BUDGET-001 an
+     allocate gets. *)
+  let rb_member key json =
+    match Protocol.member "rebudget" json with
+    | Some rb -> Protocol.member key rb
+    | None -> None
+  in
+  let r20 =
+    response {|{"id": "rb1", "op": "rebudget", "kernel": "fir", "budget": 32}|}
+  in
+  check "rebudget bootstrap reuses the analysis"
+    (str_member "status" r20 = Some "ok"
+    && str_member "cache" r20 = Some "analysis"
+    && str_member "id" r20 = Some "rb1"
+    && rb_member "memoized" r20 = Some (Protocol.Bool false));
+  let r21 = response {|{"op": "rebudget", "kernel": "fir", "budget": 8}|} in
+  check "rebudget shrink answers incrementally"
+    (str_member "cache" r21 = Some "hit"
+    &&
+    match rb_member "freed" r21 with
+    | Some (Protocol.Int n) -> n > 0
+    | _ -> false);
+  let r22 = response {|{"op": "rebudget", "kernel": "fir", "budget": 32}|} in
+  check "rebudget revisit is memoized"
+    (str_member "cache" r22 = Some "hit"
+    && rb_member "memoized" r22 = Some (Protocol.Bool true));
+  let r23 = response {|{"op": "rebudget", "kernel": "fir", "budget": 1}|} in
+  check "starved rebudget clamps with W-GUARD-REBUDGET"
+    (str_member "status" r23 = Some "ok"
+    && rb_member "clamped" r23 = Some (Protocol.Bool true)
+    && warning_code "W-GUARD-REBUDGET" r23);
+  let r24 =
+    response {|{"op": "rebudget", "kernel": "fir", "budget": 16, "stream": "b"}|}
+  in
+  check "distinct stream opens its own session"
+    (str_member "cache" r24 = Some "analysis");
+  let r25 = response {|{"op": "rebudget", "kernel": "fir"}|} in
+  check "rebudget without budget is E-PROTO-002" (has_code "E-PROTO-002" r25);
   (* 10. pipelined batch: two requests in one write, answered in order *)
   Client.send client
     {|{"id": "b1", "kernel": "mat", "budget": 16}|};
@@ -614,6 +682,8 @@ let self_test ?(jobs = 2) ?(log = ignore) () =
     | None -> -1
   in
   check "stats count the hits" (stat "tier2_hits" >= 1 && stat "served" >= 8);
+  check "stats expose the session store"
+    (stat "sessions" >= 2 && stat "session_hits" >= 2);
   (* 12. shutdown *)
   let bye = response {|{"op": "shutdown"}|} in
   check "shutdown answers bye" (Protocol.member "bye" bye = Some (Protocol.Bool true));

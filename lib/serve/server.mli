@@ -4,8 +4,11 @@
     Concurrency model — single-threaded IO, pooled compute. The accept
     loop owns every file descriptor and every cache mutation. Each
     [select] round drains all complete request lines into one batch:
-    tier-2 hits (and stats/shutdown/protocol errors) are answered
-    immediately from the loop; the remaining cold requests are grouped
+    tier-2 hits (and rebudget events, stats, shutdown and protocol
+    errors) are answered immediately from the loop — rebudget sessions
+    are mutable and share their tier-1 entry's scratch, so running
+    their steps on the accept thread is what keeps them single-owner
+    (DESIGN.md §16); the remaining cold requests are grouped
     by tier-1 key and the groups fanned out through {!Srfa_util.Pool},
     one group per worker call, so concurrent requests for the same
     kernel share one analysis build and one simulator scratch — the
@@ -76,7 +79,9 @@ val self_test : ?jobs:int -> ?log:(string -> unit) -> unit -> bool
 (** Spawn a private daemon, run the scripted request mix (cold miss /
     tier-2 hit / analysis reuse / inline source / parse error / unknown
     kernel / malformed JSON with id recovery / guard trip / infeasible
-    budget / pipelined batch / stats / shutdown), then three more
+    budget / rebudget event stream with memoized revisits and the
+    starved-budget clamp / pipelined batch / stats / shutdown), then
+    three more
     private daemons covering the resilience layer: buffer cap + read
     timeout + overload shedding + deadlines, worker isolation under a
     100% pool.job fault plan, and SIGTERM drain. Prints via [log] and

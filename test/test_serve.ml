@@ -121,7 +121,24 @@ let test_parse_request () =
     (code {|{"budget": 8}|});
   (match Protocol.parse_request {|{"op": "stats"}|} with
   | Ok r -> Alcotest.(check bool) "stats op" true (r.Protocol.op = Protocol.Stats)
-  | Error _ -> Alcotest.fail "stats request rejected")
+  | Error _ -> Alcotest.fail "stats request rejected");
+  (match
+     Protocol.parse_request
+       {|{"op": "rebudget", "kernel": "fir", "budget": 24, "stream": "s1"}|}
+   with
+  | Ok r ->
+    Alcotest.(check bool) "rebudget op" true (r.Protocol.op = Protocol.Rebudget);
+    Alcotest.(check (option int)) "rebudget target" (Some 24) r.Protocol.budget;
+    Alcotest.(check (option string)) "stream" (Some "s1") r.Protocol.stream
+  | Error d -> Alcotest.failf "rebudget request rejected: %s" (Diag.to_json d));
+  (* A rebudget request is an event against a live stream: both the
+     kernel identity and the budget target are mandatory at parse time. *)
+  Alcotest.(check string)
+    "rebudget without budget" "E-PROTO-002"
+    (code {|{"op": "rebudget", "kernel": "fir"}|});
+  Alcotest.(check string)
+    "rebudget without kernel" "E-PROTO-002"
+    (code {|{"op": "rebudget", "budget": 8}|})
 
 let test_recover_id () =
   let rid = Protocol.recover_id in
@@ -143,7 +160,26 @@ let test_recover_id () =
   Alcotest.(check (option string)) "no id" None (rid {|{"kernel": "fir"}|});
   Alcotest.(check (option string)) "not json at all" None (rid "hello world");
   Alcotest.(check (option string))
-    "id cut before the value" None (rid {|{"id": |})
+    "id cut before the value" None (rid {|{"id": |});
+  (* The scanner reads complete string tokens, so a string *value*
+     spelling "id" cannot shadow the real key later in the line... *)
+  Alcotest.(check (option string))
+    "value spelling id does not shadow the key" (Some "r5")
+    (rid {|{"note": "id", "id": "r5", "budget": }|});
+  (* ...and neither can an escaped-quote value that merely contains a
+     quoted "id" in its decoded spelling. *)
+  Alcotest.(check (option string))
+    "escaped fake key inside a value" (Some "r6")
+    (rid {|{"x": "\"id\":", "id": "r6", oops|});
+  (* Full escape decoding, \u included (U+00E9 as UTF-8). *)
+  Alcotest.(check (option string))
+    "unicode escapes decode" (Some "caf\xc3\xa9")
+    (rid {|{"id": "caf\u00e9", "budget": }|});
+  Alcotest.(check (option string))
+    "non-string id value" None
+    (rid {|{"id": 7, "kernel": "fir"|});
+  Alcotest.(check (option string))
+    "id truncated mid-value" None (rid {|{"id": "ab|})
 
 let test_deadline_field () =
   (match Protocol.parse_request {|{"kernel": "fir", "deadline_ms": 250}|} with
@@ -395,6 +431,45 @@ let test_resolve_errors () =
     (Cache.tier1_key ~device:named.Cache.device named.Cache.source)
     (Cache.tier1_key ~device:inline.Cache.device inline.Cache.source)
 
+(* The session store's behavioural contract (DESIGN.md §16): first touch
+   is a cold bootstrap, later events hit the live session, a revisited
+   budget is served from the session memo, and distinct streams get
+   distinct sessions over the shared tier-1 analysis. *)
+let test_rebudget_sessions () =
+  let module F = Srfa_core.Flow.Core in
+  let cache = Cache.create () in
+  let step ?(stream = "s") budget =
+    let r =
+      resolve_exn
+        (Printf.sprintf {|{"op": "rebudget", "kernel": "fir", "budget": %d}|}
+           budget)
+    in
+    match Cache.rebudget cache r ~stream with
+    | Ok (step, status) -> (step, status)
+    | Error ds ->
+      Alcotest.failf "rebudget: %s" (String.concat "; " (List.map Diag.to_json ds))
+  in
+  let s1, st1 = step 32 in
+  Alcotest.(check bool) "cold bootstrap is a miss" true (st1 = `Miss);
+  Alcotest.(check bool) "bootstrap is not memoized" false s1.F.memoized;
+  let s2, st2 = step 8 in
+  Alcotest.(check bool) "second event hits the session" true (st2 = `Hit);
+  Alcotest.(check bool) "shrink reclaims registers" true (s2.F.freed > 0);
+  let s3, st3 = step 32 in
+  Alcotest.(check bool) "revisit still hits" true (st3 = `Hit);
+  Alcotest.(check bool) "revisit is memoized" true s3.F.memoized;
+  Alcotest.(check bool)
+    "memo serves the physically same report" true (s1.F.report == s3.F.report);
+  let _, st4 = step ~stream:"other" 16 in
+  Alcotest.(check bool)
+    "a new stream reuses only the analysis" true (st4 = `Analysis);
+  let stats = Cache.stats cache in
+  Alcotest.(check int) "two live sessions" 2 (List.assoc "sessions" stats);
+  Alcotest.(check bool)
+    "session hits counted" true (List.assoc "session_hits" stats >= 2);
+  (* Sessions never leak into the allocate report tier. *)
+  Alcotest.(check int) "tier 2 untouched" 0 (List.assoc "tier2_entries" stats)
+
 (* ---- live daemon ------------------------------------------------------- *)
 
 (* The two resilience paths the self-test cannot probe in isolation:
@@ -521,6 +596,7 @@ let () =
           Alcotest.test_case "errors not cached" `Quick test_errors_not_cached;
           Alcotest.test_case "eviction events" `Quick test_eviction_events;
           Alcotest.test_case "resolve errors" `Quick test_resolve_errors;
+          Alcotest.test_case "rebudget sessions" `Quick test_rebudget_sessions;
         ] );
       ( "daemon",
         [
