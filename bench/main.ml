@@ -42,6 +42,10 @@
                            oscillating budget events) vs one certified
                            portfolio point per event from scratch
                            (BENCH_rebudget.json)
+     perf-explore          the joint design-space explorer vs its naive
+                           full-product arm on the matmul space, with
+                           prune/memo rates and the byte-identity
+                           differential re-checked (BENCH_explore.json)
 
    Sections can also be picked with `--sections core,cuts,certify` —
    shorthand names expand to their perf-* section. *)
@@ -528,7 +532,9 @@ let ablation_loop_order () =
       match Srfa_ir.Permute.illegality nest with
       | Some why -> Printf.printf "%s: not permutable (%s)\n" name why
       | None ->
-        let candidates = Srfa_core.Order_explorer.explore Allocator.Cpa_ra nest in
+        let candidates, _ =
+          Srfa_core.Order_explorer.explore Allocator.Cpa_ra nest
+        in
         let identity = List.init (Srfa_ir.Nest.depth nest) Fun.id in
         let default =
           List.find (fun c -> c.Srfa_core.Order_explorer.order = identity)
@@ -2211,6 +2217,206 @@ let perf_rebudget () =
              points) );
     ]
 
+(* ---------------------------------------------------------- perf-explore *)
+
+(* The joint design-space explorer vs its own naive arm (DESIGN.md
+   §17). The workload is the matmul space the tentpole targets — all
+   legal orders x strip-mine factors {2,4} x a five-rung budget ladder
+   x two algorithms — plus the running example on the same axes. The
+   naive arm evaluates the full product and re-derives analysis, DFG
+   and simulation from scratch per point (space.naive, no pruning, no
+   memo); the optimized arm runs the shipped path: variant-level and
+   point-level dominance cuts from lower bounds, one preparation per
+   variant, and the entries-keyed simulation memo. Both arms draw the
+   same frontier by construction, and the bench re-checks that byte
+   equality (plus jobs=1 vs jobs=N) before reporting any ratio. *)
+let perf_explore () =
+  section "perf-explore: naive product vs pruned+memoised explorer";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let median_of f ~repeats =
+    let results = Array.init repeats (fun _ -> wall f) in
+    let samples = Array.map snd results in
+    Array.sort compare samples;
+    (fst results.(0), samples.(repeats / 2))
+  in
+  let repeats = 3 in
+  let space =
+    {
+      Flow.Core.default_space with
+      Flow.Core.orders = Flow.Core.All_orders;
+      tile_factors = [ 2; 4 ];
+      space_budgets = [ 8; 16; 32; 64; 128 ];
+      space_algorithms = [ Allocator.Cpa_ra; Allocator.Fr_ra ];
+    }
+  in
+  let naive_space =
+    { space with Flow.Core.prune = false; Flow.Core.naive = true }
+  in
+  let kernels =
+    [
+      ("example", Srfa_kernels.Kernels.example ());
+      ("mat", Option.get (Srfa_kernels.Kernels.find "mat"));
+    ]
+  in
+  let jobs, _ = Pool.resolve () in
+  let table =
+    T.create
+      ~headers:
+        [
+          ("kernel", T.Left); ("points", T.Right); ("naive s", T.Right);
+          ("explorer s", T.Right); ("speedup", T.Right);
+          ("prune rate", T.Right); ("memo rate", T.Right);
+          ("variants/s", T.Right); (Printf.sprintf "%d-domain s" jobs, T.Right);
+          ("identical", T.Left);
+        ]
+  in
+  let points =
+    Pool.with_pool ~jobs (fun pool ->
+        List.map
+          (fun (name, nest) ->
+            let explore ?pool space =
+              Flow.Core.explore ?pool ~space Flow.default_config nest
+            in
+            let naive_f, naive_s =
+              median_of ~repeats (fun () -> explore naive_space)
+            in
+            let opt_f, opt_s = median_of ~repeats (fun () -> explore space) in
+            let pooled_f, pooled_s =
+              median_of ~repeats (fun () -> explore ~pool space)
+            in
+            let identical =
+              Flow.Core.frontier_json naive_f = Flow.Core.frontier_json opt_f
+              && Flow.Core.frontier_json opt_f
+                 = Flow.Core.frontier_json pooled_f
+            in
+            let s = opt_f.Flow.Core.frontier_stats in
+            let total =
+              s.Flow.Core.points_evaluated + s.Flow.Core.points_pruned
+            in
+            let prune_rate =
+              float_of_int s.Flow.Core.points_pruned /. float_of_int total
+            in
+            let memo_rate =
+              float_of_int s.Flow.Core.sim_memo_hits
+              /. float_of_int s.Flow.Core.points_evaluated
+            in
+            let variants_per_s =
+              float_of_int s.Flow.Core.variants_unique /. opt_s
+            in
+            let speedup = naive_s /. opt_s in
+            T.add_row table
+              [
+                name;
+                string_of_int total;
+                Printf.sprintf "%.3f" naive_s;
+                Printf.sprintf "%.3f" opt_s;
+                Printf.sprintf "%.1fx" speedup;
+                Printf.sprintf "%.0f%%" (100.0 *. prune_rate);
+                Printf.sprintf "%.0f%%" (100.0 *. memo_rate);
+                Printf.sprintf "%.0f" variants_per_s;
+                Printf.sprintf "%.3f" pooled_s;
+                (if identical then "yes" else "MISMATCH");
+              ];
+            ( name, total, naive_s, opt_s, pooled_s, speedup, prune_rate,
+              memo_rate, variants_per_s, identical ))
+          kernels)
+  in
+  T.print table;
+  (* Koka-artifact style: each kernel normalized to its own naive
+     median, so the table reads as explorer leverage, not kernel
+     size. *)
+  let norm =
+    T.create
+      ~headers:
+        [
+          ("kernel", T.Left); ("naive", T.Right); ("explorer", T.Right);
+          (Printf.sprintf "%d-domain" jobs, T.Right);
+        ]
+  in
+  List.iter
+    (fun (name, _, naive_s, opt_s, pooled_s, _, _, _, _, _) ->
+      T.add_row norm
+        [
+          name; "1.00";
+          Printf.sprintf "%.3f" (opt_s /. naive_s);
+          Printf.sprintf "%.3f" (pooled_s /. naive_s);
+        ])
+    points;
+  Printf.printf "\nwall-clock normalized to each kernel's naive median:\n\n";
+  T.print norm;
+  let mat_speedup =
+    List.fold_left
+      (fun acc (name, _, _, _, _, speedup, _, _, _, _) ->
+        if name = "mat" then speedup else acc)
+      0.0 points
+  in
+  let target_ok = mat_speedup >= 5.0 in
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, _, _, _, _, id) -> id) points
+  in
+  Printf.printf
+    "\nmatmul space: %.1fx naive-vs-explorer (target >= 5x: %s); frontiers \
+     byte-identical across naive/pruned/pooled arms: %s\n"
+    mat_speedup
+    (if target_ok then "ok" else "MISMATCH")
+    (if all_identical then "yes" else "MISMATCH");
+  let domains_available = Domain.recommended_domain_count () in
+  (* Same stamp as perf-parallel: on a single-core host the pooled arm
+     takes the sequential path, so its column verifies nothing about
+     the domain fan-out. The naive-vs-explorer speedup is single-arm
+     and stays meaningful either way. *)
+  let unverified = domains_available <= 1 || jobs <= 1 in
+  if unverified then
+    Printf.printf
+      "\nNOTE: only %d domain(s) available — the pooled column is \
+       UNVERIFIED on this host; BENCH_explore.json is stamped \
+       \"unverified\": true.\n"
+      domains_available;
+  write_json "BENCH_explore.json"
+    [
+      ("benchmark", Json.Str "perf-explore");
+      ( "unit",
+        Json.Str
+          "seconds per whole-space exploration, median of repeats; naive = \
+           full product, per-point analysis/DFG/simulation from scratch; \
+           explorer = dominance cuts + per-variant preparation + entries \
+           memo" );
+      ("repeats", Json.Int repeats);
+      ("jobs", Json.Int jobs);
+      ("recommended_domains", Json.Int (Pool.recommended ()));
+      ("domains_available", Json.Int domains_available);
+      ("unverified", Json.Bool unverified);
+      ("matmul_speedup", Json.float mat_speedup);
+      ("target_speedup", Json.float 5.0);
+      ("target_ok", Json.Bool target_ok);
+      ("frontiers_identical", Json.Bool all_identical);
+      ( "kernels",
+        Json.Arr
+          (List.map
+             (fun
+               ( name, total, naive_s, opt_s, pooled_s, speedup, prune_rate,
+                 memo_rate, variants_per_s, identical )
+             ->
+               Json.Obj
+                 [
+                   ("kernel", Json.Str name);
+                   ("ladder_points", Json.Int total);
+                   ("naive_s", Json.float naive_s);
+                   ("explorer_s", Json.float opt_s);
+                   ("pooled_s", Json.float pooled_s);
+                   ("speedup", Json.float speedup);
+                   ("prune_rate", Json.float prune_rate);
+                   ("memo_hit_rate", Json.float memo_rate);
+                   ("variants_per_s", Json.float variants_per_s);
+                   ("identical", Json.Bool identical);
+                 ])
+             points) );
+    ]
+
 (* ------------------------------------------------------------------ main *)
 
 let sections =
@@ -2238,6 +2444,7 @@ let sections =
     ("perf-serve", perf_serve);
     ("perf-robust", perf_robust);
     ("perf-rebudget", perf_rebudget);
+    ("perf-explore", perf_explore);
   ]
 
 (* `--sections core,cuts,certify` shorthand: bare names expand to their
@@ -2251,6 +2458,7 @@ let expand_section = function
   | "serve" -> "perf-serve"
   | "robust" -> "perf-robust"
   | "rebudget" -> "perf-rebudget"
+  | "explore" -> "perf-explore"
   | s -> s
 
 let () =

@@ -556,24 +556,187 @@ let profile_cmd =
 let orders_cmd =
   let run nest algorithm budget =
     guarded @@ fun () ->
-    match Srfa_ir.Permute.illegality nest with
-    | Some why -> Format.printf "not fully permutable: %s@." why
-    | None ->
-      let config = config_of_budget budget in
-      let candidates = Srfa_core.Order_explorer.explore ~config algorithm nest in
-      Format.printf "%-14s %10s %12s@." "loop order" "cycles" "mem cycles";
-      List.iter
-        (fun (c : Srfa_core.Order_explorer.candidate) ->
-          Format.printf "%-14s %10d %12d@."
-            (String.concat " " c.Srfa_core.Order_explorer.loop_vars)
-            c.Srfa_core.Order_explorer.cycles
-            c.Srfa_core.Order_explorer.memory_cycles)
-        candidates
+    let config = config_of_budget budget in
+    let candidates, warnings =
+      Srfa_core.Order_explorer.explore ~config algorithm nest
+    in
+    List.iter (fun d -> Format.eprintf "%a@." Srfa_util.Diag.pp d) warnings;
+    Format.printf "%-14s %10s %12s@." "loop order" "cycles" "mem cycles";
+    List.iter
+      (fun (c : Srfa_core.Order_explorer.candidate) ->
+        Format.printf "%-14s %10d %12d@."
+          (String.concat " " c.Srfa_core.Order_explorer.loop_vars)
+          c.Srfa_core.Order_explorer.cycles
+          c.Srfa_core.Order_explorer.memory_cycles)
+      candidates
   in
   Cmd.v
     (Cmd.info "orders"
        ~doc:"Explore loop interchanges of a kernel under an allocator.")
     Term.(const run $ kernel_pos $ algorithm_arg $ budget_arg)
+
+(* explore: joint (order x tile x budget x algorithm) frontier *)
+let explore_cmd =
+  let orders_arg =
+    let doc =
+      "Loop-order axis: $(b,all) (every legal permutation; non-permutable \
+       nests degrade to the identity with a W-GUARD-EXPLORE warning), \
+       $(b,identity), or an explicit semicolon-separated list of \
+       permutations like $(b,0,2,1;2,0,1)."
+    in
+    Arg.(value & opt string "all" & info [ "orders" ] ~docv:"SPEC" ~doc)
+  in
+  let tiles_arg =
+    let doc =
+      "Comma-separated candidate strip-mine factors; every legal \
+       (level, factor) combination becomes a tiling variant. Empty \
+       disables the tiling axis."
+    in
+    Arg.(value & opt (list int) [] & info [ "tiles" ] ~docv:"F,F,..." ~doc)
+  in
+  let budgets_arg =
+    let doc = "Comma-separated register budgets." in
+    Arg.(
+      value
+      & opt (list int) Srfa_core.Flow.default_budgets
+      & info [ "budgets" ] ~docv:"N,N,..." ~doc)
+  in
+  let algorithms_arg =
+    let doc = "Comma-separated algorithms (default: cpa-ra)." in
+    Arg.(
+      value
+      & opt (list algorithm_conv) [ Srfa_core.Allocator.Cpa_ra ]
+      & info [ "algorithms" ] ~docv:"ALG,ALG,..." ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the frontier as JSON (stats go to stderr)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let csv_arg =
+    let doc = "Emit the frontier as CSV (stats go to stderr)." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let no_prune_arg =
+    let doc =
+      "Disable the dominance cuts and evaluate the exhaustive product \
+       (the frontier is identical either way; this is the \
+       differential-testing arm)."
+    in
+    Arg.(value & flag & info [ "no-prune" ] ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains, parallelising across variants (default: \
+       $(b,SRFA_JOBS) or the machine's recommended domain count). The \
+       frontier is byte-identical at every job count."
+    in
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let parse_orders s =
+    match String.lowercase_ascii s with
+    | "all" -> Srfa_core.Flow.Core.All_orders
+    | "identity" | "id" -> Srfa_core.Flow.Core.Identity_order
+    | _ ->
+      Srfa_core.Flow.Core.Orders
+        (String.split_on_char ';' s
+        |> List.map (fun o ->
+               String.split_on_char ',' o
+               |> List.map (fun k -> int_of_string (String.trim k))))
+  in
+  let run nest orders tiles budgets algorithms json csv trace_file certify
+      no_prune jobs =
+    guarded @@ fun () ->
+    let jobs, jobs_warnings = Srfa_util.Pool.resolve ?requested:jobs () in
+    report_diags jobs_warnings;
+    let space =
+      {
+        Srfa_core.Flow.Core.orders = parse_orders orders;
+        tile_factors = tiles;
+        space_budgets = budgets;
+        space_algorithms = algorithms;
+        certify;
+        prune = not no_prune;
+        naive = false;
+      }
+    in
+    let finish, trace =
+      match trace_file with
+      | None -> (ignore, None)
+      | Some file ->
+        let oc = open_out file in
+        ((fun () -> close_out oc), Some (Srfa_util.Trace.channel oc))
+    in
+    let f =
+      Srfa_util.Pool.with_pool ~jobs (fun pool ->
+          Srfa_core.Flow.Core.explore ?trace ~pool ~space
+            Srfa_core.Flow.default_config nest)
+    in
+    finish ();
+    report_diags f.Srfa_core.Flow.Core.frontier_warnings;
+    let s = f.Srfa_core.Flow.Core.frontier_stats in
+    let stats_line =
+      Printf.sprintf
+        "explore: %d variants (%d unique, %d ladders cut), %d points \
+         evaluated, %d cut, %d sim memo hits"
+        s.Srfa_core.Flow.Core.variants_enumerated
+        s.Srfa_core.Flow.Core.variants_unique
+        s.Srfa_core.Flow.Core.variants_pruned
+        s.Srfa_core.Flow.Core.points_evaluated
+        s.Srfa_core.Flow.Core.points_pruned
+        s.Srfa_core.Flow.Core.sim_memo_hits
+    in
+    if json then begin
+      print_endline (Srfa_core.Flow.Core.frontier_json f);
+      prerr_endline stats_line
+    end
+    else if csv then begin
+      print_string (Srfa_core.Flow.Core.frontier_csv f);
+      prerr_endline stats_line
+    end
+    else begin
+      let module T = Srfa_util.Texttable in
+      let table =
+        T.create
+          ~headers:
+            [
+              ("variant", T.Left); ("budget", T.Right);
+              ("algorithm", T.Left); ("cycles", T.Right);
+              ("regs", T.Right); ("slices", T.Right);
+              ("clock ns", T.Right); ("time us", T.Right);
+            ]
+      in
+      List.iter
+        (fun (p : Srfa_core.Flow.Core.explore_point) ->
+          T.add_row table
+            [
+              p.Srfa_core.Flow.Core.label;
+              string_of_int p.Srfa_core.Flow.Core.point_budget;
+              p.Srfa_core.Flow.Core.point_algorithm;
+              string_of_int p.Srfa_core.Flow.Core.coords.cycles;
+              string_of_int p.Srfa_core.Flow.Core.coords.registers;
+              string_of_int p.Srfa_core.Flow.Core.coords.slices;
+              Printf.sprintf "%.2f" p.Srfa_core.Flow.Core.coords.clock_ns;
+              Printf.sprintf "%.1f"
+                p.Srfa_core.Flow.Core.point_report
+                  .Srfa_estimate.Report.exec_time_us;
+            ])
+        f.Srfa_core.Flow.Core.points;
+      T.print table;
+      print_endline stats_line
+    end
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Explore the joint (loop order x tile x budget x algorithm) \
+          design space of a kernel and print its (cycles, registers, \
+          slices, clock) Pareto frontier. Dominance cuts and memoised \
+          analysis keep the product cheap; the frontier is identical to \
+          the exhaustive product (see DESIGN.md \xC2\xA717).")
+    Term.(
+      const run $ kernel_pos $ orders_arg $ tiles_arg $ budgets_arg
+      $ algorithms_arg $ json_arg $ csv_arg $ trace_arg $ certify_arg
+      $ no_prune_arg $ jobs_arg)
 
 (* rebudget: replay a budget-event stream against a live allocation *)
 
@@ -725,6 +888,7 @@ let main_cmd =
       sweep_cmd;
       rebudget_cmd;
       orders_cmd;
+      explore_cmd;
       profile_cmd;
       export_cmd;
     ]

@@ -1,12 +1,19 @@
-(* Design-space exploration of the FIR filter: how does each allocation
-   algorithm trade registers for cycles and wall-clock time as the budget
-   grows? This is the workload class the paper's introduction motivates.
+(* Design-space exploration of the FIR filter: how do the paper's three
+   allocation algorithms trade registers for cycles and wall-clock time
+   as the budget grows? This is the workload class the paper's
+   introduction motivates. The budget x algorithm ladder runs through
+   Flow.Core.explore (source loop order only — the frontier view of the
+   old hand-rolled sweep), so analysis is paid once per variant and
+   ladder points that saturate share one simulation via the entries
+   memo.
 
    Run with: dune exec examples/fir_design_space.exe *)
 
+module Core = Srfa_core.Flow.Core
+
 let budgets = [ 4; 8; 16; 24; 32; 48; 64; 96; 128 ]
 
-let explore ~taps ~samples =
+let explore_fir ~taps ~samples =
   Format.printf "@.## FIR, %d taps over %d samples@.@." taps samples;
   let nest = Srfa_kernels.Kernels.fir ~taps ~samples () in
   let analysis = Srfa_core.Flow.analyze nest in
@@ -14,46 +21,54 @@ let explore ~taps ~samples =
   let full = Srfa_reuse.Analysis.total_registers_full analysis in
   Format.printf "feasibility minimum %d registers; full replacement %d@.@."
     minimum full;
+  let space =
+    {
+      Core.default_space with
+      Core.orders = Core.Identity_order;
+      space_budgets = budgets;
+      space_algorithms =
+        [
+          Srfa_core.Allocator.Fr_ra;
+          Srfa_core.Allocator.Pr_ra;
+          Srfa_core.Allocator.Cpa_ra;
+        ];
+    }
+  in
+  let f = Core.explore ~space Core.default_config nest in
   let table =
     Srfa_util.Texttable.create
       ~headers:
         [
           ("budget", Srfa_util.Texttable.Right);
-          ("v1 time us", Srfa_util.Texttable.Right);
-          ("v2 time us", Srfa_util.Texttable.Right);
-          ("v3 time us", Srfa_util.Texttable.Right);
-          ("v3 regs", Srfa_util.Texttable.Right);
-          ("v3 vs v1", Srfa_util.Texttable.Right);
+          ("algorithm", Srfa_util.Texttable.Left);
+          ("regs", Srfa_util.Texttable.Right);
+          ("cycles", Srfa_util.Texttable.Right);
+          ("time us", Srfa_util.Texttable.Right);
         ]
   in
-  let explore_budget budget =
-    if budget >= minimum then begin
-      let config =
-        { Srfa_core.Flow.default_config with Srfa_core.Flow.budget }
-      in
-      let time alg =
-        Srfa_core.Flow.evaluate ~config alg nest
-      in
-      let v1 = time Srfa_core.Allocator.Fr_ra in
-      let v2 = time Srfa_core.Allocator.Pr_ra in
-      let v3 = time Srfa_core.Allocator.Cpa_ra in
+  List.iter
+    (fun (p : Core.explore_point) ->
       Srfa_util.Texttable.add_row table
         [
-          string_of_int budget;
-          Printf.sprintf "%.1f" v1.Srfa_estimate.Report.exec_time_us;
-          Printf.sprintf "%.1f" v2.Srfa_estimate.Report.exec_time_us;
-          Printf.sprintf "%.1f" v3.Srfa_estimate.Report.exec_time_us;
-          string_of_int v3.Srfa_estimate.Report.total_registers;
-          Printf.sprintf "%.2fx" (Srfa_estimate.Report.speedup ~base:v1 v3);
-        ]
-    end
-  in
-  List.iter explore_budget budgets;
-  Srfa_util.Texttable.print table
+          string_of_int p.Core.point_budget;
+          p.Core.point_algorithm;
+          string_of_int p.Core.coords.Core.registers;
+          string_of_int p.Core.coords.Core.cycles;
+          Printf.sprintf "%.1f"
+            p.Core.point_report.Srfa_estimate.Report.exec_time_us;
+        ])
+    f.Core.points;
+  Srfa_util.Texttable.print table;
+  let s = f.Core.frontier_stats in
+  Format.printf
+    "@.%d ladder points evaluated (%d cut, %d below the feasibility \
+     minimum), %d simulations shared once the ladder saturates.@."
+    s.Core.points_evaluated s.Core.points_pruned s.Core.budgets_skipped
+    s.Core.sim_memo_hits
 
 let () =
-  explore ~taps:32 ~samples:1024;
-  explore ~taps:64 ~samples:1024;
+  explore_fir ~taps:32 ~samples:1024;
+  explore_fir ~taps:64 ~samples:1024;
   (* A decimating variant: partial reuse on the input window is much less
      profitable because consecutive outputs share fewer samples. *)
   Format.printf

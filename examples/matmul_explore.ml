@@ -1,83 +1,72 @@
-(* Matrix multiply under the four allocators, plus two ablations:
-   - the exact knapsack shows that maximising eliminated accesses is not
-     the same as minimising cycles (the paper's central argument);
-   - the single-bank memory model shows how much of every allocator's gain
-     rides on the paper's distinct-RAM concurrency assumption.
+(* Matrix multiply as a joint design space: loop orders x strip-mine
+   tilings x register budgets x allocation algorithms, explored through
+   Flow.Core.explore instead of a hand-rolled variant loop. The explorer
+   prunes dominated ladder points from cheap lower bounds, memoises
+   simulations within each variant, and returns the
+   (cycles, registers, slices, clock) Pareto frontier — identical to the
+   exhaustive product, as the no-prune re-run at the end checks.
 
    Run with: dune exec examples/matmul_explore.exe *)
 
-let evaluate ~ram_policy ~budget nest alg =
-  let sim =
-    { Srfa_sched.Simulator.default_config with
-      Srfa_sched.Simulator.ram_policy }
-  in
-  let config =
-    { Srfa_core.Flow.default_config with Srfa_core.Flow.budget; sim }
-  in
-  Srfa_core.Flow.evaluate ~config alg nest
+module Core = Srfa_core.Flow.Core
 
 let () =
   let nest = Srfa_kernels.Kernels.mat () in
-  let budget = 64 in
+  let space =
+    {
+      Core.default_space with
+      Core.orders = Core.All_orders;
+      tile_factors = [ 2; 4 ];
+      space_budgets = [ 8; 16; 32; 64; 128 ];
+      space_algorithms =
+        [ Srfa_core.Allocator.Cpa_ra; Srfa_core.Allocator.Fr_ra ];
+    }
+  in
+  let f = Core.explore ~space Core.default_config nest in
 
-  Format.printf "## MAT 32x32, budget %d@.@." budget;
+  Format.printf "## MAT 32x32 design space@.@.";
   let table =
     Srfa_util.Texttable.create
       ~headers:
         [
+          ("variant", Srfa_util.Texttable.Left);
+          ("budget", Srfa_util.Texttable.Right);
           ("algorithm", Srfa_util.Texttable.Left);
-          ("regs", Srfa_util.Texttable.Right);
-          ("ram accesses", Srfa_util.Texttable.Right);
           ("cycles", Srfa_util.Texttable.Right);
-          ("cycles (1 bank)", Srfa_util.Texttable.Right);
-          ("concurrency gain", Srfa_util.Texttable.Right);
+          ("regs", Srfa_util.Texttable.Right);
+          ("slices", Srfa_util.Texttable.Right);
+          ("clock ns", Srfa_util.Texttable.Right);
         ]
   in
-  let row alg =
-    let r =
-      evaluate ~ram_policy:Srfa_sched.Simulator.Private_banks ~budget nest alg
-    in
-    let r1 =
-      evaluate ~ram_policy:Srfa_sched.Simulator.Single_bank ~budget nest alg
-    in
-    Srfa_util.Texttable.add_row table
-      [
-        r.Srfa_estimate.Report.algorithm;
-        string_of_int r.Srfa_estimate.Report.total_registers;
-        string_of_int r.Srfa_estimate.Report.ram_accesses;
-        string_of_int r.Srfa_estimate.Report.cycles;
-        string_of_int r1.Srfa_estimate.Report.cycles;
-        Printf.sprintf "%.2fx"
-          (float_of_int r1.Srfa_estimate.Report.cycles
-          /. float_of_int r.Srfa_estimate.Report.cycles);
-      ]
-  in
-  List.iter row Srfa_core.Allocator.all;
+  List.iter
+    (fun (p : Core.explore_point) ->
+      Srfa_util.Texttable.add_row table
+        [
+          p.Core.label;
+          string_of_int p.Core.point_budget;
+          p.Core.point_algorithm;
+          string_of_int p.Core.coords.Core.cycles;
+          string_of_int p.Core.coords.Core.registers;
+          string_of_int p.Core.coords.Core.slices;
+          Printf.sprintf "%.2f" p.Core.coords.Core.clock_ns;
+        ])
+    f.Core.points;
   Srfa_util.Texttable.print table;
 
-  (* The knapsack-vs-CPA contrast: same or more accesses eliminated can
-     still mean more cycles when the leftovers sit on the critical path. *)
+  let s = f.Core.frontier_stats in
   Format.printf
-    "@.ks-ra eliminates at least as many RAM accesses as any greedy \
-     allocator, yet cpa-ra can finish in fewer cycles: eliminated accesses \
-     off the critical path do not shorten the schedule.@.";
+    "@.%d variants enumerated (%d unique), %d whole ladders cut; %d points \
+     evaluated, %d cut by dominance bounds, %d simulations shared by the \
+     entries memo.@."
+    s.Core.variants_enumerated s.Core.variants_unique s.Core.variants_pruned
+    s.Core.points_evaluated s.Core.points_pruned s.Core.sim_memo_hits;
 
-  (* Size sensitivity: bigger matrices widen the reuse windows, pushing
-     full replacement of b out of reach and growing the gap between the
-     access-count objective and the cycle objective. *)
-  Format.printf "@.## size sweep (cpa-ra vs fr-ra cycles)@.@.";
-  List.iter
-    (fun size ->
-      let nest = Srfa_kernels.Kernels.mat ~size () in
-      let v1 =
-        evaluate ~ram_policy:Srfa_sched.Simulator.Private_banks ~budget nest
-          Srfa_core.Allocator.Fr_ra
-      in
-      let v3 =
-        evaluate ~ram_policy:Srfa_sched.Simulator.Private_banks ~budget nest
-          Srfa_core.Allocator.Cpa_ra
-      in
-      Format.printf "  %3dx%-3d  v1 %9d cycles   v3 %9d cycles  (%.1f%%)@."
-        size size v1.Srfa_estimate.Report.cycles v3.Srfa_estimate.Report.cycles
-        (Srfa_estimate.Report.cycle_reduction_pct ~base:v1 v3))
-    [ 8; 16; 24; 32; 48 ]
+  (* The cuts are lossless: the exhaustive product draws the same
+     frontier, byte for byte. *)
+  let exhaustive =
+    Core.explore
+      ~space:{ space with Core.prune = false }
+      Core.default_config nest
+  in
+  Format.printf "@.pruned frontier == exhaustive frontier: %b@."
+    (Core.frontier_json f = Core.frontier_json exhaustive)

@@ -1,69 +1,27 @@
-(* Registers-versus-time Pareto frontier.
+(* Registers-versus-everything Pareto frontier.
 
-   Sweeps budgets for every allocator on one kernel and reports the
-   non-dominated (registers, wall-clock) design points — the view a
-   hardware designer choosing a register budget actually wants, and a
-   summary the paper's per-budget tables imply but never draw.
+   The view a hardware designer choosing a register budget actually
+   wants, and a summary the paper's per-budget tables imply but never
+   draw. Flow.Core.explore owns the whole pipeline now: it enumerates
+   the legal loop orders on top of the budget x algorithm ladder, prunes
+   dominated points from lower bounds, and returns the non-dominated
+   (cycles, registers, slices, clock) set directly — the hand-rolled
+   sweep-then-filter this example used to implement.
 
-   Run with: dune exec examples/pareto_frontier.exe [kernel] *)
+   Run with: dune exec examples/pareto_frontier.exe [kernel] [--csv] *)
 
+module Core = Srfa_core.Flow.Core
 module Allocator = Srfa_core.Allocator
-module Flow = Srfa_core.Flow
-module Report = Srfa_estimate.Report
-
-type point = {
-  algorithm : string;
-  budget : int;
-  registers : int;
-  cycles : int;
-  time_us : float;
-}
 
 let budgets = [ 4; 6; 8; 12; 16; 24; 32; 48; 64; 96; 128; 192; 256 ]
 
-let points nest =
-  let analysis = Flow.analyze nest in
-  let minimum = Srfa_core.Ordering.feasibility_minimum analysis in
-  List.concat_map
-    (fun alg ->
-      List.filter_map
-        (fun budget ->
-          if budget < minimum then None
-          else begin
-            let config = { Flow.default_config with Flow.budget } in
-            let alloc = Flow.allocation ~config alg analysis in
-            let report =
-              Report.of_result ~sim_config:config.Flow.sim
-                ~version:(Allocator.version_label alg)
-                alloc
-                (Srfa_sched.Simulator.run ~config:config.Flow.sim alloc)
-            in
-            Some
-              {
-                algorithm = Allocator.name alg;
-                budget;
-                registers = report.Report.total_registers;
-                cycles = report.Report.cycles;
-                time_us = report.Report.exec_time_us;
-              }
-          end)
-        budgets)
-    [ Allocator.Fr_ra; Allocator.Pr_ra; Allocator.Cpa_ra; Allocator.Cpa_plus ]
-
-let dominated p q =
-  (* q dominates p: no worse on both axes, better on one. *)
-  q.registers <= p.registers && q.time_us <= p.time_us
-  && (q.registers < p.registers || q.time_us < p.time_us)
-
-let frontier pts =
-  List.filter (fun p -> not (List.exists (fun q -> dominated p q) pts)) pts
-  |> List.sort_uniq (fun a b ->
-         let c = Int.compare a.registers b.registers in
-         if c <> 0 then c else compare a.time_us b.time_us)
-
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let csv = List.mem "--csv" args in
   let kernel_name =
-    if Array.length Sys.argv > 1 then Sys.argv.(1) else "fir"
+    match List.filter (fun a -> a <> "--csv") args with
+    | name :: _ -> name
+    | [] -> "fir"
   in
   let nest =
     match Srfa_kernels.Kernels.find kernel_name with
@@ -72,36 +30,58 @@ let () =
       Printf.eprintf "unknown kernel %s\n" kernel_name;
       exit 1
   in
-  Printf.printf "## %s: register/time Pareto frontier\n\n" kernel_name;
-  let pts = points nest in
-  let front = frontier pts in
-  let table =
-    Srfa_util.Texttable.create
-      ~headers:
+  let space =
+    {
+      Core.default_space with
+      Core.space_budgets = budgets;
+      space_algorithms =
         [
-          ("registers", Srfa_util.Texttable.Right);
-          ("time us", Srfa_util.Texttable.Right);
-          ("cycles", Srfa_util.Texttable.Right);
-          ("algorithm", Srfa_util.Texttable.Left);
-          ("budget", Srfa_util.Texttable.Right);
-        ]
+          Allocator.Fr_ra; Allocator.Pr_ra; Allocator.Cpa_ra;
+          Allocator.Cpa_plus;
+        ];
+    }
   in
-  List.iter
-    (fun p ->
-      Srfa_util.Texttable.add_row table
-        [
-          string_of_int p.registers;
-          Printf.sprintf "%.1f" p.time_us;
-          string_of_int p.cycles;
-          p.algorithm;
-          string_of_int p.budget;
-        ])
-    front;
-  Srfa_util.Texttable.print table;
-  Printf.printf "\n%d design points evaluated, %d on the frontier.\n"
-    (List.length pts) (List.length front);
-  (* Which algorithm owns the frontier? *)
-  let owners =
-    List.sort_uniq compare (List.map (fun p -> p.algorithm) front)
-  in
-  Printf.printf "frontier algorithms: %s\n" (String.concat ", " owners)
+  let f = Core.explore ~space Core.default_config nest in
+  if csv then print_string (Core.frontier_csv f)
+  else begin
+    Printf.printf "## %s: design-space Pareto frontier\n\n" kernel_name;
+    let table =
+      Srfa_util.Texttable.create
+        ~headers:
+          [
+            ("registers", Srfa_util.Texttable.Right);
+            ("time us", Srfa_util.Texttable.Right);
+            ("cycles", Srfa_util.Texttable.Right);
+            ("slices", Srfa_util.Texttable.Right);
+            ("variant", Srfa_util.Texttable.Left);
+            ("algorithm", Srfa_util.Texttable.Left);
+            ("budget", Srfa_util.Texttable.Right);
+          ]
+    in
+    List.iter
+      (fun (p : Core.explore_point) ->
+        Srfa_util.Texttable.add_row table
+          [
+            string_of_int p.Core.coords.Core.registers;
+            Printf.sprintf "%.1f"
+              p.Core.point_report.Srfa_estimate.Report.exec_time_us;
+            string_of_int p.Core.coords.Core.cycles;
+            string_of_int p.Core.coords.Core.slices;
+            p.Core.label;
+            p.Core.point_algorithm;
+            string_of_int p.Core.point_budget;
+          ])
+      f.Core.points;
+    Srfa_util.Texttable.print table;
+    let s = f.Core.frontier_stats in
+    Printf.printf
+      "\n%d points evaluated (%d cut by dominance bounds), %d on the \
+       frontier.\n"
+      s.Core.points_evaluated s.Core.points_pruned (List.length f.Core.points);
+    let owners =
+      List.sort_uniq compare
+        (List.map (fun (p : Core.explore_point) -> p.Core.point_algorithm)
+           f.Core.points)
+    in
+    Printf.printf "frontier algorithms: %s\n" (String.concat ", " owners)
+  end

@@ -131,6 +131,128 @@ module Core : sig
       portfolio carry-forward threads state budget to budget). This is
       the unit of work {!sweep} fans out over kernels. *)
 
+  (** {2 Design-space exploration}
+
+      The joint (loop order × tile × budget × algorithm) explorer
+      (DESIGN.md §17): enumerate the variants of one kernel, evaluate
+      every surviving design point, and return the
+      (cycles, registers, slices, clock) Pareto frontier. Three layers
+      make the product cheap: lossless dominance cuts from
+      per-point lower bounds, per-variant preparation plus an
+      entries-keyed simulation memo, and pool fan-out across variants
+      with a byte-identical serial/parallel contract. *)
+
+  type order_spec =
+    | Identity_order  (** the source order only *)
+    | All_orders
+        (** every legal permutation ({!Srfa_ir.Permute.legal_orders});
+            non-permutable nests degrade to the identity with a
+            [W-GUARD-EXPLORE] warning instead of raising *)
+    | Orders of int list list
+        (** an explicit list; illegal or malformed entries are skipped
+            (counted in [orders_skipped]), the identity is always
+            included *)
+
+  type space = {
+    orders : order_spec;
+    tile_factors : int list;
+        (** candidate strip-mine factors ({!Srfa_ir.Tile.steps}); [[]]
+            disables the tiling axis *)
+    space_budgets : int list;
+    space_algorithms : Allocator.algorithm list;
+    certify : bool;
+        (** evaluate every ladder point through the certified portfolio
+            ({!Allocator.run_portfolio}), recording the certification
+            outcome on the point. Unlike {!sweep}, no carry-forward
+            across budgets — each point certifies independently, which
+            keeps the frontier identical with and without pruning. *)
+    prune : bool;
+        (** dominance cuts; [false] evaluates the full product (the
+            differential-testing and bench-baseline arm) *)
+    naive : bool;
+        (** re-derive analysis, DFG and simulation from scratch per
+            point — the bench's "no reuse" baseline; output is equal to
+            the memoised path *)
+  }
+
+  val default_space : space
+  (** All legal orders, no tiling, {!default_budgets}, CPA-RA only,
+      no certification, pruning on, memoised. *)
+
+  type coords = {
+    cycles : int;
+    registers : int;
+    slices : int;
+    clock_ns : float;
+  }
+  (** The four frontier axes, all minimised. *)
+
+  type cert = { dominates : bool; repaired : bool; adopted : string option }
+  (** A point's certification outcome summary (see {!Certify.outcome}). *)
+
+  type explore_point = {
+    variant : int;  (** index in deterministic enumeration order *)
+    label : string;  (** e.g. ["tile k/4 | i k_t k_i j"] *)
+    loop_vars : string list;
+    tiling : (int * int) option;  (** strip-mine (level, factor) *)
+    order : int list;
+    point_budget : int;
+    point_algorithm : string;  (** allocator name, or ["floor"] *)
+    floor : bool;
+        (** the variant's all-RAM baseline: one unpinned feasibility
+            register per group at the minimum budget — the frontier's
+            register/area/clock corner, evaluated unconditionally *)
+    coords : coords;
+    point_report : Srfa_estimate.Report.t;
+    point_cert : cert option;
+  }
+
+  type explore_stats = {
+    variants_enumerated : int;
+    variants_unique : int;  (** after canonical-source deduplication *)
+    variants_pruned : int;  (** whole ladders cut by the variant-level bound *)
+    points_pruned : int;
+    points_evaluated : int;
+    sim_memo_hits : int;
+    duplicate_variants : int;
+    orders_skipped : int;
+    budgets_skipped : int;  (** below the variant's feasibility minimum *)
+  }
+  (** Cut and memo counters are schedule-dependent under a pool (which
+      domain publishes a frontier entry first decides what the others
+      can cut) — report them, but never byte-compare them. The frontier
+      itself is deterministic. *)
+
+  type frontier = {
+    frontier_kernel : string;
+    points : explore_point list;
+        (** the Pareto frontier: non-dominated over every evaluated
+            point, exact-coordinate duplicates collapsed onto the
+            smallest enumeration key, sorted by coordinates *)
+    frontier_stats : explore_stats;
+    frontier_warnings : Srfa_util.Diag.t list;
+  }
+
+  val explore :
+    ?trace:Srfa_util.Trace.sink -> ?pool:Srfa_util.Pool.t ->
+    ?space:space -> config -> Nest.t -> frontier
+  (** Explore one kernel's design space. [config.budget] is superseded
+      by [space.space_budgets]. The frontier (points, order, labels) is
+      byte-identical across [prune] on/off, [naive] on/off and any
+      [pool] size; only [frontier_stats] varies. Per-variant trace
+      events are buffered and spliced in variant order, like {!sweep}.
+      @raise Invalid_argument when [space.space_algorithms] is empty. *)
+
+  val frontier_json : ?compact:bool -> frontier -> string
+  (** The frontier as deterministic JSON (fixed field order, ["%.3f"]
+      floats, no stats) — the one renderer the CLI, the serve daemon and
+      the tests share, so byte-comparing outputs is meaningful.
+      [compact] (default [false]) emits one line, for embedding in the
+      line-framed serve protocol; the per-point bytes are identical. *)
+
+  val frontier_csv : frontier -> string
+  (** The frontier as a CSV table (same determinism contract). *)
+
   (** {2 Dynamic re-budgeting}
 
       Partial reconfiguration modeled as a stream of budget shrink/grow

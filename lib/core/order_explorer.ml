@@ -11,11 +11,12 @@ type candidate = {
 }
 
 let explore ?(config = Flow.default_config) algorithm nest =
-  (match Permute.illegality nest with
-  | Some why -> invalid_arg ("Order_explorer.explore: " ^ why)
-  | None -> ());
+  let orders, skipped = Permute.legal_orders nest in
+  let identity = List.init (Nest.depth nest) Fun.id in
   let evaluate order =
-    let nest = Permute.interchange nest ~order in
+    let nest =
+      if order = identity then nest else Permute.interchange nest ~order
+    in
     let analysis = Analysis.analyze nest in
     let allocation = Flow.allocation ~config algorithm analysis in
     let sim =
@@ -30,20 +31,37 @@ let explore ?(config = Flow.default_config) algorithm nest =
       memory_cycles = sim.Srfa_sched.Simulator.memory_cycles;
     }
   in
-  let identity = List.init (Nest.depth nest) Fun.id in
-  let candidates = List.map evaluate (Permute.all_orders nest) in
-  List.sort
-    (fun a b ->
-      let c = Int.compare a.cycles b.cycles in
-      if c <> 0 then c
-      else
-        let ida = a.order = identity and idb = b.order = identity in
-        if ida && not idb then -1
-        else if idb && not ida then 1
-        else compare a.order b.order)
-    candidates
+  let candidates = List.map evaluate orders in
+  let ranked =
+    List.sort
+      (fun a b ->
+        let c = Int.compare a.cycles b.cycles in
+        if c <> 0 then c
+        else
+          let ida = a.order = identity and idb = b.order = identity in
+          if ida && not idb then -1
+          else if idb && not ida then 1
+          else compare a.order b.order)
+      candidates
+  in
+  let warnings =
+    if skipped > 0 then
+      [
+        Srfa_util.Diag.warning ~code:"W-GUARD-EXPLORE"
+          (match Permute.illegality nest with
+          | Some why -> why
+          | None -> "loop orders were skipped")
+          ~context:
+            [
+              ("kernel", nest.Nest.name);
+              ("skipped_orders", string_of_int skipped);
+            ];
+      ]
+    else []
+  in
+  (ranked, warnings)
 
 let best ?config algorithm nest =
   match explore ?config algorithm nest with
-  | [] -> assert false (* all_orders always yields the identity *)
-  | c :: _ -> c
+  | [], _ -> assert false (* legal_orders always yields the identity *)
+  | c :: _, _ -> c

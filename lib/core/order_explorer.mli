@@ -3,8 +3,8 @@
     The reuse windows that drive every allocation depend on the loop
     order: IMI with the frame loop outermost needs 4096 registers per
     image, with it innermost a single register each. This explorer
-    evaluates every legal interchange of a fully permutable nest under a
-    chosen allocator and returns the orders ranked by simulated cycles. *)
+    evaluates every legal interchange of a nest under a chosen allocator
+    and returns the orders ranked by simulated cycles. *)
 
 open Srfa_ir
 
@@ -18,11 +18,15 @@ type candidate = {
 }
 
 val explore :
-  ?config:Flow.config -> Allocator.algorithm -> Nest.t -> candidate list
+  ?config:Flow.config -> Allocator.algorithm -> Nest.t ->
+  candidate list * Srfa_util.Diag.t list
 (** Candidates sorted by ascending cycle count (ties: identity order
-    first, then lexicographic). The identity order is always included.
-    @raise Invalid_argument if the nest is not fully permutable (check
-    {!Srfa_ir.Permute.fully_permutable} first). *)
+    first, then lexicographic). The identity order is always included
+    and is never illegal, so the list is never empty: a nest that is not
+    fully permutable degrades to the identity-only candidate plus one
+    [W-GUARD-EXPLORE] warning carrying the illegality reason and the
+    skipped-order count ({!Srfa_ir.Permute.legal_orders}) — no exception
+    escapes. *)
 
 val best : ?config:Flow.config -> Allocator.algorithm -> Nest.t -> candidate
-(** Head of {!explore}. *)
+(** Head of {!explore} (warnings dropped). *)

@@ -74,6 +74,45 @@ let estimate ~device ~ram_arrays alloc =
     total = datapath + registers + control + address_gen;
   }
 
+(* Slice floor over every feasible allocation of [analysis]: the engine
+   holds one feasibility register per group ([beta >= 1]), the datapath
+   and the non-partial control terms depend only on the nest, partial
+   groups and address generators only add slices, and input/output
+   arrays are RAM-backed no matter how well the registers cover the loop
+   (Simulator.ram_backed_arrays). Used by the explorer's dominance cuts:
+   every real point's [total] is >= this. *)
+let lower_bound ~device analysis =
+  let nest = analysis.Analysis.nest in
+  let width =
+    List.fold_left (fun acc d -> max acc d.Decl.bits) 1 nest.Nest.arrays
+  in
+  let datapath =
+    List.fold_left
+      (fun acc (Expr.Assign (_, e)) -> acc + expr_slices ~bits:width e)
+      0 nest.Nest.body
+  in
+  let ngroups = Analysis.num_groups analysis in
+  let registers =
+    List.fold_left
+      (fun acc gid ->
+        let i = Analysis.info analysis gid in
+        let bits = (Group.decl i.Analysis.group).Decl.bits in
+        acc + Srfa_hw.Device.register_slices device ~bits)
+      0
+      (List.init ngroups Fun.id)
+  in
+  let control = 30 + (12 * Nest.depth nest) + (4 * ngroups) in
+  let io_arrays =
+    List.length
+      (List.filter
+         (fun (d : Decl.t) ->
+           match d.Decl.storage with
+           | Decl.Input | Decl.Output -> true
+           | Decl.Local -> false)
+         nest.Nest.arrays)
+  in
+  datapath + registers + control + (8 * io_arrays)
+
 let utilization ~device b =
   float_of_int b.total /. float_of_int device.Srfa_hw.Device.slices
 

@@ -21,6 +21,14 @@ val estimate :
   device:Srfa_hw.Device.t -> ram_arrays:int -> Allocation.t -> breakdown
 (** [ram_arrays] is the number of RAM-backed arrays (address generators). *)
 
+val lower_bound : device:Srfa_hw.Device.t -> Analysis.t -> int
+(** Slice floor over every feasible allocation of the analysis: datapath
+    + one feasibility register per group + the depth/group control terms
+    + address generators for the always-RAM-backed input/output arrays.
+    Partial-group steering and local-array address generators only add
+    slices, so every real {!breakdown}[.total] is [>=] this. Drives the
+    design-space explorer's dominance cuts (DESIGN.md §17). *)
+
 val utilization : device:Srfa_hw.Device.t -> breakdown -> float
 (** Fraction of the device's slices used (may exceed 1.0: over-mapped). *)
 

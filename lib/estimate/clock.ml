@@ -38,3 +38,16 @@ let period_ns ?(params = default_params) alloc =
      *. float_of_int (Nest.depth analysis.Analysis.nest))
 
 let frequency_mhz ?params alloc = 1000.0 /. period_ns ?params alloc
+
+(* Period floor over every feasible allocation: the register term is
+   monotone and every allocation holds at least [min_registers] (the
+   feasibility floor), the depth term is fixed by the nest, and the
+   partial/full pinned-group terms are nonnegative and so dropped.
+   Note the full model is NOT monotone in registers — growing a partial
+   group to full trades 0.9 ns for 0.3 ns — which is exactly why the
+   explorer's dominance cuts need this decomposition rather than a
+   "clock at minimum registers" evaluation. *)
+let lower_bound ?(params = default_params) ~min_registers ~depth () =
+  params.base_ns
+  +. (params.per_register *. float_of_int min_registers)
+  +. (params.per_loop_level *. float_of_int depth)

@@ -30,3 +30,10 @@ val default_params : params
 val period_ns : ?params:params -> Allocation.t -> float
 
 val frequency_mhz : ?params:params -> Allocation.t -> float
+
+val lower_bound : ?params:params -> min_registers:int -> depth:int -> unit -> float
+(** Period floor over every feasible allocation holding at least
+    [min_registers] (the feasibility floor) in a nest of [depth] levels:
+    base + register + depth terms, with the nonnegative partial/full
+    pinned-group terms dropped. Every real {!period_ns} is [>=] this;
+    the explorer's dominance cuts rely on it (DESIGN.md §17). *)

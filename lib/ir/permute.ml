@@ -112,3 +112,15 @@ let all_orders nest =
   let all = permutations (List.init depth Fun.id) in
   let identity = List.init depth Fun.id in
   identity :: List.filter (fun p -> p <> identity) all
+
+let legal_orders nest =
+  if fully_permutable nest then (all_orders nest, 0)
+  else
+    (* No need to materialise the illegal permutations just to count
+       them: everything but the (always legal) identity is skipped. *)
+    let depth = Nest.depth nest in
+    let fact = ref 1 in
+    for k = 2 to depth do
+      fact := !fact * k
+    done;
+    ([ List.init depth Fun.id ], !fact - 1)

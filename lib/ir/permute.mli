@@ -30,3 +30,10 @@ val interchange : Nest.t -> order:int list -> Nest.t
 
 val all_orders : Nest.t -> int list list
 (** All permutations of the nest's levels, identity first (depth <= 6). *)
+
+val legal_orders : Nest.t -> int list list * int
+(** The orders {!interchange} accepts, plus how many were skipped: a
+    fully permutable nest yields [(all_orders nest, 0)]; any other nest
+    yields [([identity], depth! - 1)] — legality is all-or-nothing here,
+    only the (trivially legal) identity survives. Lets explorers degrade
+    gracefully (a [W-GUARD-EXPLORE] diagnostic) instead of raising. *)

@@ -57,3 +57,13 @@ let tileable_factors nest ~level =
   List.filter
     (fun f -> f >= 2 && f < count && count mod f = 0)
     (List.init count (fun k -> k + 1))
+
+let steps nest ~factors =
+  let factors = List.sort_uniq Int.compare factors in
+  List.concat_map
+    (fun level ->
+      let legal = tileable_factors nest ~level in
+      List.filter_map
+        (fun f -> if List.mem f legal then Some (level, f) else None)
+        factors)
+    (List.init (Nest.depth nest) Fun.id)

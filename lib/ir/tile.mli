@@ -19,3 +19,9 @@ val tile : Nest.t -> level:int -> factor:int -> Nest.t
 
 val tileable_factors : Nest.t -> level:int -> int list
 (** The divisors (>= 2, < trip count) usable as factors at a level. *)
+
+val steps : Nest.t -> factors:int list -> (int * int) list
+(** Every legal single strip-mine [(level, factor)] drawn from the
+    candidate [factors] ladder: level-major, factors ascending, illegal
+    (non-dividing, out-of-range) combinations silently dropped. The
+    design-space explorer's tiling axis. *)

@@ -194,6 +194,34 @@ let makespan t ~charged = schedule t ~charged
 let compute_makespan t = t.compute_makespan
 let memory_cycles t ~charged = makespan t ~charged - t.compute_makespan
 
+(* ASAP over the flattened graph with charged latencies but no port
+   booking: every charged access is served the moment its operands are
+   ready, as if its bank had unlimited ports. Ports only ever delay
+   starts, so this is a lower bound on [makespan] under any RAM map —
+   which is what lets the design-space explorer bound a variant's cycle
+   cost before committing to an allocation (and hence to a map). Reuses
+   the prepared scratch like [schedule]: single-threaded. *)
+let charged_path_bound p ~charged =
+  for k = 0 to Array.length p.ref_ids - 1 do
+    p.charged_node.(p.ref_ids.(k)) <- charged p.ref_grps.(k)
+  done;
+  let best = ref 0 in
+  for i = 0 to Array.length p.topo - 1 do
+    let u = p.topo.(i) in
+    let ready = ref 0 in
+    for j = p.pred_off.(u) to p.pred_off.(u + 1) - 1 do
+      let f = p.finish.(p.pred_arr.(j)) in
+      if f > !ready then ready := f
+    done;
+    let dur =
+      if p.charged_node.(u) then p.lat_charged.(u) else p.lat_uncharged.(u)
+    in
+    let f = !ready + dur in
+    p.finish.(u) <- f;
+    if f > !best then best := f
+  done;
+  !best
+
 (* Longest op-latency path between two nodes of the same group (read
    before write): the loop-carried recurrence a pipelined schedule cannot
    break. Depends only on the DFG and latency table, so it is computed

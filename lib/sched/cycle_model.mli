@@ -46,6 +46,14 @@ val compute_makespan : t -> int
 val memory_cycles : t -> charged:(Group.t -> bool) -> int
 (** [makespan - compute_makespan]: cycles attributable to memory. *)
 
+val charged_path_bound : prepared -> charged:(Group.t -> bool) -> int
+(** ASAP makespan with the [charged] groups at RAM latency but {e no}
+    port booking: a lower bound on {!makespan} for the same charged set
+    under {e any} RAM map (port contention only ever delays starts).
+    The design-space explorer uses it to bound a variant's cycle cost
+    before an allocation (and its map) exists. Overwrites the prepared
+    scratch like {!makespan}: single-threaded. *)
+
 val initiation_interval : t -> charged:(Group.t -> bool) -> int
 (** Steady-state initiation interval if the body were fully pipelined:
     the larger of (a) the port pressure of the busiest RAM bank —

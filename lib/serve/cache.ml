@@ -25,6 +25,14 @@ let session_key ~tier1 ~stream =
     (Digest.string
        (String.concat "\n" [ scheme_version; tier1; "rebudget"; stream ]))
 
+(* The frontier tier's namespace: one kernel's whole design-space answer,
+   keyed on the canonical space spec (DESIGN.md §17). Like sessions,
+   disjoint from the allocate tiers by the literal component. *)
+let explore_key ~tier1 ~spec =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n" [ scheme_version; tier1; "explore"; spec ]))
+
 let tier2_key ~tier1 ~algorithm ~budget ~cut_work_limit =
   Digest.to_hex
     (Digest.string
@@ -140,6 +148,12 @@ type report_value = {
   warnings : Diag.t list;
 }
 
+type explore_value = {
+  frontier : string;  (* Flow.Core.frontier_json ~compact:true *)
+  explore_stats : (string * int) list;
+  explore_warnings : Diag.t list;
+}
+
 type t = {
   tier1 : entry Lru.t;
   tier2 : report_value Lru.t;
@@ -149,17 +163,23 @@ type t = {
          the accept thread, never on a pool domain, so they share the
          tier-1 scratch without racing it. Eviction just cold-starts
          the stream on its next event. *)
+  explores : explore_value Lru.t;
+      (* finished design-space frontiers keyed by (tier-1, space spec).
+         Immutable rendered strings, safe to serve any number of
+         times — the explore analogue of tier 2. *)
   trace : Trace.sink;
   faults : Fault.t;
 }
 
 let create ?(tier1_bytes = 48 * 1024 * 1024) ?(tier2_bytes = 16 * 1024 * 1024)
-    ?(session_bytes = 16 * 1024 * 1024) ?(trace = Trace.null)
+    ?(session_bytes = 16 * 1024 * 1024)
+    ?(explore_bytes = 16 * 1024 * 1024) ?(trace = Trace.null)
     ?(faults = Fault.off) () =
   {
     tier1 = Lru.create ~capacity:tier1_bytes;
     tier2 = Lru.create ~capacity:tier2_bytes;
     sessions = Lru.create ~capacity:session_bytes;
+    explores = Lru.create ~capacity:explore_bytes;
     trace;
     faults;
   }
@@ -279,6 +299,144 @@ let rebudget t (r : resolved) ~stream =
         Ok (step, status)
       | exception exn -> Error [ Diag.of_exn exn ]))
 
+(* ---- design-space frontiers (DESIGN.md §17) ---------------------------
+
+   One kernel's whole frontier under a canonical space spec. The explorer
+   prepares per variant internally, so no tier-1 entry is borrowed; the
+   tier-1 key only anchors the namespace. Accept-thread only (like
+   rebudget): the explorer's own per-variant scratch is private, but the
+   store mutates. *)
+
+let find_explore t key =
+  let hit = Lru.find t.explores key in
+  emit_lookup t ~tier:4 ~key (hit <> None);
+  hit
+
+let insert_explore t key (v : explore_value) =
+  if not (insert_faulted t ~tier:4 ~key) then
+    emit_evicted t ~tier:4 (Lru.add t.explores key ~cost:(cost_of v) v)
+
+(* Canonicalise the request's space fields: the parsed values are
+   re-rendered, so formatting differences ("8, 16" vs "8,16") never
+   fragment the frontier tier. *)
+let space_of_request (req : Protocol.request) =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e in
+  let ints what s =
+    match
+      List.map
+        (fun x -> int_of_string (String.trim x))
+        (String.split_on_char ',' s)
+    with
+    | ns -> Ok ns
+    | exception Failure _ ->
+      Error
+        [
+          Protocol.field_error
+            (Printf.sprintf "field %S must be a comma-separated integer list"
+               what);
+        ]
+  in
+  let* orders =
+    match req.Protocol.orders with
+    | None | Some "all" -> Ok Flow.Core.All_orders
+    | Some ("identity" | "id") -> Ok Flow.Core.Identity_order
+    | Some s -> (
+      match
+        List.map
+          (fun o ->
+            match ints "orders" o with Ok ns -> ns | Error _ -> raise Exit)
+          (String.split_on_char ';' s)
+      with
+      | os -> Ok (Flow.Core.Orders os)
+      | exception Exit ->
+        Error
+          [
+            Protocol.field_error
+              "field \"orders\" must be \"all\", \"identity\" or \
+               semicolon-separated permutations like \"0,2,1;2,0,1\"";
+          ])
+  in
+  let* tile_factors =
+    match req.Protocol.tiles with None -> Ok [] | Some s -> ints "tiles" s
+  in
+  let* space_budgets =
+    match req.Protocol.budgets with
+    | None -> Ok Flow.Core.default_budgets
+    | Some s -> ints "budgets" s
+  in
+  let* space_algorithms =
+    match req.Protocol.algorithms with
+    | None -> Ok [ Allocator.Cpa_ra ]
+    | Some s ->
+      List.fold_right
+        (fun name acc ->
+          let* acc = acc in
+          match Allocator.of_name (String.trim name) with
+          | Some a -> Ok (a :: acc)
+          | None ->
+            Error
+              [
+                Protocol.field_error
+                  (Printf.sprintf "unknown algorithm %S" (String.trim name));
+              ])
+        (String.split_on_char ',' s)
+        (Ok [])
+  in
+  let space =
+    {
+      Flow.Core.orders;
+      tile_factors;
+      space_budgets;
+      space_algorithms;
+      certify = req.Protocol.certify;
+      prune = true;
+      naive = false;
+    }
+  in
+  let join ns = String.concat "," (List.map string_of_int ns) in
+  let spec =
+    Printf.sprintf "orders=%s;tiles=%s;budgets=%s;algorithms=%s;certify=%b"
+      (match orders with
+      | Flow.Core.All_orders -> "all"
+      | Flow.Core.Identity_order -> "identity"
+      | Flow.Core.Orders os -> String.concat "|" (List.map join os))
+      (join tile_factors) (join space_budgets)
+      (String.concat "," (List.map Allocator.name space_algorithms))
+      req.Protocol.certify
+  in
+  Ok (space, spec)
+
+let explore t (r : resolved) ~space ~spec =
+  let t1 = tier1_key ~device:r.device r.source in
+  let key = explore_key ~tier1:t1 ~spec in
+  match find_explore t key with
+  | Some v -> Ok (v, `Hit)
+  | None -> (
+    match Flow.Core.explore ~space (config_for r) r.nest with
+    | f ->
+      let s = f.Flow.Core.frontier_stats in
+      let v =
+        {
+          frontier = Flow.Core.frontier_json ~compact:true f;
+          explore_stats =
+            [
+              ("variants_enumerated", s.Flow.Core.variants_enumerated);
+              ("variants_unique", s.Flow.Core.variants_unique);
+              ("variants_pruned", s.Flow.Core.variants_pruned);
+              ("points_pruned", s.Flow.Core.points_pruned);
+              ("points_evaluated", s.Flow.Core.points_evaluated);
+              ("sim_memo_hits", s.Flow.Core.sim_memo_hits);
+              ("duplicate_variants", s.Flow.Core.duplicate_variants);
+              ("orders_skipped", s.Flow.Core.orders_skipped);
+              ("budgets_skipped", s.Flow.Core.budgets_skipped);
+            ];
+          explore_warnings = f.Flow.Core.frontier_warnings;
+        }
+      in
+      insert_explore t key v;
+      Ok (v, `Miss)
+    | exception exn -> Error [ Diag.of_exn exn ])
+
 (* The single-threaded fast path (tests, jobs=1 servers): look up, build
    what is missing, cache what was computed. Errors are never cached —
    they are cheap to recompute and usually the caller's fault. *)
@@ -330,4 +488,9 @@ let stats t =
     ("session_hits", Lru.hits t.sessions);
     ("session_misses", Lru.misses t.sessions);
     ("session_evictions", Lru.evictions t.sessions);
+    ("explore_entries", Lru.length t.explores);
+    ("explore_bytes", Lru.used t.explores);
+    ("explore_hits", Lru.hits t.explores);
+    ("explore_misses", Lru.misses t.explores);
+    ("explore_evictions", Lru.evictions t.explores);
   ]

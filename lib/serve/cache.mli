@@ -13,7 +13,10 @@
     A third store holds live {e rebudget sessions} — mutable
     {!Srfa_core.Flow.Core.rebudget_session} values keyed on
     hash(tier-1 key, "rebudget", stream name) — in their own key
-    namespace, never the allocate tiers (DESIGN.md §16).
+    namespace, never the allocate tiers (DESIGN.md §16). A fourth holds
+    finished {e design-space frontiers} (DESIGN.md §17): rendered
+    frontier JSON plus explore counters, keyed on hash(tier-1 key,
+    "explore", canonical space spec).
 
     All stores are byte-budget-bounded {!Srfa_util.Lru}s; lookups,
     misses and evictions are announced as [cache.hit] / [cache.miss] /
@@ -45,6 +48,11 @@ val session_key : tier1:string -> stream:string -> string
 (** The rebudget-session namespace: hex MD5 of the scheme version, the
     tier-1 key, the literal ["rebudget"] and the stream name. Disjoint
     from {!tier2_key} material by construction. *)
+
+val explore_key : tier1:string -> spec:string -> string
+(** The frontier namespace: hex MD5 of the scheme version, the tier-1
+    key, the literal ["explore"] and the canonical space spec (see
+    {!space_of_request}). Disjoint from the other tiers. *)
 
 (** A protocol request resolved against the kernel registry, the device
     table and the algorithm names — everything hashable. *)
@@ -84,8 +92,10 @@ type t
 
 val create :
   ?tier1_bytes:int -> ?tier2_bytes:int -> ?session_bytes:int ->
+  ?explore_bytes:int ->
   ?trace:Srfa_util.Trace.sink -> ?faults:Srfa_util.Fault.t -> unit -> t
-(** Defaults: 48 MB for tier 1, 16 MB for tier 2, 16 MB for sessions.
+(** Defaults: 48 MB for tier 1, 16 MB each for tier 2, sessions and
+    frontiers.
     Entry costs are measured with [Obj.reachable_words], i.e. real heap
     bytes. [faults] arms the [cache.insert] injection site: a firing
     rule makes the insert silently not happen (traced as
@@ -131,6 +141,33 @@ val rebudget :
     point was paid); [`Miss] = fully cold. Accept-thread only: the
     session mutates in place and shares the tier-1 scratch. Results
     are never inserted into the allocate tiers. *)
+
+type explore_value = {
+  frontier : string;
+      (** {!Flow.Core.frontier_json} [~compact:true] of the answer *)
+  explore_stats : (string * int) list;
+      (** the explore counters (variants, cuts, memo hits) as rendered
+          into the response's ["explore"] sub-object *)
+  explore_warnings : Diag.t list;
+}
+
+val space_of_request :
+  Protocol.request ->
+  (Flow.Core.space * string, Diag.t list) result
+(** Parse and canonicalise the request's space fields (orders, tiles,
+    budgets, algorithms, certify) into an explorer space plus the
+    canonical spec string the frontier tier is keyed on — parsed values
+    are re-rendered, so request formatting never fragments the tier.
+    Defaults: all legal orders, no tiling, {!Flow.default_budgets},
+    CPA-RA. Bad fields are [E-PROTO-002]. *)
+
+val explore :
+  t -> resolved -> space:Flow.Core.space -> spec:string ->
+  (explore_value * [ `Hit | `Miss ], Diag.t list) result
+(** One kernel's frontier under a space spec, from the frontier tier or
+    freshly explored (and inserted). Accept-thread only, like
+    {!rebudget}; the explorer runs serially there. Never touches the
+    allocate tiers. *)
 
 val stats : t -> (string * int) list
 (** Served-request count plus per-tier entries/bytes/hits/misses/

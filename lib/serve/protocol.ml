@@ -168,7 +168,7 @@ let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
 
 (* ---- requests ---------------------------------------------------------- *)
 
-type op = Allocate | Rebudget | Stats | Shutdown
+type op = Allocate | Rebudget | Explore | Stats | Shutdown
 
 type kernel_spec = Named of string | Source of string
 
@@ -182,6 +182,11 @@ type request = {
   cut_work_limit : int option;
   deadline_ms : int option;
   stream : string option;
+  orders : string option;
+  tiles : string option;
+  budgets : string option;
+  algorithms : string option;
+  certify : bool;
 }
 
 let proto_error msg = Diag.make ~code:"E-PROTO-001" msg
@@ -300,6 +305,12 @@ let parse_request line =
       | Some (Int i) -> Ok (Some i)
       | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
     in
+    let bool_field key =
+      match member key json with
+      | None -> Ok false
+      | Some (Bool b) -> Ok b
+      | Some _ -> Error (Printf.sprintf "field %S must be a boolean" key)
+    in
     let ( let* ) r f =
       match r with Ok v -> f v | Error msg -> Error (field_error msg)
     in
@@ -313,15 +324,22 @@ let parse_request line =
     let* cut_work_limit = int "cut_work_limit" in
     let* deadline_ms = int "deadline_ms" in
     let* stream = str "stream" in
+    let* orders = str "orders" in
+    let* tiles = str "tiles" in
+    let* budgets = str "budgets" in
+    let* algorithms = str "algorithms" in
+    let* certify = bool_field "certify" in
     let* op =
       match opname with
       | None | Some "allocate" -> Ok Allocate
       | Some "rebudget" -> Ok Rebudget
+      | Some "explore" -> Ok Explore
       | Some "stats" -> Ok Stats
       | Some "shutdown" -> Ok Shutdown
       | Some other ->
         Error
-          (Printf.sprintf "unknown op %S (allocate, rebudget, stats, shutdown)"
+          (Printf.sprintf
+             "unknown op %S (allocate, rebudget, explore, stats, shutdown)"
              other)
     in
     let* kernel =
@@ -336,6 +354,9 @@ let parse_request line =
         else if op = Rebudget then
           Error
             "a rebudget request needs a \"kernel\" name or a \"source\" text"
+        else if op = Explore then
+          Error
+            "an explore request needs a \"kernel\" name or a \"source\" text"
         else Ok None
     in
     let* () =
@@ -346,7 +367,7 @@ let parse_request line =
     Ok
       {
         id; op; kernel; device; algorithm; budget; cut_work_limit;
-        deadline_ms; stream;
+        deadline_ms; stream; orders; tiles; budgets; algorithms; certify;
       })
   | _ -> Error (proto_error "request must be a JSON object")
 
@@ -437,6 +458,37 @@ let response_ok ?id ?rebudget ~cache ~warnings report =
     Buffer.add_string buf
       (Printf.sprintf ", \"rebudget\": %s" (json_of_rebudget rb))
   | None -> ());
+  (match warnings with
+  | [] -> ()
+  | ws ->
+    Buffer.add_string buf ", \"warnings\": [";
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf (Diag.to_json w))
+      ws;
+    Buffer.add_string buf "]");
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+(* An explore response embeds the frontier exactly as
+   [Flow.Core.frontier_json ~compact:true] rendered it — the same bytes
+   the CLI's --json mode pretty-prints — plus the (schedule-dependent,
+   never byte-compared) explore counters as a sub-object. *)
+let response_explore ?id ~cache ~warnings ~stats frontier =
+  let buf = Buffer.create (String.length frontier + 256) in
+  Buffer.add_string buf "{";
+  add_id buf id;
+  Buffer.add_string buf
+    (Printf.sprintf "\"status\": \"ok\", \"cache\": \"%s\", \"frontier\": %s"
+       (cache_status_name cache) frontier);
+  Buffer.add_string buf ", \"explore\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\": %d" (escape k) v))
+    stats;
+  Buffer.add_string buf "}";
   (match warnings with
   | [] -> ()
   | ws ->

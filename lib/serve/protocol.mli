@@ -2,8 +2,8 @@
     socket, one request object in, one response object out, in order.
 
     Request fields (flat object; unknown fields are ignored):
-    - ["op"]: ["allocate"] (default), ["rebudget"], ["stats"] or
-      ["shutdown"];
+    - ["op"]: ["allocate"] (default), ["rebudget"], ["explore"],
+      ["stats"] or ["shutdown"];
     - ["id"]: optional string, echoed verbatim in the response;
     - ["kernel"]: a built-in kernel name, {e or} ["source"]: kernel DSL
       text (exactly one for an allocate or rebudget request);
@@ -18,7 +18,12 @@
       (overrides the server default; tripping it is [E-DEADLINE]);
     - ["stream"]: optional rebudget session name (default
       ["default"]) — requests naming the same kernel, device and stream
-      mutate the same live allocation (DESIGN.md §16).
+      mutate the same live allocation (DESIGN.md §16);
+    - explore only (DESIGN.md §17): ["orders"] (["all"], ["identity"]
+      or explicit [";"]-separated permutations like ["0,2,1;2,0,1"]),
+      ["tiles"] / ["budgets"] / ["algorithms"] (comma-separated lists)
+      and ["certify"] (boolean) — together the design-space spec the
+      frontier tier is keyed on.
 
     Responses: [{"status": "ok", "cache": "hit"|"analysis"|"miss",
     "report": {...}, "warnings": [...]}] for served allocations (the
@@ -51,7 +56,7 @@ val parse_json : string -> json
 val member : string -> json -> json option
 (** [member key (Obj ...)] — [None] for absent keys and non-objects. *)
 
-type op = Allocate | Rebudget | Stats | Shutdown
+type op = Allocate | Rebudget | Explore | Stats | Shutdown
 
 type kernel_spec = Named of string | Source of string
 
@@ -66,6 +71,11 @@ type request = {
   cut_work_limit : int option;
   deadline_ms : int option;
   stream : string option;  (** rebudget session name *)
+  orders : string option;  (** explore: loop-order axis spec *)
+  tiles : string option;  (** explore: strip-mine factor ladder *)
+  budgets : string option;  (** explore: budget ladder *)
+  algorithms : string option;  (** explore: algorithm list *)
+  certify : bool;  (** explore: certified-portfolio points *)
 }
 
 val proto_error : string -> Srfa_util.Diag.t
@@ -123,6 +133,16 @@ val response_ok :
     reused, allocation recomputed, [`Miss] = fully cold. [rebudget]
     adds the incremental bookkeeping sub-object (rebudget responses
     only). *)
+
+val response_explore :
+  ?id:string -> cache:[ `Hit | `Analysis | `Miss ] ->
+  warnings:Srfa_util.Diag.t list -> stats:(string * int) list ->
+  string -> string
+(** An explore response: the pre-rendered compact frontier JSON
+    ({!Srfa_core.Flow.Core.frontier_json}) embedded verbatim as the
+    ["frontier"] member, plus the explore counters (variants, cuts,
+    memo hits — schedule-dependent, never byte-compared) as the
+    ["explore"] sub-object. *)
 
 val response_error : ?id:string -> Srfa_util.Diag.t list -> string
 

@@ -228,6 +228,27 @@ let process_batch ~cache ~pool ~faults ~counters ~stats ~default_deadline_ms
                 Protocol.response_ok ?id:rid ~rebudget:rb ~cache:status
                   ~warnings:step.Srfa_core.Flow.Core.warnings
                   step.Srfa_core.Flow.Core.report))
+        | Protocol.Explore -> (
+          (* Also inline on the accept thread: one frontier is a bounded
+             batch of small allocations, and the frontier tier (like the
+             session store) is accept-thread-owned. A warm space spec is
+             a pure string lookup. *)
+          match Cache.resolve req with
+          | Error diags -> slots.(slot) <- Protocol.response_error ?id:rid diags
+          | Ok r -> (
+            match Cache.space_of_request req with
+            | Error diags ->
+              slots.(slot) <- Protocol.response_error ?id:rid diags
+            | Ok (space, spec) -> (
+              match Cache.explore cache r ~space ~spec with
+              | Error diags ->
+                slots.(slot) <- Protocol.response_error ?id:rid diags
+              | Ok (v, status) ->
+                slots.(slot) <-
+                  Protocol.response_explore ?id:rid
+                    ~cache:(status :> [ `Hit | `Analysis | `Miss ])
+                    ~warnings:v.Cache.explore_warnings
+                    ~stats:v.Cache.explore_stats v.Cache.frontier)))
         | Protocol.Allocate -> (
           match Cache.resolve req with
           | Error diags -> slots.(slot) <- Protocol.response_error ?id:rid diags
@@ -661,6 +682,40 @@ let self_test ?(jobs = 2) ?(log = ignore) () =
     (str_member "cache" r24 = Some "analysis");
   let r25 = response {|{"op": "rebudget", "kernel": "fir"}|} in
   check "rebudget without budget is E-PROTO-002" (has_code "E-PROTO-002" r25);
+  (* 9c. explore: a design-space frontier, cold then from the frontier
+     tier. The frontier member embeds real points; a repeat with
+     differently formatted but canonically equal space fields must hit
+     the same key. *)
+  let frontier_points json =
+    match Protocol.member "frontier" json with
+    | Some f -> (
+      match Protocol.member "points" f with
+      | Some (Protocol.Arr ps) -> List.length ps
+      | _ -> -1)
+    | None -> -1
+  in
+  let r26 =
+    response
+      {|{"id": "x1", "op": "explore", "kernel": "fir", "budgets": "8,16"}|}
+  in
+  check "explore cold is a miss with a frontier"
+    (str_member "status" r26 = Some "ok"
+    && str_member "cache" r26 = Some "miss"
+    && str_member "id" r26 = Some "x1"
+    && frontier_points r26 > 0);
+  let r27 =
+    response
+      {|{"op": "explore", "kernel": "fir", "budgets": " 8 , 16 "}|}
+  in
+  check "canonically equal explore spec hits the frontier tier"
+    (str_member "cache" r27 = Some "hit" && frontier_points r27 > 0);
+  let r28 =
+    response {|{"op": "explore", "kernel": "fir", "budgets": "8,16,32"}|}
+  in
+  check "different explore spec is its own entry"
+    (str_member "cache" r28 = Some "miss");
+  let r29 = response {|{"op": "explore", "kernel": "fir", "orders": "bogus"}|} in
+  check "bad explore orders is E-PROTO-002" (has_code "E-PROTO-002" r29);
   (* 10. pipelined batch: two requests in one write, answered in order *)
   Client.send client
     {|{"id": "b1", "kernel": "mat", "budget": 16}|};

@@ -95,9 +95,10 @@ let test_explorer_imi () =
   let config =
     { Srfa_core.Flow.default_config with Srfa_core.Flow.budget = 12 }
   in
-  let candidates =
+  let candidates, warnings =
     Srfa_core.Order_explorer.explore ~config Srfa_core.Allocator.Cpa_ra nest
   in
+  Alcotest.(check int) "no warnings" 0 (List.length warnings);
   Alcotest.(check int) "six candidates" 6 (List.length candidates);
   let best = List.hd candidates in
   let identity =
@@ -123,7 +124,7 @@ let test_explorer_imi () =
 let test_explorer_best_never_worse_than_identity () =
   List.iter
     (fun (name, nest) ->
-      let candidates =
+      let candidates, _ =
         Srfa_core.Order_explorer.explore Srfa_core.Allocator.Cpa_ra nest
       in
       let identity_order = List.init (Nest.depth nest) Fun.id in
